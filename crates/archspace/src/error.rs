@@ -1,0 +1,107 @@
+//! Error type for architecture construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an architecture or search-space operation fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// Two consecutive blocks disagree about their shared channel count
+    /// (`CH3` of block *i* must equal `CH1` of block *i + 1*).
+    ChannelMismatch {
+        /// Index of the downstream block reporting the mismatch.
+        block_index: usize,
+        /// `CH3` of the upstream block (or stem width).
+        expected: usize,
+        /// `CH1` declared by the downstream block.
+        actual: usize,
+    },
+    /// A block parameter was invalid (zero channels, unsupported kernel, …).
+    InvalidBlock {
+        /// Index of the offending block.
+        block_index: usize,
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The architecture as a whole was malformed (no blocks, zero classes, …).
+    InvalidArchitecture(String),
+    /// An action index was outside the valid range of its decision.
+    InvalidAction {
+        /// The decision dimension name.
+        decision: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of available choices.
+        choices: usize,
+    },
+    /// The decision vector length does not match the number of searchable slots.
+    DecisionLengthMismatch {
+        /// Expected number of decisions.
+        expected: usize,
+        /// Provided number of decisions.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::ChannelMismatch {
+                block_index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "block {block_index} expects {expected} input channels but declares {actual}"
+            ),
+            ArchError::InvalidBlock {
+                block_index,
+                reason,
+            } => write!(f, "block {block_index} is invalid: {reason}"),
+            ArchError::InvalidArchitecture(msg) => write!(f, "invalid architecture: {msg}"),
+            ArchError::InvalidAction {
+                decision,
+                index,
+                choices,
+            } => write!(
+                f,
+                "action index {index} is out of range for decision {decision} with {choices} choices"
+            ),
+            ArchError::DecisionLengthMismatch { expected, actual } => write!(
+                f,
+                "expected {expected} block decisions, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ArchError::ChannelMismatch {
+            block_index: 3,
+            expected: 32,
+            actual: 16,
+        };
+        let text = e.to_string();
+        assert!(text.contains('3') && text.contains("32") && text.contains("16"));
+
+        let e = ArchError::InvalidAction {
+            decision: "kernel",
+            index: 9,
+            choices: 3,
+        };
+        assert!(e.to_string().contains("kernel"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_bounds<T: Send + Sync + Error>() {}
+        assert_bounds::<ArchError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! `archspace` — block-based architecture IR, search space and model zoo.
+//!
+//! FaHaNa searches over architectures assembled from four block types
+//! (Section 3.2 ➁ of the paper):
+//!
+//! * **MB** — MobileNetV2 inverted bottleneck with stride 2 (downsampling);
+//! * **DB** — MobileNetV2 inverted bottleneck with stride 1 (optionally with
+//!   a skip connection);
+//! * **RB** — ResNet basic block (two spatial convolutions plus skip);
+//! * **CB** — a conventional convolution block.
+//!
+//! Every block shares the hyperparameters `CH1` (input channels, inherited
+//! from the previous block), `CH2`, `CH3` and kernel size `K`; blocks may
+//! also be skipped entirely to vary network depth.
+//!
+//! This crate provides:
+//!
+//! * the [`BlockConfig`]/[`Architecture`] IR with parameter, FLOP and storage
+//!   accounting ([`block`], [`arch`]);
+//! * the [`SearchSpace`] with action encoding/decoding and search-space-size
+//!   computation — the quantity Table 2 reports as 10^19 vs 10^9 ([`space`]);
+//! * the [`BackboneProducer`] that freezes the header of a backbone and
+//!   exposes only tail slots for search, given per-layer feature variations
+//!   ([`backbone`]);
+//! * the reference [`zoo`] (MobileNetV2/V3, MnasNet, ProxylessNAS, ResNet,
+//!   SqueezeNet) expressed in the same IR;
+//! * [`lowering`] from the IR to a trainable [`neural::Sequential`] network;
+//! * a text [`render`]er for architecture visualisations (Figure 7).
+//!
+//! # Example
+//!
+//! ```
+//! use archspace::{Architecture, BlockConfig, BlockKind};
+//!
+//! let arch = Architecture::builder(5)
+//!     .stem(16, 3)
+//!     .block(BlockConfig::new(BlockKind::Mb, 16, 64, 24, 3))
+//!     .block(BlockConfig::new(BlockKind::Rb, 24, 24, 24, 3))
+//!     .build()
+//!     .expect("valid architecture");
+//! assert!(arch.param_count() > 0);
+//! ```
+
+pub mod arch;
+pub mod backbone;
+pub mod block;
+pub mod error;
+pub mod lowering;
+pub mod render;
+pub mod space;
+pub mod zoo;
+
+pub use arch::{Architecture, ArchitectureBuilder, StemConfig};
+pub use backbone::{BackboneProducer, BackboneTemplate, FreezeDecision};
+pub use block::{BlockConfig, BlockKind};
+pub use error::ArchError;
+pub use render::render_architecture;
+pub use space::{BlockDecision, SearchSpace, SpaceConfig};
+pub use zoo::{reference_models, ReferenceModel, ZooEntry};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ArchError>;

@@ -1,0 +1,266 @@
+//! Lowering the architecture IR to trainable [`neural`] networks.
+//!
+//! The trained evaluator needs a real forward/backward pass for a candidate
+//! architecture. This module converts an [`Architecture`] into a
+//! [`neural::Sequential`] stack of convolution, normalisation, activation,
+//! pooling and classifier layers operating on NCHW image tensors.
+
+use ftensor::SeededRng;
+use neural::{
+    ChannelNorm, Conv2d, Dense, DepthwiseConv2d, GlobalAvgPool, Relu, Relu6, Residual, Sequential,
+};
+
+use crate::arch::Architecture;
+use crate::block::{BlockConfig, BlockKind};
+use crate::error::ArchError;
+use crate::Result;
+
+/// Options controlling the lowering.
+#[derive(Debug, Clone, Copy)]
+pub struct LoweringOptions {
+    /// Seed for weight initialisation.
+    pub seed: u64,
+    /// If `true`, the stem and frozen header layers are marked non-trainable.
+    pub freeze_first_blocks: usize,
+}
+
+impl Default for LoweringOptions {
+    fn default() -> Self {
+        LoweringOptions {
+            seed: 0,
+            freeze_first_blocks: 0,
+        }
+    }
+}
+
+/// A lowered network: the trainable stack plus the index of the first layer
+/// of each block (used by feature-variation analysis to map activations back
+/// to architecture layers).
+#[derive(Debug)]
+pub struct LoweredNetwork {
+    /// The trainable layer stack.
+    pub network: Sequential,
+    /// For each architecture block (in order), the index of its final layer
+    /// inside [`LoweredNetwork::network`].
+    pub block_boundaries: Vec<usize>,
+}
+
+/// Lowers an architecture into a trainable network.
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidArchitecture`] if the architecture fails
+/// validation or a layer rejects its configuration.
+pub fn lower(arch: &Architecture, options: LoweringOptions) -> Result<LoweredNetwork> {
+    arch.validate()?;
+    let mut rng = SeededRng::new(options.seed);
+    let mut net = Sequential::new();
+    let mut boundaries = Vec::new();
+
+    // Stem: conv(stride 2) + norm + ReLU.
+    let stem = arch.stem();
+    net.push(Box::new(
+        Conv2d::new(3, stem.out_channels, stem.kernel, 2, stem.kernel / 2, &mut rng)
+            .map_err(|e| ArchError::InvalidArchitecture(format!("stem: {e}")))?,
+    ));
+    net.push(Box::new(ChannelNorm::new(stem.out_channels).map_err(|e| {
+        ArchError::InvalidArchitecture(format!("stem norm: {e}"))
+    })?));
+    net.push(Box::new(Relu::new()));
+
+    for (block_idx, block) in arch.blocks().iter().enumerate() {
+        if block.skipped {
+            boundaries.push(net.len().saturating_sub(1));
+            continue;
+        }
+        let body = lower_block(block, &mut rng)?;
+        if block.has_residual() && block.ch_in == block.ch_out {
+            net.push(Box::new(Residual::new(body)));
+        } else {
+            // flatten the body into the outer stack
+            net.push(Box::new(body));
+        }
+        if options.freeze_first_blocks > block_idx {
+            // freeze everything appended so far (stem + blocks up to here)
+            net.freeze_prefix(net.len());
+        }
+        boundaries.push(net.len() - 1);
+    }
+
+    // Head: global average pool + linear classifier.
+    net.push(Box::new(GlobalAvgPool::new()));
+    net.push(Box::new(Dense::new(arch.final_channels(), arch.classes(), &mut rng)));
+
+    Ok(LoweredNetwork {
+        network: net,
+        block_boundaries: boundaries,
+    })
+}
+
+fn lower_block(block: &BlockConfig, rng: &mut SeededRng) -> Result<Sequential> {
+    let mut body = Sequential::new();
+    let pad = block.kernel / 2;
+    let err = |e: neural::NeuralError| ArchError::InvalidArchitecture(format!("block: {e}"));
+    match block.kind {
+        BlockKind::Mb | BlockKind::Db => {
+            let stride = block.stride();
+            body.push(Box::new(
+                Conv2d::new(block.ch_in, block.ch_mid, 1, 1, 0, rng).map_err(err)?,
+            ));
+            body.push(Box::new(ChannelNorm::new(block.ch_mid).map_err(err)?));
+            body.push(Box::new(Relu6::new()));
+            body.push(Box::new(
+                DepthwiseConv2d::new(block.ch_mid, block.kernel, stride, pad, rng).map_err(err)?,
+            ));
+            body.push(Box::new(ChannelNorm::new(block.ch_mid).map_err(err)?));
+            body.push(Box::new(Relu6::new()));
+            body.push(Box::new(
+                Conv2d::new(block.ch_mid, block.ch_out, 1, 1, 0, rng).map_err(err)?,
+            ));
+            body.push(Box::new(ChannelNorm::new(block.ch_out).map_err(err)?));
+        }
+        BlockKind::Rb => {
+            body.push(Box::new(
+                Conv2d::new(block.ch_in, block.ch_mid, block.kernel, 1, pad, rng).map_err(err)?,
+            ));
+            body.push(Box::new(ChannelNorm::new(block.ch_mid).map_err(err)?));
+            body.push(Box::new(Relu::new()));
+            body.push(Box::new(
+                Conv2d::new(block.ch_mid, block.ch_out, block.kernel, 1, pad, rng).map_err(err)?,
+            ));
+            body.push(Box::new(ChannelNorm::new(block.ch_out).map_err(err)?));
+            body.push(Box::new(Relu::new()));
+        }
+        BlockKind::Cb => {
+            body.push(Box::new(
+                Conv2d::new(block.ch_in, block.ch_mid, block.kernel, 1, pad, rng).map_err(err)?,
+            ));
+            body.push(Box::new(ChannelNorm::new(block.ch_mid).map_err(err)?));
+            body.push(Box::new(Relu::new()));
+            body.push(Box::new(
+                Conv2d::new(block.ch_mid, block.ch_out, 1, 1, 0, rng).map_err(err)?,
+            ));
+            body.push(Box::new(ChannelNorm::new(block.ch_out).map_err(err)?));
+            body.push(Box::new(Relu::new()));
+        }
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use ftensor::Tensor;
+    use neural::Layer;
+
+    fn tiny_arch() -> Architecture {
+        Architecture::builder(5)
+            .name("tiny")
+            .stem(8, 3)
+            .input_size(16)
+            .block(BlockConfig::new(BlockKind::Mb, 8, 16, 12, 3))
+            .block(BlockConfig::new(BlockKind::Db, 12, 24, 12, 3))
+            .block(BlockConfig::new(BlockKind::Rb, 12, 12, 12, 3))
+            .block(BlockConfig::new(BlockKind::Cb, 12, 12, 16, 3))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lowered_network_runs_forward() {
+        let lowered = lower(&tiny_arch(), LoweringOptions::default()).unwrap();
+        let mut net = lowered.network;
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 5]);
+    }
+
+    #[test]
+    fn block_boundaries_cover_every_block() {
+        let arch = tiny_arch();
+        let lowered = lower(&arch, LoweringOptions::default()).unwrap();
+        assert_eq!(lowered.block_boundaries.len(), arch.blocks().len());
+        // boundaries are increasing and inside the network
+        let mut prev = 0usize;
+        for &b in &lowered.block_boundaries {
+            assert!(b >= prev);
+            assert!(b < lowered.network.len());
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn residual_blocks_preserve_shape() {
+        let arch = Architecture::builder(3)
+            .stem(8, 3)
+            .input_size(8)
+            .block(BlockConfig::new(BlockKind::Db, 8, 16, 8, 3))
+            .build()
+            .unwrap();
+        let lowered = lower(&arch, LoweringOptions::default()).unwrap();
+        let mut net = lowered.network;
+        let y = net.forward(&Tensor::zeros(&[1, 3, 8, 8]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 3]);
+    }
+
+    #[test]
+    fn freezing_reduces_trainable_params() {
+        let arch = tiny_arch();
+        let unfrozen = lower(&arch, LoweringOptions::default()).unwrap();
+        let frozen = lower(
+            &arch,
+            LoweringOptions {
+                seed: 0,
+                freeze_first_blocks: 2,
+            },
+        )
+        .unwrap();
+        let mut a = unfrozen.network;
+        let mut b = frozen.network;
+        assert!(b.trainable_param_count() < a.trainable_param_count());
+        assert_eq!(a.param_count(), b.param_count());
+    }
+
+    #[test]
+    fn skipped_blocks_are_not_lowered() {
+        let arch = Architecture::builder(3)
+            .stem(8, 3)
+            .input_size(8)
+            .block(BlockConfig::new(BlockKind::Db, 8, 16, 8, 3))
+            .block(BlockConfig::new(BlockKind::Rb, 8, 8, 8, 3).skipped())
+            .build()
+            .unwrap();
+        let lowered = lower(&arch, LoweringOptions::default()).unwrap();
+        let mut net = lowered.network;
+        let y = net.forward(&Tensor::zeros(&[1, 3, 8, 8]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 3]);
+    }
+
+    #[test]
+    fn lowering_is_deterministic_in_the_seed() {
+        let arch = tiny_arch();
+        let mut a = lower(&arch, LoweringOptions::default()).unwrap().network;
+        let mut b = lower(&arch, LoweringOptions::default()).unwrap().network;
+        let x = Tensor::ones(&[1, 3, 16, 16]);
+        let ya = a.forward(&x, false).unwrap();
+        let yb = b.forward(&x, false).unwrap();
+        assert_eq!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    fn lowered_param_count_matches_ir_accounting() {
+        // The IR's param_count and the lowered network's param_count use the
+        // same formula (convs + biases + 2-per-channel norms + classifier),
+        // so they must agree exactly for non-residual-projection blocks.
+        let arch = Architecture::builder(5)
+            .stem(8, 3)
+            .input_size(16)
+            .block(BlockConfig::new(BlockKind::Mb, 8, 16, 12, 3))
+            .block(BlockConfig::new(BlockKind::Cb, 12, 12, 16, 3))
+            .build()
+            .unwrap();
+        let lowered = lower(&arch, LoweringOptions::default()).unwrap();
+        assert_eq!(lowered.network.param_count() as u64, arch.param_count());
+    }
+}

@@ -1,0 +1,89 @@
+//! Text rendering of architectures (the paper's Figure 7 visualisation).
+
+use crate::arch::Architecture;
+
+/// Renders an architecture as a block diagram in plain text, one layer per
+/// line, in the same style as the paper's Figure 7 (`MB 64,384,64,3`).
+///
+/// # Example
+///
+/// ```
+/// use archspace::{render_architecture, zoo};
+///
+/// let arch = zoo::paper_fahana_fair(5, 64);
+/// let text = render_architecture(&arch);
+/// assert!(text.contains("Conv 7x7"));
+/// assert!(text.contains("RB 256,256,256,5"));
+/// assert!(text.contains("LINEAR"));
+/// ```
+pub fn render_architecture(arch: &Architecture) -> String {
+    let mut lines = Vec::new();
+    lines.push(format!("=== {} ===", arch.name()));
+    lines.push(format!(
+        "Input {}x{}x3",
+        arch.input_size(),
+        arch.input_size()
+    ));
+    lines.push(format!(
+        "Conv {k}x{k} -> {c}",
+        k = arch.stem().kernel,
+        c = arch.stem().out_channels
+    ));
+    for block in arch.blocks() {
+        if block.skipped {
+            lines.push("(skipped)".to_string());
+        } else {
+            lines.push(format!(
+                "{} {},{},{},{}",
+                block.kind.label(),
+                block.ch_in,
+                block.ch_mid,
+                block.ch_out,
+                block.kernel
+            ));
+        }
+    }
+    lines.push(format!("LINEAR -> {}", arch.classes()));
+    lines.push(format!(
+        "[{:.2}M params, {:.2} MB, {:.1} MFLOPs]",
+        arch.param_millions(),
+        arch.storage_mb(),
+        arch.flops() as f64 / 1.0e6
+    ));
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::block::{BlockConfig, BlockKind};
+
+    #[test]
+    fn render_includes_every_block_and_summary() {
+        let arch = Architecture::builder(5)
+            .name("demo")
+            .stem(16, 3)
+            .block(BlockConfig::new(BlockKind::Mb, 16, 64, 24, 3))
+            .block(BlockConfig::new(BlockKind::Rb, 24, 24, 24, 5))
+            .build()
+            .unwrap();
+        let text = render_architecture(&arch);
+        assert!(text.contains("=== demo ==="));
+        assert!(text.contains("MB 16,64,24,3"));
+        assert!(text.contains("RB 24,24,24,5"));
+        assert!(text.contains("LINEAR -> 5"));
+        assert!(text.contains("params"));
+    }
+
+    #[test]
+    fn skipped_blocks_are_marked() {
+        let arch = Architecture::builder(2)
+            .stem(8, 3)
+            .block(BlockConfig::new(BlockKind::Db, 8, 16, 8, 3))
+            .block(BlockConfig::new(BlockKind::Db, 8, 8, 8, 3).skipped())
+            .build()
+            .unwrap();
+        assert!(render_architecture(&arch).contains("(skipped)"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion bench: ablations of design choices called out in `DESIGN.md` —
+//! reward scaling (α/β), hard vs soft constraint handling, and the
+//! per-block latency LUT vs the direct analytic estimate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use archspace::zoo;
+use edgehw::{BlockLatencyTable, DeviceProfile, LatencyEstimator};
+use fahana::RewardConfig;
+
+fn bench_ablations(c: &mut Criterion) {
+    // Reward-scaling sweep: the reward itself is trivially cheap; the point
+    // of this bench is to pin its cost at "negligible" so search-time
+    // differences can be attributed to evaluation and the controller.
+    c.bench_function("ablation/reward_alpha_beta_sweep", |b| {
+        let settings: Vec<RewardConfig> = [0.5f64, 1.0, 2.0]
+            .iter()
+            .flat_map(|&alpha| {
+                [0.5f64, 1.0, 2.0].iter().map(move |&beta| RewardConfig {
+                    alpha,
+                    beta,
+                    ..RewardConfig::default()
+                })
+            })
+            .collect();
+        b.iter(|| {
+            let mut total = 0.0;
+            for cfg in &settings {
+                total += cfg.compute(0.83, 0.21, 900.0).value;
+            }
+            black_box(total)
+        })
+    });
+
+    c.bench_function("ablation/hard_vs_soft_constraints", |b| {
+        let hard = RewardConfig::default();
+        let soft = RewardConfig {
+            soft_constraints: true,
+            ..RewardConfig::default()
+        };
+        b.iter(|| {
+            let mut total = 0.0;
+            for latency in [800.0, 1600.0, 3200.0] {
+                total += hard.compute(0.79, 0.3, latency).value;
+                total += soft.compute(0.79, 0.3, latency).value;
+            }
+            black_box(total)
+        })
+    });
+
+    // LUT vs direct estimation over a batch of children with repeated block
+    // configurations — the situation the search loop is in.
+    let children: Vec<_> = (0..16)
+        .map(|_| zoo::paper_fahana_small(5, 224))
+        .collect();
+    c.bench_function("ablation/latency_direct_16_children", |b| {
+        let estimator = LatencyEstimator::new(DeviceProfile::raspberry_pi_4());
+        b.iter(|| {
+            let mut total = 0.0;
+            for child in &children {
+                total += estimator.estimate_ms(child);
+            }
+            black_box(total)
+        })
+    });
+    c.bench_function("ablation/latency_lut_16_children", |b| {
+        b.iter(|| {
+            let mut table = BlockLatencyTable::new(DeviceProfile::raspberry_pi_4());
+            let mut total = 0.0;
+            for child in &children {
+                total += table.estimate_ms(child);
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ablations
+}
+criterion_main!(benches);

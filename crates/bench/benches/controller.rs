@@ -1,0 +1,42 @@
+//! Criterion bench: RNN-controller episode sampling and policy-gradient
+//! update cost, at both FaHaNa (5 searchable slots) and MONAS (17 slots)
+//! decision lengths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use archspace::{SearchSpace, SpaceConfig};
+use fahana::{ControllerConfig, RnnController};
+
+fn controller_for(slots: usize) -> RnnController {
+    let space = SearchSpace::new(SpaceConfig::default(), slots);
+    RnnController::new(space.decision_cardinalities(), ControllerConfig::default())
+        .expect("cardinalities are valid")
+}
+
+fn bench_controller(c: &mut Criterion) {
+    for (label, slots) in [("fahana_5_slots", 5usize), ("monas_17_slots", 17usize)] {
+        c.bench_function(&format!("controller/sample_{label}"), |b| {
+            let mut ctrl = controller_for(slots);
+            b.iter(|| black_box(ctrl.sample_episode().expect("samples")))
+        });
+        c.bench_function(&format!("controller/update_batch5_{label}"), |b| {
+            let mut ctrl = controller_for(slots);
+            b.iter(|| {
+                let mut batch = Vec::new();
+                for i in 0..5 {
+                    let sample = ctrl.sample_episode().expect("samples");
+                    batch.push((sample, i as f64 / 5.0));
+                }
+                ctrl.update(black_box(&batch)).expect("updates");
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_controller
+}
+criterion_main!(benches);

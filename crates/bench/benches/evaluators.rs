@@ -1,0 +1,73 @@
+//! Criterion bench: cost of one child-network evaluation with the surrogate
+//! vs the trained evaluator — quantifying why the search defaults to the
+//! surrogate (the paper instead pays for a GPU cluster).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use archspace::{Architecture, BlockConfig, BlockKind};
+use dermsim::{DermatologyConfig, DermatologyGenerator};
+use evaluator::{Evaluate, SurrogateEvaluator, TrainedEvaluator, TrainedEvaluatorConfig};
+use neural::TrainConfig;
+
+fn tiny_arch() -> Architecture {
+    Architecture::builder(3)
+        .name("bench-child")
+        .stem(8, 3)
+        .input_size(8)
+        .block(BlockConfig::new(BlockKind::Cb, 8, 12, 16, 3))
+        .block(BlockConfig::new(BlockKind::Rb, 16, 16, 16, 3))
+        .build()
+        .expect("valid")
+}
+
+fn bench_evaluators(c: &mut Criterion) {
+    let mbv2 = archspace::zoo::mobilenet_v2(5, 224);
+    c.bench_function("evaluate/surrogate_mobilenet_v2", |b| {
+        let mut surrogate = SurrogateEvaluator::default();
+        b.iter(|| black_box(surrogate.evaluate(black_box(&mbv2)).expect("evaluates")))
+    });
+
+    let dataset = DermatologyGenerator::new(DermatologyConfig {
+        samples: 90,
+        image_size: 8,
+        classes: 3,
+        ..DermatologyConfig::default()
+    })
+    .generate();
+    let arch = tiny_arch();
+    c.bench_function("evaluate/trained_tiny_child", |b| {
+        b.iter(|| {
+            let mut trained = TrainedEvaluator::new(
+                &dataset,
+                TrainedEvaluatorConfig {
+                    train: TrainConfig {
+                        epochs: 1,
+                        batch_size: 16,
+                        ..TrainConfig::default()
+                    },
+                    seed: 0,
+                },
+            )
+            .expect("dataset is non-empty");
+            black_box(trained.evaluate(black_box(&arch)).expect("evaluates"))
+        })
+    });
+
+    c.bench_function("evaluate/feature_variation_proxy_backbone", |b| {
+        let backbone = tiny_arch();
+        b.iter(|| {
+            black_box(
+                evaluator::feature_variation_by_block(black_box(&backbone), &dataset, 8, 0)
+                    .expect("analysis runs"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_evaluators
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: throughput of the hardware latency estimators (direct
+//! analytic estimate vs the offline per-block latency table), backing the
+//! paper's claim that the per-block LUT makes constraint checking cheap
+//! enough to run on every episode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use archspace::zoo;
+use edgehw::{BlockLatencyTable, DeviceProfile, LatencyEstimator};
+
+fn bench_latency(c: &mut Criterion) {
+    let arch = zoo::mobilenet_v2(5, 224);
+    let estimator = LatencyEstimator::new(DeviceProfile::raspberry_pi_4());
+    c.bench_function("latency/direct_estimate_mobilenet_v2", |b| {
+        b.iter(|| black_box(estimator.estimate_ms(black_box(&arch))))
+    });
+
+    let mut warm_table = BlockLatencyTable::new(DeviceProfile::raspberry_pi_4());
+    warm_table.estimate_ms(&arch);
+    c.bench_function("latency/lut_estimate_mobilenet_v2_warm", |b| {
+        b.iter(|| black_box(warm_table.estimate_ms(black_box(&arch))))
+    });
+
+    c.bench_function("latency/zoo_sweep_both_devices", |b| {
+        let zoo_entries = zoo::reference_models(5, 224);
+        let pi = LatencyEstimator::new(DeviceProfile::raspberry_pi_4());
+        let odroid = LatencyEstimator::new(DeviceProfile::odroid_xu4());
+        b.iter(|| {
+            let mut total = 0.0;
+            for entry in &zoo_entries {
+                total += pi.estimate_ms(&entry.architecture);
+                total += odroid.estimate_ms(&entry.architecture);
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_latency
+}
+criterion_main!(benches);

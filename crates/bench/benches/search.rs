@@ -1,0 +1,54 @@
+//! Criterion bench: end-to-end search throughput (episodes per second) for
+//! FaHaNa with the frozen header vs the MONAS-style full-backbone search —
+//! the wall-clock counterpart of the paper's Table 2 acceleration claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dermsim::DermatologyConfig;
+use fahana::{FahanaConfig, FahanaSearch};
+
+fn config(episodes: usize, use_freezing: bool, seed: u64) -> FahanaConfig {
+    FahanaConfig {
+        episodes,
+        use_freezing,
+        seed,
+        dataset: DermatologyConfig {
+            samples: 200,
+            image_size: 8,
+            ..DermatologyConfig::default()
+        },
+        ..FahanaConfig::default()
+    }
+}
+
+fn bench_search(c: &mut Criterion) {
+    c.bench_function("search/fahana_frozen_header_20_episodes", |b| {
+        b.iter(|| {
+            let outcome = FahanaSearch::new(config(20, true, 3))
+                .expect("valid config")
+                .run()
+                .expect("search runs");
+            black_box(outcome.valid_ratio)
+        })
+    });
+    c.bench_function("search/monas_full_backbone_20_episodes", |b| {
+        b.iter(|| {
+            let outcome = FahanaSearch::new(config(20, false, 3))
+                .expect("valid config")
+                .run()
+                .expect("search runs");
+            black_box(outcome.valid_ratio)
+        })
+    });
+    c.bench_function("search/construction_with_freezing_analysis", |b| {
+        b.iter(|| black_box(FahanaSearch::new(config(1, true, 5)).expect("valid config")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_search
+}
+criterion_main!(benches);

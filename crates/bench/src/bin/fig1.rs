@@ -1,0 +1,72 @@
+//! Figure 1 — fairness vs model size on existing networks, and the effect of
+//! the amount of minority training data.
+//!
+//! Regenerate with `cargo run -p fahana-bench --bin fig1`.
+
+use archspace::zoo::{self, ReferenceModel};
+use evaluator::{Evaluate, SurrogateEvaluator};
+use fahana_bench::{zoo_rows, CLASSES, INPUT_SIZE};
+
+fn main() {
+    println!("Figure 1(a): unfairness score vs model size (existing networks)");
+    println!("{:<18} {:>10} {:>12} {:>12}", "model", "params (M)", "unfair (ours)", "unfair (paper)");
+    let mut rows = zoo_rows();
+    rows.sort_by(|a, b| a.params.cmp(&b.params));
+    for row in &rows {
+        let paper = row
+            .paper
+            .map(|p| format!("{:.4}", p.unfairness))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<18} {:>10.2} {:>12.4} {:>12}",
+            row.name,
+            row.params as f64 / 1e6,
+            row.unfairness,
+            paper
+        );
+    }
+
+    println!();
+    println!("Figure 1(b): unfairness vs amount of minority data (1x..5x)");
+    println!("{:<18} {:>6} {:>6} {:>6} {:>6} {:>6}", "model", "1x", "2x", "3x", "4x", "5x");
+    let base_imbalance = 5.67;
+    for model in [
+        ReferenceModel::MnasNet05,
+        ReferenceModel::MobileNetV3Small,
+        ReferenceModel::MobileNetV2,
+        ReferenceModel::ResNet18,
+    ] {
+        let arch = zoo::reference_architecture(model, CLASSES, INPUT_SIZE);
+        let mut values = Vec::new();
+        for multiplier in 1..=5 {
+            let ratio = (base_imbalance / multiplier as f64).max(1.0);
+            let mut surrogate = SurrogateEvaluator::default().with_imbalance_ratio(ratio);
+            let eval = surrogate.evaluate(&arch).expect("zoo model evaluates");
+            values.push(eval.unfairness());
+        }
+        println!(
+            "{:<18} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3}",
+            model.label(),
+            values[0],
+            values[1],
+            values[2],
+            values[3],
+            values[4]
+        );
+    }
+    println!();
+    println!(
+        "Shape check (paper): even with 5x minority data, MnasNet 0.5 stays less fair than ResNet-18 trained on 1x."
+    );
+    let mnasnet_5x = {
+        let arch = zoo::reference_architecture(ReferenceModel::MnasNet05, CLASSES, INPUT_SIZE);
+        let mut s = SurrogateEvaluator::default().with_imbalance_ratio((5.67f64 / 5.0).max(1.0));
+        s.evaluate(&arch).unwrap().unfairness()
+    };
+    let resnet_1x = {
+        let arch = zoo::reference_architecture(ReferenceModel::ResNet18, CLASSES, INPUT_SIZE);
+        let mut s = SurrogateEvaluator::default();
+        s.evaluate(&arch).unwrap().unfairness()
+    };
+    println!("  MnasNet 0.5 @5x = {mnasnet_5x:.4} vs ResNet-18 @1x = {resnet_1x:.4} (paper: 0.2280 vs 0.1820)");
+}

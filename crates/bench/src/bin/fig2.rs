@@ -1,0 +1,32 @@
+//! Figure 2 — per-group accuracy and unfairness of the existing networks.
+//!
+//! Regenerate with `cargo run -p fahana-bench --bin fig2`.
+
+use fahana_bench::{pct, zoo_rows};
+
+fn main() {
+    println!("Figure 2: neural architectures affect fairness (light vs dark accuracy)");
+    println!(
+        "{:<18} {:>10} {:>10} {:>12} {:>14}",
+        "model", "light", "dark", "unfair (ours)", "unfair (paper)"
+    );
+    // the paper orders the bar chart from least fair to fairest
+    let mut rows = zoo_rows();
+    rows.sort_by(|a, b| b.unfairness.total_cmp(&a.unfairness));
+    for row in rows {
+        let paper = row
+            .paper
+            .map(|p| format!("{:.4}", p.unfairness))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<18} {:>10} {:>10} {:>12.4} {:>14}",
+            row.name,
+            pct(row.light_accuracy),
+            pct(row.dark_accuracy),
+            row.unfairness,
+            paper
+        );
+    }
+    println!();
+    println!("Every model favours the majority (light) group; fairness improves with model capacity.");
+}

@@ -1,0 +1,70 @@
+//! Figure 5 — design-space exploration: best reward vs model size, and
+//! unfairness vs accuracy, for FaHaNa-Nets vs the existing networks.
+//!
+//! Regenerate with `cargo run -p fahana-bench --bin fig5`.
+
+use fahana::{FahanaSearch, RewardConfig};
+use fahana_bench::{fahana_reference_rows, harness_search_config, zoo_rows};
+
+fn main() {
+    let episodes = 200;
+    println!("Figure 5: FaHaNa-Nets vs existing networks ({episodes} episodes)");
+    let outcome = FahanaSearch::new(harness_search_config(episodes, 51))
+        .expect("config is valid")
+        .run()
+        .expect("search runs");
+    let reward_cfg = RewardConfig::default();
+
+    println!();
+    println!("(a) best reward vs model size — architectures under 6M parameters");
+    println!("{:<24} {:>10} {:>9} {:>9}", "architecture", "params(M)", "reward", "source");
+    let mut points: Vec<(String, f64, f64, &str)> = Vec::new();
+    for record in outcome.history.iter().filter(|r| r.valid && r.params < 6_000_000) {
+        points.push((record.name.clone(), record.params as f64 / 1e6, record.reward, "FaHaNa"));
+    }
+    for row in zoo_rows().iter().chain(fahana_reference_rows().iter()) {
+        if row.params < 6_000_000 {
+            points.push((
+                row.name.clone(),
+                row.params as f64 / 1e6,
+                row.reward(&reward_cfg),
+                "existing",
+            ));
+        }
+    }
+    points.sort_by(|a, b| b.2.total_cmp(&a.2));
+    for (name, size, reward, source) in points.iter().take(25) {
+        println!("{:<24} {:>10.2} {:>9.3} {:>9}", name, size, reward, source);
+    }
+
+    println!();
+    println!("(b) unfairness vs accuracy Pareto frontier of the FaHaNa-Nets");
+    for point in outcome.accuracy_fairness_frontier() {
+        println!(
+            "  {:<22} accuracy {:>7.4}  unfairness {:>7.4}",
+            point.label, point.maximize, point.minimize
+        );
+    }
+    if let Some(best_small) = &outcome.best_small {
+        println!();
+        println!(
+            "FaHaNa-Small candidate: {} ({:.2}M params, reward {:.3}, unfairness {:.4})",
+            best_small.record.name,
+            best_small.record.params as f64 / 1e6,
+            best_small.record.reward,
+            best_small.record.unfairness
+        );
+    }
+    if let Some(fairest) = &outcome.fairest {
+        println!(
+            "FaHaNa-Fair candidate:  {} ({:.2}M params, accuracy {:.4}, unfairness {:.4})",
+            fairest.record.name,
+            fairest.record.params as f64 / 1e6,
+            fairest.record.accuracy,
+            fairest.record.unfairness
+        );
+    }
+    println!();
+    println!("Shape to check: the FaHaNa points push the Pareto frontier past the existing networks");
+    println!("(higher reward at equal or smaller size; lower unfairness at equal accuracy).");
+}

@@ -1,0 +1,48 @@
+//! Figure 7 — visualisation of the FaHaNa-Fair architecture, plus the
+//! fairest architecture discovered by a local search run.
+//!
+//! Regenerate with `cargo run -p fahana-bench --bin fig7`.
+
+use archspace::{render_architecture, zoo};
+use fahana::FahanaSearch;
+use fahana_bench::{harness_search_config, CLASSES, INPUT_SIZE};
+
+fn main() {
+    println!("Figure 7: the FaHaNa-Fair architecture reported by the paper");
+    println!("{}", render_architecture(&zoo::paper_fahana_fair(CLASSES, INPUT_SIZE)));
+    println!();
+    println!("Insight (paper Section 4.5): MB blocks extract common features cheaply at the high-");
+    println!("resolution head, while the larger CB/RB blocks in the tail address fairness.");
+    println!();
+
+    println!("Fairest architecture discovered by a local 200-episode search run:");
+    let outcome = FahanaSearch::new(harness_search_config(200, 71))
+        .expect("config is valid")
+        .run()
+        .expect("search runs");
+    match outcome.fairest {
+        Some(fairest) => {
+            println!("{}", render_architecture(&fairest.architecture));
+            println!(
+                "accuracy {:.4}, unfairness {:.4}, latency {:.0} ms on the Raspberry Pi",
+                fairest.record.accuracy, fairest.record.unfairness, fairest.record.latency_ms
+            );
+            let tail = fairest
+                .architecture
+                .blocks()
+                .iter()
+                .filter(|b| !b.skipped)
+                .rev()
+                .take(3)
+                .filter(|b| {
+                    matches!(
+                        b.kind,
+                        archspace::BlockKind::Rb | archspace::BlockKind::Cb
+                    )
+                })
+                .count();
+            println!("CB/RB blocks among the last three searched blocks: {tail} of 3");
+        }
+        None => println!("(no valid architecture found in this short run — increase the episode budget)"),
+    }
+}

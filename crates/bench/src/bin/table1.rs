@@ -1,0 +1,37 @@
+//! Table 1 — models under 30 MB on a Raspberry Pi with TC = 1500 ms.
+//!
+//! Regenerate with `cargo run -p fahana-bench --bin table1`.
+
+use fahana_bench::{meets_mark, pct, rule, zoo_rows};
+
+fn main() {
+    let timing_constraint = 1500.0;
+    let storage_limit = 30.0;
+    println!("Table 1: models with <{storage_limit} MB storage on Raspberry PI, TC = {timing_constraint} ms");
+    println!(
+        "{:<18} {:>12} {:>10} {:>10} {:>10} {:>6}",
+        "Model", "Latency(ms)", "Storage", "Accuracy", "Unfair.", "Meets"
+    );
+    rule(72);
+    let mut rows: Vec<_> = zoo_rows()
+        .into_iter()
+        .filter(|r| r.storage_mb <= storage_limit)
+        .collect();
+    rows.sort_by(|a, b| a.latency_pi_ms.total_cmp(&b.latency_pi_ms));
+    for row in rows {
+        let meets = row.latency_pi_ms <= timing_constraint;
+        println!(
+            "{:<18} {:>12.2} {:>10.2} {:>10} {:>10.4} {:>6}",
+            row.name,
+            row.latency_pi_ms,
+            row.storage_mb,
+            pct(row.accuracy),
+            row.unfairness,
+            meets_mark(meets)
+        );
+    }
+    rule(72);
+    println!("Paper shape: SqueezeNet 1.0, MobileNetV3(S) and MnasNet 0.5 meet the constraint;");
+    println!("MobileNetV2 and larger depthwise-heavy networks violate it, showing that fairness");
+    println!("cannot be considered separately from the hardware specification.");
+}

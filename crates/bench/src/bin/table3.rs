@@ -1,0 +1,85 @@
+//! Table 3 — full comparison of the existing models and the FaHaNa-Nets:
+//! parameters, accuracy, per-group accuracy, unfairness, reward, storage and
+//! latency/speedups on both edge devices, split into G1 (< 4M) and G2 (≥ 4M).
+//!
+//! Regenerate with `cargo run -p fahana-bench --bin table3`.
+
+use fahana::RewardConfig;
+use fahana_bench::{fahana_reference_rows, meets_mark, pct, rule, zoo_rows, ModelRow};
+
+fn print_group(label: &str, accuracy_constraint: f64, baseline_name: &str, rows: &[ModelRow]) {
+    let reward_cfg = RewardConfig {
+        accuracy_constraint,
+        timing_constraint_ms: f64::INFINITY,
+        ..RewardConfig::default()
+    };
+    let baseline = rows
+        .iter()
+        .find(|r| r.name == baseline_name)
+        .expect("baseline model present");
+    println!("== {label} (accuracy requirement {:.0}%) ==", accuracy_constraint * 100.0);
+    println!(
+        "{:<18} {:>11} {:>8} {:>5} {:>8} {:>8} {:>8} {:>7} {:>9} {:>10} {:>8} {:>10} {:>8}",
+        "Model", "#Para", "Acc", "Meet", "Light", "Dark", "Unfair", "Reward",
+        "Stor(MB)", "Pi(ms)", "SpdUp", "Odroid(ms)", "SpdUp"
+    );
+    rule(140);
+    for row in rows {
+        let meets_acc = row.accuracy >= accuracy_constraint;
+        let reward = reward_cfg.compute(row.accuracy, row.unfairness, 0.0).value;
+        println!(
+            "{:<18} {:>11} {:>8} {:>5} {:>8} {:>8} {:>8.4} {:>7.2} {:>9.2} {:>10.1} {:>8.2} {:>10.1} {:>8.2}",
+            row.name,
+            row.params,
+            pct(row.accuracy),
+            meets_mark(meets_acc),
+            pct(row.light_accuracy),
+            pct(row.dark_accuracy),
+            row.unfairness,
+            if meets_acc { reward } else { -1.0 },
+            row.storage_mb,
+            row.latency_pi_ms,
+            baseline.latency_pi_ms / row.latency_pi_ms,
+            row.latency_odroid_ms,
+            baseline.latency_odroid_ms / row.latency_odroid_ms,
+        );
+        if let Some(paper) = row.paper {
+            println!(
+                "{:<18} {:>11} {:>8} {:>5} {:>8} {:>8} {:>8.4} {:>7} {:>9.2} {:>10.1} {:>8} {:>10.1} {:>8}",
+                "  (paper)",
+                paper.params,
+                pct(paper.accuracy),
+                "",
+                pct(paper.light_accuracy),
+                pct(paper.dark_accuracy),
+                paper.unfairness,
+                "",
+                paper.storage_mb,
+                paper.latency_raspberry_ms,
+                "",
+                paper.latency_odroid_ms,
+                ""
+            );
+        }
+    }
+    rule(140);
+}
+
+fn main() {
+    println!("Table 3: comparison of the existing models and FaHaNa-Nets");
+    let mut all: Vec<ModelRow> = zoo_rows();
+    all.extend(fahana_reference_rows());
+    all.retain(|r| r.name != "SqueezeNet 1.0");
+
+    let g1: Vec<ModelRow> = all.iter().filter(|r| r.params < 4_000_000).cloned().collect();
+    let g2: Vec<ModelRow> = all.iter().filter(|r| r.params >= 4_000_000).cloned().collect();
+
+    print_group("Group 1: < 4M parameters", 0.81, "MobileNetV2", &g1);
+    println!();
+    print_group("Group 2: >= 4M parameters", 0.83, "ResNet-50", &g2);
+    println!();
+    println!("Shape to check (paper): FaHaNa-Small is the fairest and smallest G1 model with the best");
+    println!("Pi/Odroid speedups over the MobileNetV2 baseline (paper: 5.28x smaller, 5.75x / 5.79x");
+    println!("faster, 15.14% fairer); FaHaNa-Fair achieves the lowest unfairness of all models while");
+    println!("being ~4x smaller and faster than the ResNet-50 baseline.");
+}

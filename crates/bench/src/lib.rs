@@ -1,0 +1,182 @@
+//! Shared harness code for the per-table/figure experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the experiment index). This library holds the code
+//! they share: evaluating the reference model zoo with the calibrated
+//! surrogate and the edge-device latency model, grouping models the way the
+//! paper's tables do, and formatting rows.
+
+use archspace::zoo::{self, PaperMetrics, ZooEntry};
+use archspace::Architecture;
+use dermsim::DermatologyConfig;
+use edgehw::{DeviceProfile, LatencyEstimator};
+use evaluator::{Evaluate, SurrogateEvaluator};
+use fahana::{FahanaConfig, RewardConfig};
+
+/// Input resolution used for all latency/FLOP accounting in the harness.
+pub const INPUT_SIZE: usize = 224;
+
+/// Number of disease classes in the dermatology case study.
+pub const CLASSES: usize = 5;
+
+/// One fully evaluated model: our measurements plus the paper's values.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// Model name as printed in the paper's tables.
+    pub name: String,
+    /// Parameter count (IR-computed).
+    pub params: u64,
+    /// Storage in MB (IR-computed).
+    pub storage_mb: f64,
+    /// Overall accuracy predicted by the surrogate.
+    pub accuracy: f64,
+    /// Majority-group (light skin) accuracy.
+    pub light_accuracy: f64,
+    /// Minority-group (dark skin) accuracy.
+    pub dark_accuracy: f64,
+    /// Unfairness score.
+    pub unfairness: f64,
+    /// Estimated latency on the Raspberry Pi 4 (ms).
+    pub latency_pi_ms: f64,
+    /// Estimated latency on the Odroid XU-4 (ms).
+    pub latency_odroid_ms: f64,
+    /// The paper's published metrics, when available.
+    pub paper: Option<PaperMetrics>,
+}
+
+impl ModelRow {
+    /// Evaluates one architecture with the default surrogate and both
+    /// device models.
+    pub fn measure(arch: &Architecture, paper: Option<PaperMetrics>) -> ModelRow {
+        let mut surrogate = SurrogateEvaluator::default();
+        let eval = surrogate
+            .evaluate(arch)
+            .expect("zoo architectures are valid");
+        let pi = LatencyEstimator::new(DeviceProfile::raspberry_pi_4());
+        let odroid = LatencyEstimator::new(DeviceProfile::odroid_xu4());
+        let light = eval
+            .report
+            .group_accuracy(dermsim::Group::LIGHT_SKIN)
+            .unwrap_or(eval.accuracy());
+        let dark = eval
+            .report
+            .group_accuracy(dermsim::Group::DARK_SKIN)
+            .unwrap_or(eval.accuracy());
+        ModelRow {
+            name: arch.name().to_string(),
+            params: arch.param_count(),
+            storage_mb: arch.storage_mb(),
+            accuracy: eval.accuracy(),
+            light_accuracy: light,
+            dark_accuracy: dark,
+            unfairness: eval.unfairness(),
+            latency_pi_ms: pi.estimate_ms(arch),
+            latency_odroid_ms: odroid.estimate_ms(arch),
+            paper,
+        }
+    }
+
+    /// The reward this model earns under the given configuration (Table 3's
+    /// "Reward" column), using the Pi latency.
+    pub fn reward(&self, config: &RewardConfig) -> f64 {
+        config
+            .compute(self.accuracy, self.unfairness, self.latency_pi_ms)
+            .value
+    }
+}
+
+/// Evaluates the full reference zoo (11 competitor networks).
+pub fn zoo_rows() -> Vec<ModelRow> {
+    zoo::reference_models(CLASSES, INPUT_SIZE)
+        .into_iter()
+        .map(|ZooEntry { architecture, paper, .. }| ModelRow::measure(&architecture, paper))
+        .collect()
+}
+
+/// Evaluates the two FaHaNa reference architectures (paper Figure 7 /
+/// Table 3) so they can be placed alongside the zoo.
+pub fn fahana_reference_rows() -> Vec<ModelRow> {
+    let [small_metrics, fair_metrics] = zoo::paper_fahana_metrics();
+    vec![
+        ModelRow::measure(
+            &zoo::paper_fahana_small(CLASSES, INPUT_SIZE),
+            Some(small_metrics.1),
+        ),
+        ModelRow::measure(
+            &zoo::paper_fahana_fair(CLASSES, INPUT_SIZE),
+            Some(fair_metrics.1),
+        ),
+    ]
+}
+
+/// The search configuration used by the experiment binaries: paper-style
+/// constraints with an episode budget small enough to finish in seconds.
+pub fn harness_search_config(episodes: usize, seed: u64) -> FahanaConfig {
+    FahanaConfig {
+        episodes,
+        seed,
+        dataset: DermatologyConfig {
+            samples: 400,
+            image_size: 10,
+            ..DermatologyConfig::default()
+        },
+        ..FahanaConfig::default()
+    }
+}
+
+/// Formats a percentage with two decimals, like the paper's tables.
+pub fn pct(value: f64) -> String {
+    format!("{:.2}%", value * 100.0)
+}
+
+/// Formats a "meets specification" flag the way Table 1 does.
+pub fn meets_mark(meets: bool) -> &'static str {
+    if meets {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Prints a horizontal rule sized for the wide tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_rows_cover_all_models() {
+        let rows = zoo_rows();
+        assert_eq!(rows.len(), 11);
+        assert!(rows.iter().all(|r| r.params > 0 && r.latency_pi_ms > 0.0));
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.accuracy)));
+    }
+
+    #[test]
+    fn fahana_reference_rows_are_small_and_fair() {
+        let rows = fahana_reference_rows();
+        assert_eq!(rows.len(), 2);
+        let small = &rows[0];
+        let fair = &rows[1];
+        assert!(small.params < 1_000_000);
+        assert!(fair.unfairness < small.unfairness + 0.05);
+    }
+
+    #[test]
+    fn reward_uses_pi_latency() {
+        let rows = fahana_reference_rows();
+        let cfg = RewardConfig::default();
+        // FaHaNa-Small meets both constraints, so its reward is positive
+        assert!(rows[0].reward(&cfg) > 0.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.8105), "81.05%");
+        assert_eq!(meets_mark(true), "yes");
+        assert_eq!(meets_mark(false), "no");
+    }
+}

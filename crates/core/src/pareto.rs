@@ -1,0 +1,147 @@
+//! Pareto-frontier utilities for Figures 5 and 6.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in a two-objective trade-off space.
+///
+/// By convention the first objective (`maximize`) is to be maximised (e.g.
+/// accuracy, reward) and the second (`minimize`) to be minimised (e.g.
+/// unfairness, model size).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Label of the point (architecture name).
+    pub label: String,
+    /// Objective to maximise.
+    pub maximize: f64,
+    /// Objective to minimise.
+    pub minimize: f64,
+}
+
+impl ParetoPoint {
+    /// Creates a labelled point.
+    pub fn new(label: impl Into<String>, maximize: f64, minimize: f64) -> Self {
+        ParetoPoint {
+            label: label.into(),
+            maximize,
+            minimize,
+        }
+    }
+
+    /// Whether `self` dominates `other` (no worse in both objectives,
+    /// strictly better in at least one).
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let no_worse = self.maximize >= other.maximize && self.minimize <= other.minimize;
+        let strictly_better = self.maximize > other.maximize || self.minimize < other.minimize;
+        no_worse && strictly_better
+    }
+}
+
+/// Returns the non-dominated subset of `points`, sorted by the maximised
+/// objective (descending).
+///
+/// # Example
+///
+/// ```
+/// use fahana::{pareto_frontier, ParetoPoint};
+///
+/// let points = vec![
+///     ParetoPoint::new("a", 0.80, 0.20),
+///     ParetoPoint::new("b", 0.85, 0.25),
+///     ParetoPoint::new("dominated", 0.79, 0.30),
+/// ];
+/// let frontier = pareto_frontier(&points);
+/// assert_eq!(frontier.len(), 2);
+/// assert!(frontier.iter().all(|p| p.label != "dominated"));
+/// ```
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut frontier: Vec<ParetoPoint> = points
+        .iter()
+        .filter(|candidate| {
+            !points
+                .iter()
+                .any(|other| other != *candidate && other.dominates(candidate))
+        })
+        .cloned()
+        .collect();
+    frontier.sort_by(|a, b| {
+        b.maximize
+            .partial_cmp(&a.maximize)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    frontier.dedup_by(|a, b| a.maximize == b.maximize && a.minimize == b.minimize);
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        let a = ParetoPoint::new("a", 0.8, 0.2);
+        let same = ParetoPoint::new("same", 0.8, 0.2);
+        let better = ParetoPoint::new("better", 0.9, 0.2);
+        let worse = ParetoPoint::new("worse", 0.7, 0.3);
+        assert!(!a.dominates(&same));
+        assert!(better.dominates(&a));
+        assert!(a.dominates(&worse));
+        assert!(!worse.dominates(&a));
+    }
+
+    #[test]
+    fn frontier_excludes_dominated_points() {
+        let points = vec![
+            ParetoPoint::new("fair-small", 0.81, 0.15),
+            ParetoPoint::new("fair-large", 0.84, 0.17),
+            ParetoPoint::new("dominated-1", 0.80, 0.25),
+            ParetoPoint::new("dominated-2", 0.83, 0.20),
+            ParetoPoint::new("accurate-unfair", 0.86, 0.30),
+        ];
+        let frontier = pareto_frontier(&points);
+        let labels: Vec<&str> = frontier.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["accurate-unfair", "fair-large", "fair-small"]);
+    }
+
+    #[test]
+    fn incomparable_points_all_survive() {
+        let points = vec![
+            ParetoPoint::new("a", 0.9, 0.5),
+            ParetoPoint::new("b", 0.8, 0.3),
+            ParetoPoint::new("c", 0.7, 0.1),
+        ];
+        assert_eq!(pareto_frontier(&points).len(), 3);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_frontier_points_are_mutually_non_dominated(
+            xs in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..30)
+        ) {
+            let points: Vec<ParetoPoint> = xs
+                .iter()
+                .enumerate()
+                .map(|(i, (a, b))| ParetoPoint::new(format!("p{i}"), *a, *b))
+                .collect();
+            let frontier = pareto_frontier(&points);
+            prop_assert!(!frontier.is_empty());
+            for p in &frontier {
+                for q in &frontier {
+                    prop_assert!(!p.dominates(q) || p == q || (p.maximize == q.maximize && p.minimize == q.minimize));
+                }
+            }
+            // every excluded point is dominated by someone on the frontier
+            for p in &points {
+                if !frontier.iter().any(|f| f.maximize == p.maximize && f.minimize == p.minimize) {
+                    prop_assert!(points.iter().any(|q| q.dominates(p)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! The FaHaNa search loop (paper Figure 4).
+
+use archspace::backbone::{BackboneProducer, BackboneTemplate};
+use archspace::{zoo, Architecture, SearchSpace, SpaceConfig};
+use dermsim::{DermatologyConfig, DermatologyGenerator};
+use edgehw::{BlockLatencyTable, DeviceProfile};
+use evaluator::{
+    feature_variation_by_block, Evaluate, SearchCostConfig, SearchCostModel, SurrogateEvaluator,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::controller::{ControllerConfig, EpisodeSample, RnnController};
+use crate::error::FahanaError;
+use crate::pareto::{pareto_frontier, ParetoPoint};
+use crate::reward::RewardConfig;
+use crate::Result;
+
+/// Configuration of a FaHaNa (or MONAS-style) search run.
+#[derive(Debug, Clone)]
+pub struct FahanaConfig {
+    /// Number of reinforcement-learning episodes (the paper uses 500).
+    pub episodes: usize,
+    /// Episodes per controller update (the `m` of Eq. 2).
+    pub episodes_per_update: usize,
+    /// Number of disease classes.
+    pub classes: usize,
+    /// Input resolution used for latency/FLOP accounting.
+    pub input_size: usize,
+    /// Reward function settings (α, β, `AC`, `TC`).
+    pub reward: RewardConfig,
+    /// Controller hyperparameters.
+    pub controller: ControllerConfig,
+    /// Search-space choice lists.
+    pub space: SpaceConfig,
+    /// Target device for the latency constraint.
+    pub device: DeviceProfile,
+    /// Optional storage limit in MB.
+    pub storage_limit_mb: Option<f64>,
+    /// Freezing scale factor γ (the paper uses 0.5).
+    pub freeze_gamma: f32,
+    /// `true` runs FaHaNa (frozen header); `false` searches the whole
+    /// backbone, which is how the MONAS baseline is configured.
+    pub use_freezing: bool,
+    /// Synthetic dermatology dataset settings.
+    pub dataset: DermatologyConfig,
+    /// Per-block feature-variation profile of the pretrained backbone used
+    /// by the freezing analysis. Defaults to the paper's Figure 3 profile;
+    /// set to `None` to re-measure it on a locally lowered backbone with
+    /// [`evaluator::feature_variation_by_block`].
+    pub variation_profile: Option<Vec<f32>>,
+    /// Batch size (per group) for the feature-variation analysis when
+    /// `variation_profile` is `None`.
+    pub variation_batch: usize,
+    /// Search-cost model constants (Table 2's time column).
+    pub cost: SearchCostConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FahanaConfig {
+    fn default() -> Self {
+        FahanaConfig {
+            episodes: 100,
+            episodes_per_update: 5,
+            classes: 5,
+            input_size: 224,
+            reward: RewardConfig::default(),
+            controller: ControllerConfig::default(),
+            space: SpaceConfig::default(),
+            device: DeviceProfile::raspberry_pi_4(),
+            storage_limit_mb: Some(30.0),
+            freeze_gamma: 0.5,
+            use_freezing: true,
+            dataset: DermatologyConfig {
+                samples: 600,
+                image_size: 12,
+                ..DermatologyConfig::default()
+            },
+            variation_profile: Some(evaluator::paper_figure3_profile()),
+            variation_batch: 8,
+            cost: SearchCostConfig::default(),
+            seed: 2022,
+        }
+    }
+}
+
+impl FahanaConfig {
+    /// The paper's evaluation settings: 500 episodes, α = β = 1, γ = 0.5,
+    /// Raspberry Pi target with `TC = 1500 ms` and `AC = 81 %`.
+    pub fn paper_scale() -> Self {
+        FahanaConfig {
+            episodes: 500,
+            ..FahanaConfig::default()
+        }
+    }
+}
+
+/// What happened in one search episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeRecord {
+    /// Episode index (0-based).
+    pub episode: usize,
+    /// Name assigned to the child architecture.
+    pub name: String,
+    /// Parameter count of the child.
+    pub params: u64,
+    /// Storage footprint (MB).
+    pub storage_mb: f64,
+    /// Estimated latency on the target device (ms).
+    pub latency_ms: f64,
+    /// Overall accuracy (0 when the child was not evaluated).
+    pub accuracy: f64,
+    /// Unfairness score (0 when the child was not evaluated).
+    pub unfairness: f64,
+    /// The reward of Eq. 1.
+    pub reward: f64,
+    /// Whether the child met all constraints (reward ≠ −1).
+    pub valid: bool,
+}
+
+/// A discovered architecture together with its episode record.
+#[derive(Debug, Clone)]
+pub struct DiscoveredNetwork {
+    /// The architecture itself.
+    pub architecture: Architecture,
+    /// Its metrics at discovery time.
+    pub record: EpisodeRecord,
+}
+
+/// The result of a search run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Every episode, in order.
+    pub history: Vec<EpisodeRecord>,
+    /// Highest-reward valid child (the architecture FaHaNa would deploy).
+    pub best: Option<DiscoveredNetwork>,
+    /// Highest-reward valid child under 4 M parameters (the FaHaNa-Small
+    /// role in Table 3's G1).
+    pub best_small: Option<DiscoveredNetwork>,
+    /// Lowest-unfairness valid child (the FaHaNa-Fair role in G2).
+    pub fairest: Option<DiscoveredNetwork>,
+    /// Fraction of episodes with reward ≠ −1 (Table 2's "Valid").
+    pub valid_ratio: f64,
+    /// log10 of the search-space size (Table 2's "Space").
+    pub space_log10_size: f64,
+    /// Number of frozen backbone blocks.
+    pub frozen_blocks: usize,
+    /// Number of searchable tail slots.
+    pub searchable_slots: usize,
+    /// Modelled GPU-cluster search time in hours (Table 2's "Time").
+    pub modelled_search_hours: f64,
+    /// Same, formatted like the paper ("57H10M").
+    pub modelled_search_time: String,
+}
+
+impl SearchOutcome {
+    /// The reward/size Pareto frontier over valid children (Figure 5a).
+    pub fn reward_size_frontier(&self) -> Vec<ParetoPoint> {
+        let points: Vec<ParetoPoint> = self
+            .history
+            .iter()
+            .filter(|r| r.valid)
+            .map(|r| ParetoPoint::new(r.name.clone(), r.reward, r.params as f64 / 1.0e6))
+            .collect();
+        pareto_frontier(&points)
+    }
+
+    /// The accuracy/unfairness Pareto frontier over valid children
+    /// (Figures 5b and 6).
+    pub fn accuracy_fairness_frontier(&self) -> Vec<ParetoPoint> {
+        let points: Vec<ParetoPoint> = self
+            .history
+            .iter()
+            .filter(|r| r.valid)
+            .map(|r| ParetoPoint::new(r.name.clone(), r.accuracy, r.unfairness))
+            .collect();
+        pareto_frontier(&points)
+    }
+
+    /// Running maximum of the reward (useful for convergence plots).
+    pub fn best_reward_curve(&self) -> Vec<f64> {
+        let mut best = f64::NEG_INFINITY;
+        self.history
+            .iter()
+            .map(|r| {
+                best = best.max(r.reward);
+                best
+            })
+            .collect()
+    }
+}
+
+/// The FaHaNa search engine with the default surrogate evaluator.
+///
+/// The engine is generic in spirit — [`FahanaSearch::run_with_evaluator`]
+/// accepts any [`Evaluate`] implementation — while [`FahanaSearch::run`]
+/// uses the calibrated surrogate, which is what all the benches use.
+#[derive(Debug)]
+pub struct FahanaSearch {
+    config: FahanaConfig,
+    template: BackboneTemplate,
+    space: SearchSpace,
+    controller: RnnController,
+    latency_table: BlockLatencyTable,
+    surrogate: SurrogateEvaluator,
+    frozen_blocks: usize,
+}
+
+impl FahanaSearch {
+    /// Builds the search: generates the dataset, runs the feature-variation
+    /// analysis, freezes the backbone header (when enabled) and initialises
+    /// the controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is inconsistent (e.g. zero
+    /// episodes) or the backbone analysis fails.
+    pub fn new(config: FahanaConfig) -> Result<Self> {
+        if config.episodes == 0 {
+            return Err(FahanaError::InvalidConfig(
+                "a search needs at least one episode".into(),
+            ));
+        }
+        let dataset = DermatologyGenerator::new(config.dataset.clone()).generate();
+        let surrogate = SurrogateEvaluator::for_dataset(&dataset, config.seed);
+
+        let backbone = zoo::mobilenet_v2(config.classes, config.input_size);
+        let producer = BackboneProducer::new(backbone.clone(), config.freeze_gamma);
+        let (template, frozen_blocks) = if config.use_freezing {
+            let variations = match &config.variation_profile {
+                Some(profile) => profile.clone(),
+                None => {
+                    feature_variation_by_block(
+                        &backbone,
+                        &dataset,
+                        config.variation_batch,
+                        config.seed,
+                    )?
+                    .per_block
+                }
+            };
+            let decision = producer.decide_split(&variations);
+            let template = producer.template(&decision);
+            let frozen = template.frozen_block_count();
+            (template, frozen)
+        } else {
+            (producer.full_search_template(), 0)
+        };
+        if template.searchable_slots() == 0 {
+            return Err(FahanaError::InvalidConfig(
+                "the freezing analysis froze the entire backbone; lower gamma".into(),
+            ));
+        }
+        let space = SearchSpace::new(config.space.clone(), template.searchable_slots());
+        let controller = RnnController::new(
+            space.decision_cardinalities(),
+            ControllerConfig {
+                seed: config.seed ^ 0x5eed,
+                ..config.controller
+            },
+        )?;
+        let latency_table = BlockLatencyTable::new(config.device.clone());
+        Ok(FahanaSearch {
+            config,
+            template,
+            space,
+            controller,
+            latency_table,
+            surrogate,
+            frozen_blocks,
+        })
+    }
+
+    /// The searchable slot count (after freezing).
+    pub fn searchable_slots(&self) -> usize {
+        self.template.searchable_slots()
+    }
+
+    /// The number of frozen backbone blocks.
+    pub fn frozen_blocks(&self) -> usize {
+        self.frozen_blocks
+    }
+
+    /// The search space being explored.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Runs the search with the calibrated surrogate evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller or evaluation failures.
+    pub fn run(mut self) -> Result<SearchOutcome> {
+        let mut surrogate = self.surrogate.clone();
+        self.run_with_evaluator(&mut surrogate)
+    }
+
+    /// Runs the search with a caller-supplied evaluation back-end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller or evaluation failures.
+    pub fn run_with_evaluator<E: Evaluate>(&mut self, evaluator: &mut E) -> Result<SearchOutcome> {
+        let mut history: Vec<EpisodeRecord> = Vec::with_capacity(self.config.episodes);
+        let mut discovered: Vec<DiscoveredNetwork> = Vec::new();
+        let mut cost = SearchCostModel::new(self.config.cost);
+        let mut batch: Vec<(EpisodeSample, f64)> = Vec::new();
+
+        for episode in 0..self.config.episodes {
+            let sample = self.controller.sample_episode()?;
+            let record = match self.evaluate_episode(episode, &sample, evaluator, &mut cost) {
+                Ok((record, arch)) => {
+                    if record.valid {
+                        discovered.push(DiscoveredNetwork {
+                            architecture: arch,
+                            record: record.clone(),
+                        });
+                    }
+                    record
+                }
+                Err(_) => {
+                    // malformed child (should not happen): treat as invalid
+                    cost.record_invalid();
+                    EpisodeRecord {
+                        episode,
+                        name: format!("invalid-ep{episode}"),
+                        params: 0,
+                        storage_mb: 0.0,
+                        latency_ms: f64::INFINITY,
+                        accuracy: 0.0,
+                        unfairness: 0.0,
+                        reward: -1.0,
+                        valid: false,
+                    }
+                }
+            };
+            batch.push((sample, record.reward));
+            if batch.len() >= self.config.episodes_per_update {
+                self.controller.update(&batch)?;
+                batch.clear();
+            }
+            history.push(record);
+        }
+        if !batch.is_empty() {
+            self.controller.update(&batch)?;
+        }
+
+        let valid = history.iter().filter(|r| r.valid).count();
+        let valid_ratio = valid as f64 / history.len().max(1) as f64;
+        let best = discovered
+            .iter()
+            .max_by(|a, b| a.record.reward.total_cmp(&b.record.reward))
+            .cloned();
+        let best_small = discovered
+            .iter()
+            .filter(|d| d.record.params < 4_000_000)
+            .max_by(|a, b| a.record.reward.total_cmp(&b.record.reward))
+            .cloned();
+        let fairest = discovered
+            .iter()
+            .min_by(|a, b| a.record.unfairness.total_cmp(&b.record.unfairness))
+            .cloned();
+        Ok(SearchOutcome {
+            history,
+            best,
+            best_small,
+            fairest,
+            valid_ratio,
+            space_log10_size: self.space.log10_size(),
+            frozen_blocks: self.frozen_blocks,
+            searchable_slots: self.template.searchable_slots(),
+            modelled_search_hours: cost.total_hours(),
+            modelled_search_time: cost.format_hours_minutes(),
+        })
+    }
+
+    fn evaluate_episode<E: Evaluate>(
+        &mut self,
+        episode: usize,
+        sample: &EpisodeSample,
+        evaluator: &mut E,
+        cost: &mut SearchCostModel,
+    ) -> Result<(EpisodeRecord, Architecture)> {
+        let decisions = self.space.decisions_from_actions(&sample.actions)?;
+        let child = self
+            .template
+            .instantiate(&self.space, &decisions, format!("fahana-ep{episode}"))?;
+        let latency_ms = self.latency_table.estimate_ms(&child);
+        let storage_mb = child.storage_mb();
+        let meets_storage = self
+            .config
+            .storage_limit_mb
+            .map(|limit| storage_mb <= limit)
+            .unwrap_or(true);
+        let meets_latency = latency_ms <= self.config.reward.timing_constraint_ms;
+
+        // Hardware check first: children that violate the specification are
+        // never trained (paper Figure 4 ➃).
+        if !meets_latency || !meets_storage {
+            cost.record_invalid();
+            let record = EpisodeRecord {
+                episode,
+                name: child.name().to_string(),
+                params: child.param_count(),
+                storage_mb,
+                latency_ms,
+                accuracy: 0.0,
+                unfairness: 0.0,
+                reward: -1.0,
+                valid: false,
+            };
+            return Ok((record, child));
+        }
+
+        let evaluation = evaluator.evaluate_with_frozen(&child, self.frozen_blocks)?;
+        cost.record_valid(evaluation.trained_params);
+        let reward = self
+            .config
+            .reward
+            .compute(evaluation.accuracy(), evaluation.unfairness(), latency_ms);
+        let record = EpisodeRecord {
+            episode,
+            name: child.name().to_string(),
+            params: child.param_count(),
+            storage_mb,
+            latency_ms,
+            accuracy: evaluation.accuracy(),
+            unfairness: evaluation.unfairness(),
+            reward: reward.value,
+            valid: reward.valid,
+        };
+        Ok((record, child))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(episodes: usize, seed: u64) -> FahanaConfig {
+        FahanaConfig {
+            episodes,
+            dataset: DermatologyConfig {
+                samples: 200,
+                image_size: 8,
+                ..DermatologyConfig::default()
+            },
+            variation_batch: 4,
+            seed,
+            ..FahanaConfig::default()
+        }
+    }
+
+    #[test]
+    fn zero_episode_search_is_rejected() {
+        assert!(FahanaSearch::new(FahanaConfig {
+            episodes: 0,
+            ..small_config(1, 0)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn freezing_reduces_searchable_slots_and_space() {
+        let fahana = FahanaSearch::new(small_config(5, 1)).unwrap();
+        let monas = FahanaSearch::new(FahanaConfig {
+            use_freezing: false,
+            ..small_config(5, 1)
+        })
+        .unwrap();
+        assert!(fahana.frozen_blocks() > 0, "gamma=0.5 should freeze a header");
+        assert!(fahana.searchable_slots() < monas.searchable_slots());
+        assert!(fahana.space().log10_size() < monas.space().log10_size());
+        assert_eq!(monas.frozen_blocks(), 0);
+    }
+
+    #[test]
+    fn search_produces_history_and_statistics() {
+        let outcome = FahanaSearch::new(small_config(30, 2)).unwrap().run().unwrap();
+        assert_eq!(outcome.history.len(), 30);
+        assert!(outcome.valid_ratio >= 0.0 && outcome.valid_ratio <= 1.0);
+        assert!(outcome.space_log10_size > 0.0);
+        assert!(outcome.modelled_search_hours >= 0.0);
+        assert!(!outcome.modelled_search_time.is_empty());
+        // every valid record meets both constraints
+        for record in outcome.history.iter().filter(|r| r.valid) {
+            assert!(record.latency_ms <= 1500.0);
+            assert!(record.accuracy >= 0.81);
+            assert!(record.reward > -1.0);
+        }
+        // episode indices are sequential
+        for (i, r) in outcome.history.iter().enumerate() {
+            assert_eq!(r.episode, i);
+        }
+    }
+
+    #[test]
+    fn discovered_networks_satisfy_their_roles() {
+        let outcome = FahanaSearch::new(small_config(40, 3)).unwrap().run().unwrap();
+        if let Some(best) = &outcome.best {
+            assert!(best.record.valid);
+            // best is the max-reward valid record
+            let max_reward = outcome
+                .history
+                .iter()
+                .filter(|r| r.valid)
+                .map(|r| r.reward)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!((best.record.reward - max_reward).abs() < 1e-12);
+        }
+        if let Some(small) = &outcome.best_small {
+            assert!(small.record.params < 4_000_000);
+        }
+        if let (Some(fairest), Some(best)) = (&outcome.fairest, &outcome.best) {
+            assert!(fairest.record.unfairness <= best.record.unfairness + 1e-12);
+        }
+    }
+
+    #[test]
+    fn search_is_reproducible_for_a_seed() {
+        let a = FahanaSearch::new(small_config(15, 5)).unwrap().run().unwrap();
+        let b = FahanaSearch::new(small_config(15, 5)).unwrap().run().unwrap();
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn frontier_helpers_return_nondominated_points() {
+        let outcome = FahanaSearch::new(small_config(30, 7)).unwrap().run().unwrap();
+        let frontier = outcome.accuracy_fairness_frontier();
+        for p in &frontier {
+            for q in &frontier {
+                assert!(!p.dominates(q) || p == q);
+            }
+        }
+        let curve = outcome.best_reward_curve();
+        assert_eq!(curve.len(), outcome.history.len());
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]));
+    }
+}

@@ -1,0 +1,45 @@
+//! `edgehw` — edge-device latency/storage models for the FaHaNa reproduction.
+//!
+//! The paper measures inference latency of every candidate and competitor
+//! network on two ARM boards (Raspberry Pi 4 Model B and Odroid XU-4) running
+//! vanilla PyTorch, and uses a per-block latency table profiled *offline* to
+//! estimate latency cheaply during the search (Section 3.2 ➃). We do not have
+//! the boards, so this crate substitutes an analytic per-operation latency
+//! model calibrated against the latencies the paper publishes in Tables 1
+//! and 3:
+//!
+//! * each primitive op (standard conv, pointwise conv, depthwise conv, dense)
+//!   is costed as `max(compute_time, memory_time) + dispatch_overhead`;
+//! * per-op *effective* throughput differs by op kind — depthwise and
+//!   pointwise convolutions achieve a small fraction of the peak GEMM
+//!   throughput under PyTorch on ARM, which is why MobileNetV2 measures
+//!   slower than ResNet-50 on the Pi in the paper despite having ~10× fewer
+//!   FLOPs;
+//! * the paper's offline per-block profiling methodology is reproduced by
+//!   [`BlockLatencyTable`], which caches per-block latencies and sums them
+//!   during the search exactly as the evaluator in Figure 4 ➃ does.
+//!
+//! # Example
+//!
+//! ```
+//! use archspace::zoo;
+//! use edgehw::{DeviceProfile, HardwareSpec, LatencyEstimator};
+//!
+//! let device = DeviceProfile::raspberry_pi_4();
+//! let estimator = LatencyEstimator::new(device.clone());
+//! let arch = zoo::mobilenet_v2(5, 224);
+//! let latency = estimator.estimate(&arch);
+//! let spec = HardwareSpec::new(device, 1500.0);
+//! assert!(latency.total_ms > 0.0);
+//! assert!(!spec.meets_latency(latency.total_ms));
+//! ```
+
+pub mod device;
+pub mod latency;
+pub mod lut;
+pub mod spec;
+
+pub use device::{DeviceKind, DeviceProfile};
+pub use latency::{LatencyBreakdown, LatencyEstimator};
+pub use lut::BlockLatencyTable;
+pub use spec::HardwareSpec;

@@ -1,0 +1,185 @@
+//! The offline per-block latency table used during the search.
+//!
+//! Paper Section 3.2 ➃: "we will test the performance of each block offline
+//! on the given hardware device H, based on which we can efficiently
+//! estimate the latency during the search process." This module reproduces
+//! that methodology: block latencies are profiled once (here: computed with
+//! the analytic model, standing in for on-device measurement), memoised, and
+//! summed to estimate a whole child network during the search. The final
+//! architectures still get an "end-to-end" estimate via
+//! [`LatencyEstimator::estimate`](crate::LatencyEstimator::estimate).
+
+use std::collections::HashMap;
+
+use archspace::block::BlockConfig;
+use archspace::Architecture;
+
+use crate::device::DeviceProfile;
+use crate::latency::LatencyEstimator;
+
+/// Key identifying a profiled block configuration at a given input
+/// resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BlockKey {
+    block: BlockConfig,
+    in_h: usize,
+    in_w: usize,
+}
+
+/// A memoised per-block latency table ("offline profiling").
+///
+/// # Example
+///
+/// ```
+/// use archspace::zoo;
+/// use edgehw::{BlockLatencyTable, DeviceProfile, LatencyEstimator};
+///
+/// let device = DeviceProfile::raspberry_pi_4();
+/// let mut table = BlockLatencyTable::new(device.clone());
+/// let arch = zoo::paper_fahana_small(5, 64);
+/// let from_table = table.estimate_ms(&arch);
+/// let end_to_end = LatencyEstimator::new(device).estimate_ms(&arch);
+/// assert!((from_table - end_to_end).abs() / end_to_end < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockLatencyTable {
+    estimator: LatencyEstimator,
+    entries: HashMap<BlockKey, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BlockLatencyTable {
+    /// Creates an empty table for a device.
+    pub fn new(device: DeviceProfile) -> Self {
+        BlockLatencyTable {
+            estimator: LatencyEstimator::new(device),
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of profiled block configurations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no block has been profiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hit/miss counters (useful for the acceleration benches).
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Latency of one block at a resolution, profiling it on first use.
+    pub fn block_latency_ms(&mut self, block: &BlockConfig, in_h: usize, in_w: usize) -> f64 {
+        let key = BlockKey {
+            block: *block,
+            in_h,
+            in_w,
+        };
+        if let Some(&cached) = self.entries.get(&key) {
+            self.hits += 1;
+            return cached;
+        }
+        self.misses += 1;
+        let latency = self.estimator.estimate_ops(&block.ops(in_h, in_w)).total_ms;
+        self.entries.insert(key, latency);
+        latency
+    }
+
+    /// Estimates a whole architecture by summing its per-block latencies
+    /// (plus the stem and classifier, which are profiled as pseudo-blocks
+    /// through the underlying estimator).
+    pub fn estimate_ms(&mut self, arch: &Architecture) -> f64 {
+        let ops = arch.ops();
+        // stem is the first op, the classifier is the last one
+        let mut total = 0.0;
+        if let Some(stem_op) = ops.first() {
+            total += self.estimator.estimate_ops(std::slice::from_ref(stem_op)).total_ms;
+        }
+        if ops.len() > 1 {
+            if let Some(head_op) = ops.last() {
+                total += self
+                    .estimator
+                    .estimate_ops(std::slice::from_ref(head_op))
+                    .total_ms;
+            }
+        }
+        let mut h = archspace::block::spatial_out(arch.input_size(), arch.stem().reduction());
+        let mut w = h;
+        for block in arch.blocks() {
+            total += self.block_latency_ms(block, h, w);
+            if !block.skipped {
+                h = archspace::block::spatial_out(h, block.stride());
+                w = archspace::block::spatial_out(w, block.stride());
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archspace::zoo;
+    use archspace::{BlockConfig, BlockKind};
+
+    #[test]
+    fn table_matches_end_to_end_estimator() {
+        let device = DeviceProfile::raspberry_pi_4();
+        let mut table = BlockLatencyTable::new(device.clone());
+        let direct = LatencyEstimator::new(device);
+        for entry in zoo::reference_models(5, 64) {
+            let a = table.estimate_ms(&entry.architecture);
+            let b = direct.estimate_ms(&entry.architecture);
+            assert!(
+                (a - b).abs() / b < 0.05,
+                "{}: table {a:.1}ms vs direct {b:.1}ms",
+                entry.model
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_blocks_hit_the_cache() {
+        let mut table = BlockLatencyTable::new(DeviceProfile::raspberry_pi_4());
+        let block = BlockConfig::new(BlockKind::Db, 32, 128, 32, 3);
+        let first = table.block_latency_ms(&block, 16, 16);
+        let second = table.block_latency_ms(&block, 16, 16);
+        assert_eq!(first, second);
+        let (hits, misses) = table.hit_miss();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn different_resolution_is_a_different_entry() {
+        let mut table = BlockLatencyTable::new(DeviceProfile::raspberry_pi_4());
+        let block = BlockConfig::new(BlockKind::Rb, 32, 32, 32, 3);
+        let low = table.block_latency_ms(&block, 8, 8);
+        let high = table.block_latency_ms(&block, 32, 32);
+        assert!(high > low);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn estimating_many_children_reuses_profiles() {
+        // same tail block configs at the same resolutions → mostly cache hits
+        let mut table = BlockLatencyTable::new(DeviceProfile::raspberry_pi_4());
+        let arch = zoo::paper_fahana_small(5, 64);
+        table.estimate_ms(&arch);
+        let misses_before = table.hit_miss().1;
+        for _ in 0..10 {
+            table.estimate_ms(&arch);
+        }
+        assert_eq!(table.hit_miss().1, misses_before, "no new profiling needed");
+        assert!(table.hit_miss().0 > 0);
+        assert!(!table.is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for evaluation operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by evaluators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The dataset cannot be used (empty, missing groups, export failure).
+    BadDataset(String),
+    /// The architecture could not be lowered or trained.
+    Architecture(String),
+    /// A lower-level neural-network error occurred during training.
+    Training(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::BadDataset(msg) => write!(f, "dataset error: {msg}"),
+            EvalError::Architecture(msg) => write!(f, "architecture error: {msg}"),
+            EvalError::Training(msg) => write!(f, "training error: {msg}"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+impl From<archspace::ArchError> for EvalError {
+    fn from(err: archspace::ArchError) -> Self {
+        EvalError::Architecture(err.to_string())
+    }
+}
+
+impl From<neural::NeuralError> for EvalError {
+    fn from(err: neural::NeuralError) -> Self {
+        EvalError::Training(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let arch_err = archspace::ArchError::InvalidArchitecture("zero classes".into());
+        let eval: EvalError = arch_err.into();
+        assert!(eval.to_string().contains("zero classes"));
+
+        let neural_err = neural::NeuralError::InvalidConfig("bad".into());
+        let eval: EvalError = neural_err.into();
+        assert!(eval.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<EvalError>();
+    }
+}

@@ -1,0 +1,92 @@
+//! The [`Evaluate`] trait shared by the surrogate and trained back-ends.
+
+use archspace::Architecture;
+use serde::{Deserialize, Serialize};
+
+use crate::fairness::FairnessReport;
+use crate::Result;
+
+/// The outcome of evaluating one candidate architecture: everything the
+/// reward function of Eq. 1 needs on the software side.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessEvaluation {
+    /// Name of the evaluated architecture.
+    pub architecture: String,
+    /// The accuracy/fairness report on the evaluation split.
+    pub report: FairnessReport,
+    /// Number of trainable parameters the evaluation had to fit (differs
+    /// from the architecture's total when a frozen header was reused).
+    pub trained_params: u64,
+}
+
+impl FairnessEvaluation {
+    /// Overall accuracy `A(f'_N, D)`.
+    pub fn accuracy(&self) -> f64 {
+        self.report.overall_accuracy
+    }
+
+    /// Unfairness score `U(f'_N, D)`.
+    pub fn unfairness(&self) -> f64 {
+        self.report.unfairness
+    }
+}
+
+/// An evaluation back-end: maps an architecture to accuracy and fairness on
+/// the dermatology task.
+///
+/// The search loop is generic over this trait, so the surrogate and the
+/// trained evaluator are interchangeable.
+pub trait Evaluate {
+    /// Evaluates a child network whose first `frozen_blocks` blocks reuse
+    /// pretrained (frozen) parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the architecture is invalid or training fails.
+    fn evaluate_with_frozen(
+        &mut self,
+        arch: &Architecture,
+        frozen_blocks: usize,
+    ) -> Result<FairnessEvaluation>;
+
+    /// Evaluates a child network trained end to end (nothing frozen).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the architecture is invalid or training fails.
+    fn evaluate(&mut self, arch: &Architecture) -> Result<FairnessEvaluation> {
+        self.evaluate_with_frozen(arch, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairness::GroupAccuracy;
+    use dermsim::Group;
+
+    #[test]
+    fn accessors_expose_report_fields() {
+        let eval = FairnessEvaluation {
+            architecture: "test".into(),
+            report: FairnessReport::new(
+                0.8,
+                vec![
+                    GroupAccuracy {
+                        group: Group(0),
+                        accuracy: 0.85,
+                        count: 10,
+                    },
+                    GroupAccuracy {
+                        group: Group(1),
+                        accuracy: 0.60,
+                        count: 5,
+                    },
+                ],
+            ),
+            trained_params: 1000,
+        };
+        assert!((eval.accuracy() - 0.8).abs() < 1e-12);
+        assert!((eval.unfairness() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! `evaluator` — accuracy/fairness evaluation of candidate architectures.
+//!
+//! The FaHaNa search loop (paper Figure 4 ➃) needs, for every child network,
+//! the overall accuracy `A(f'_N, D)`, the per-group accuracies
+//! `A(f'_N, D_gk)` and the unfairness score `U(f'_N, D)`. The paper obtains
+//! these by training each child from scratch on a GPU cluster; this crate
+//! offers two interchangeable back-ends behind the [`Evaluate`] trait:
+//!
+//! * [`SurrogateEvaluator`] — an analytic training-outcome model calibrated
+//!   against the accuracy/unfairness values the paper publishes for eleven
+//!   reference networks. It is monotone in the factors the paper identifies
+//!   (model capacity, tail-block expressivity, group imbalance) and is fast
+//!   enough to drive a 500-episode search in milliseconds.
+//! * [`TrainedEvaluator`] — really lowers the architecture with
+//!   [`archspace::lowering`], trains it on a [`dermsim`] dataset with the
+//!   [`neural`] substrate and measures the metrics. Slow, used for spot
+//!   validation and the smaller examples.
+//!
+//! The crate also contains the fairness metric definitions ([`fairness`]),
+//! the layer-wise feature-variation analysis behind the freezing method
+//! ([`variation`]) and the search-cost model used to reproduce Table 2
+//! ([`cost`]).
+
+pub mod cost;
+pub mod error;
+pub mod evaluate;
+pub mod fairness;
+pub mod surrogate;
+pub mod trained;
+pub mod variation;
+
+pub use cost::{SearchCostConfig, SearchCostModel};
+pub use error::EvalError;
+pub use evaluate::{Evaluate, FairnessEvaluation};
+pub use fairness::{unfairness_score, FairnessReport, GroupAccuracy};
+pub use surrogate::{SurrogateConfig, SurrogateEvaluator};
+pub use trained::{TrainedEvaluator, TrainedEvaluatorConfig};
+pub use variation::{feature_variation_by_block, paper_figure3_profile, FeatureVariationProfile};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, EvalError>;

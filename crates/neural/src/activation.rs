@@ -1,0 +1,177 @@
+//! Parameter-free activation layers.
+
+use ftensor::Tensor;
+
+use crate::layer::Layer;
+use crate::{NeuralError, Result};
+
+macro_rules! activation_layer {
+    ($(#[$doc:meta])* $name:ident, $label:literal, $fwd:expr, $grad:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            input_cache: Option<Tensor>,
+        }
+
+        impl $name {
+            /// Creates the activation layer.
+            pub fn new() -> Self {
+                Self { input_cache: None }
+            }
+        }
+
+        impl Layer for $name {
+            fn name(&self) -> &'static str {
+                $label
+            }
+
+            fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+                self.input_cache = Some(input.clone());
+                let fwd: fn(f32) -> f32 = $fwd;
+                Ok(input.map(fwd))
+            }
+
+            fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+                let input = self.input_cache.as_ref().ok_or_else(|| {
+                    NeuralError::MissingForwardCache {
+                        layer: $label.into(),
+                    }
+                })?;
+                let grad_fn: fn(f32) -> f32 = $grad;
+                let local = input.map(grad_fn);
+                Ok(grad_output.mul(&local)?)
+            }
+        }
+    };
+}
+
+activation_layer!(
+    /// Rectified linear unit: `max(0, x)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), neural::NeuralError> {
+    /// use ftensor::Tensor;
+    /// use neural::{Layer, Relu};
+    /// let mut relu = Relu::new();
+    /// let y = relu.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[1, 2])?, false)?;
+    /// assert_eq!(y.as_slice(), &[0.0, 2.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    Relu,
+    "relu",
+    |v| v.max(0.0),
+    |v| if v > 0.0 { 1.0 } else { 0.0 }
+);
+
+activation_layer!(
+    /// ReLU6 activation used inside MobileNetV2-style inverted bottlenecks.
+    Relu6,
+    "relu6",
+    |v| v.clamp(0.0, 6.0),
+    |v| if v > 0.0 && v < 6.0 { 1.0 } else { 0.0 }
+);
+
+activation_layer!(
+    /// Logistic sigmoid activation (used by the LSTM controller gates).
+    Sigmoid,
+    "sigmoid",
+    |v| 1.0 / (1.0 + (-v).exp()),
+    |v| {
+        let s = 1.0 / (1.0 + (-v).exp());
+        s * (1.0 - s)
+    }
+);
+
+activation_layer!(
+    /// Hyperbolic tangent activation.
+    Tanh,
+    "tanh",
+    |v| v.tanh(),
+    |v| 1.0 - v.tanh() * v.tanh()
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftensor::{Initializer, SeededRng};
+
+    fn finite_difference<L: Layer>(layer: &mut L, input: &Tensor) {
+        let eps = 1e-3f32;
+        let out = layer.forward(input, true).unwrap();
+        let grad_in = layer.backward(&Tensor::ones(out.dims())).unwrap();
+        for idx in 0..input.len() {
+            let x = input.as_slice()[idx];
+            // skip points near the kinks of piecewise-linear activations
+            if x.abs() < 0.05 || (x - 6.0).abs() < 0.05 {
+                continue;
+            }
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (layer.forward(&plus, true).unwrap().sum()
+                - layer.forward(&minus, true).unwrap().sum())
+                / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.as_slice()[idx]).abs() < 1e-2,
+                "gradient mismatch at {idx}: numeric={numeric} analytic={}",
+                grad_in.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_gradient_matches() {
+        let mut rng = SeededRng::new(0);
+        let x = Initializer::XavierUniform.create(&mut rng, &[2, 6], 6, 6).scale(3.0);
+        finite_difference(&mut Relu::new(), &x);
+    }
+
+    #[test]
+    fn relu6_gradient_matches() {
+        let mut rng = SeededRng::new(1);
+        let x = Initializer::XavierUniform.create(&mut rng, &[2, 6], 6, 6).scale(8.0);
+        finite_difference(&mut Relu6::new(), &x);
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches() {
+        let mut rng = SeededRng::new(2);
+        let x = Initializer::XavierUniform.create(&mut rng, &[2, 6], 6, 6).scale(2.0);
+        finite_difference(&mut Sigmoid::new(), &x);
+    }
+
+    #[test]
+    fn tanh_gradient_matches() {
+        let mut rng = SeededRng::new(3);
+        let x = Initializer::XavierUniform.create(&mut rng, &[2, 6], 6, 6).scale(2.0);
+        finite_difference(&mut Tanh::new(), &x);
+    }
+
+    #[test]
+    fn activations_have_no_parameters() {
+        assert_eq!(Relu::new().param_count(), 0);
+        assert_eq!(Relu6::new().param_count(), 0);
+        assert_eq!(Sigmoid::new().param_count(), 0);
+        assert_eq!(Tanh::new().param_count(), 0);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::ones(&[1, 1])).is_err());
+    }
+
+    #[test]
+    fn relu6_saturates_above_six() {
+        let mut layer = Relu6::new();
+        let x = Tensor::from_vec(vec![-2.0, 3.0, 9.0], &[1, 3]).unwrap();
+        let y = layer.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 3.0, 6.0]);
+        let g = layer.backward(&Tensor::ones(&[1, 3])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+}

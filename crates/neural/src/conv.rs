@@ -1,0 +1,599 @@
+//! 2-D convolution layers (standard and depthwise), NCHW layout.
+
+use ftensor::{Initializer, SeededRng, Tensor};
+
+use crate::layer::{Layer, ParamSet, TrainableFlag};
+use crate::{NeuralError, Result};
+
+/// Computes the spatial output extent of a convolution.
+fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    (input + 2 * padding).saturating_sub(kernel) / stride + 1
+}
+
+/// Standard 2-D convolution over NCHW tensors.
+///
+/// Weight layout is `(out_channels, in_channels, k, k)`. The layer backs the
+/// CB (plain convolution) search-space block and the stems/classifier paths
+/// of the lowered child networks.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), neural::NeuralError> {
+/// use ftensor::{SeededRng, Tensor};
+/// use neural::{Conv2d, Layer};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng)?;
+/// let y = conv.forward(&Tensor::zeros(&[2, 3, 8, 8]), false)?;
+/// assert_eq!(y.dims(), &[2, 8, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    input_cache: Option<Tensor>,
+    trainable: TrainableFlag,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with He-normal initialised weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidConfig`] if any dimension or the stride
+    /// is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut SeededRng,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0 {
+            return Err(NeuralError::InvalidConfig(
+                "conv dimensions and stride must be non-zero".into(),
+            ));
+        }
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = Initializer::HeNormal.create(
+            rng,
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            fan_out,
+        );
+        Ok(Conv2d {
+            weight,
+            bias: Tensor::zeros(&[out_channels]),
+            weight_grad: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
+            bias_grad: Tensor::zeros(&[out_channels]),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            input_cache: None,
+            trainable: TrainableFlag::new(),
+        })
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
+        match input.dims() {
+            [n, c, h, w] if *c == self.in_channels => Ok((*n, *h, *w)),
+            dims => Err(NeuralError::BadInputShape {
+                layer: "conv2d".into(),
+                expected: format!("(batch, {}, h, w)", self.in_channels),
+                actual: dims.to_vec(),
+            }),
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let (n, h, w) = self.check_input(input)?;
+        let (oh, ow) = (
+            conv_out_dim(h, self.kernel, self.stride, self.padding),
+            conv_out_dim(w, self.kernel, self.stride, self.padding),
+        );
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let x = input.as_slice();
+        let wgt = self.weight.as_slice();
+        let b = self.bias.as_slice();
+        let o = out.as_mut_slice();
+        let (ic, k, s, p) = (self.in_channels, self.kernel, self.stride, self.padding);
+        for bi in 0..n {
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b[oc];
+                        for ci in 0..ic {
+                            for ky in 0..k {
+                                let iy = (oy * s + ky) as isize - p as isize;
+                                if iy < 0 || iy as usize >= h {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = (ox * s + kx) as isize - p as isize;
+                                    if ix < 0 || ix as usize >= w {
+                                        continue;
+                                    }
+                                    let xi = ((bi * ic + ci) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((oc * ic + ci) * k + ky) * k + kx;
+                                    acc += x[xi] * wgt[wi];
+                                }
+                            }
+                        }
+                        o[((bi * self.out_channels + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.input_cache = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .input_cache
+            .as_ref()
+            .ok_or_else(|| NeuralError::MissingForwardCache {
+                layer: "conv2d".into(),
+            })?
+            .clone();
+        let (n, h, w) = self.check_input(&input)?;
+        let (oh, ow) = (
+            conv_out_dim(h, self.kernel, self.stride, self.padding),
+            conv_out_dim(w, self.kernel, self.stride, self.padding),
+        );
+        if grad_output.dims() != [n, self.out_channels, oh, ow] {
+            return Err(NeuralError::BadInputShape {
+                layer: "conv2d-backward".into(),
+                expected: format!("({n}, {}, {oh}, {ow})", self.out_channels),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let mut grad_input = Tensor::zeros(input.dims());
+        let x = input.as_slice();
+        let wgt = self.weight.as_slice();
+        let go = grad_output.as_slice();
+        let gi = grad_input.as_mut_slice();
+        let gw = self.weight_grad.as_mut_slice();
+        let gb = self.bias_grad.as_mut_slice();
+        let (ic, k, s, p) = (self.in_channels, self.kernel, self.stride, self.padding);
+        for bi in 0..n {
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[((bi * self.out_channels + oc) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += g;
+                        for ci in 0..ic {
+                            for ky in 0..k {
+                                let iy = (oy * s + ky) as isize - p as isize;
+                                if iy < 0 || iy as usize >= h {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = (ox * s + kx) as isize - p as isize;
+                                    if ix < 0 || ix as usize >= w {
+                                        continue;
+                                    }
+                                    let xi = ((bi * ic + ci) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((oc * ic + ci) * k + ky) * k + kx;
+                                    gw[wi] += g * x[xi];
+                                    gi[xi] += g * wgt[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamSet<'_>)) {
+        if self.trainable.enabled() {
+            visitor(ParamSet {
+                name: "weight",
+                value: &mut self.weight,
+                grad: &mut self.weight_grad,
+            });
+            visitor(ParamSet {
+                name: "bias",
+                value: &mut self.bias,
+                grad: &mut self.bias_grad,
+            });
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn set_trainable(&mut self, trainable: bool) {
+        self.trainable.set(trainable);
+    }
+
+    fn is_trainable(&self) -> bool {
+        self.trainable.enabled()
+    }
+}
+
+/// Depthwise 2-D convolution: every input channel is convolved with its own
+/// `k × k` filter (channel multiplier 1), as used by the MB/DB blocks of
+/// MobileNetV2 and the paper's search space.
+///
+/// Weight layout is `(channels, k, k)`.
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    weight: Tensor,
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    input_cache: Option<Tensor>,
+    trainable: TrainableFlag,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidConfig`] if `channels`, `kernel` or
+    /// `stride` is zero.
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut SeededRng,
+    ) -> Result<Self> {
+        if channels == 0 || kernel == 0 || stride == 0 {
+            return Err(NeuralError::InvalidConfig(
+                "depthwise conv dimensions and stride must be non-zero".into(),
+            ));
+        }
+        let fan = kernel * kernel;
+        let weight = Initializer::HeNormal.create(rng, &[channels, kernel, kernel], fan, fan);
+        Ok(DepthwiseConv2d {
+            weight,
+            bias: Tensor::zeros(&[channels]),
+            weight_grad: Tensor::zeros(&[channels, kernel, kernel]),
+            bias_grad: Tensor::zeros(&[channels]),
+            channels,
+            kernel,
+            stride,
+            padding,
+            input_cache: None,
+            trainable: TrainableFlag::new(),
+        })
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize)> {
+        match input.dims() {
+            [n, c, h, w] if *c == self.channels => Ok((*n, *h, *w)),
+            dims => Err(NeuralError::BadInputShape {
+                layer: "dwconv2d".into(),
+                expected: format!("(batch, {}, h, w)", self.channels),
+                actual: dims.to_vec(),
+            }),
+        }
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn name(&self) -> &'static str {
+        "dwconv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let (n, h, w) = self.check_input(input)?;
+        let (oh, ow) = (
+            conv_out_dim(h, self.kernel, self.stride, self.padding),
+            conv_out_dim(w, self.kernel, self.stride, self.padding),
+        );
+        let mut out = Tensor::zeros(&[n, self.channels, oh, ow]);
+        let x = input.as_slice();
+        let wgt = self.weight.as_slice();
+        let b = self.bias.as_slice();
+        let o = out.as_mut_slice();
+        let (k, s, p) = (self.kernel, self.stride, self.padding);
+        for bi in 0..n {
+            for c in 0..self.channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b[c];
+                        for ky in 0..k {
+                            let iy = (oy * s + ky) as isize - p as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * s + kx) as isize - p as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let xi = ((bi * self.channels + c) * h + iy as usize) * w
+                                    + ix as usize;
+                                let wi = (c * k + ky) * k + kx;
+                                acc += x[xi] * wgt[wi];
+                            }
+                        }
+                        o[((bi * self.channels + c) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.input_cache = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .input_cache
+            .as_ref()
+            .ok_or_else(|| NeuralError::MissingForwardCache {
+                layer: "dwconv2d".into(),
+            })?
+            .clone();
+        let (n, h, w) = self.check_input(&input)?;
+        let (oh, ow) = (
+            conv_out_dim(h, self.kernel, self.stride, self.padding),
+            conv_out_dim(w, self.kernel, self.stride, self.padding),
+        );
+        if grad_output.dims() != [n, self.channels, oh, ow] {
+            return Err(NeuralError::BadInputShape {
+                layer: "dwconv2d-backward".into(),
+                expected: format!("({n}, {}, {oh}, {ow})", self.channels),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let mut grad_input = Tensor::zeros(input.dims());
+        let x = input.as_slice();
+        let wgt = self.weight.as_slice();
+        let go = grad_output.as_slice();
+        let gi = grad_input.as_mut_slice();
+        let gw = self.weight_grad.as_mut_slice();
+        let gb = self.bias_grad.as_mut_slice();
+        let (k, s, p) = (self.kernel, self.stride, self.padding);
+        for bi in 0..n {
+            for c in 0..self.channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[((bi * self.channels + c) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[c] += g;
+                        for ky in 0..k {
+                            let iy = (oy * s + ky) as isize - p as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * s + kx) as isize - p as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let xi =
+                                    ((bi * self.channels + c) * h + iy as usize) * w + ix as usize;
+                                let wi = (c * k + ky) * k + kx;
+                                gw[wi] += g * x[xi];
+                                gi[xi] += g * wgt[wi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamSet<'_>)) {
+        if self.trainable.enabled() {
+            visitor(ParamSet {
+                name: "weight",
+                value: &mut self.weight,
+                grad: &mut self.weight_grad,
+            });
+            visitor(ParamSet {
+                name: "bias",
+                value: &mut self.bias,
+                grad: &mut self.bias_grad,
+            });
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn set_trainable(&mut self, trainable: bool) {
+        self.trainable.set(trainable);
+    }
+
+    fn is_trainable(&self) -> bool {
+        self.trainable.enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dims_follow_conv_arithmetic() {
+        assert_eq!(conv_out_dim(8, 3, 1, 1), 8);
+        assert_eq!(conv_out_dim(8, 3, 2, 1), 4);
+        assert_eq!(conv_out_dim(7, 3, 2, 1), 4);
+        assert_eq!(conv_out_dim(8, 1, 1, 0), 8);
+    }
+
+    #[test]
+    fn conv_identity_kernel_preserves_input() {
+        let mut rng = SeededRng::new(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng).unwrap();
+        // force weight to 1.0 so the layer is the identity
+        conv.weight = Tensor::ones(&[1, 1, 1, 1]);
+        conv.bias = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_stride_two_halves_spatial_dims() {
+        let mut rng = SeededRng::new(1);
+        let mut conv = Conv2d::new(3, 4, 3, 2, 1, &mut rng).unwrap();
+        let y = conv.forward(&Tensor::zeros(&[2, 3, 8, 8]), false).unwrap();
+        assert_eq!(y.dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channel_count() {
+        let mut rng = SeededRng::new(2);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng).unwrap();
+        assert!(conv.forward(&Tensor::zeros(&[1, 2, 8, 8]), false).is_err());
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = SeededRng::new(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng).unwrap();
+        let x = Initializer::HeNormal.create(&mut rng, &[1, 2, 5, 5], 18, 27);
+        let out = conv.forward(&x, true).unwrap();
+        conv.zero_grad();
+        let grad_in = conv.backward(&Tensor::ones(out.dims())).unwrap();
+        let analytic_w = conv.weight_grad.clone();
+        let eps = 1e-2f32;
+        // input gradient spot checks
+        for idx in [0usize, 12, x.len() - 1] {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (conv.forward(&plus, true).unwrap().sum()
+                - conv.forward(&minus, true).unwrap().sum())
+                / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.as_slice()[idx]).abs() < 2e-2,
+                "input grad mismatch at {idx}"
+            );
+        }
+        // weight gradient spot checks
+        for idx in [0usize, analytic_w.len() / 2, analytic_w.len() - 1] {
+            let original = conv.weight.as_slice()[idx];
+            conv.weight.as_mut_slice()[idx] = original + eps;
+            let f_plus = conv.forward(&x, true).unwrap().sum();
+            conv.weight.as_mut_slice()[idx] = original - eps;
+            let f_minus = conv.forward(&x, true).unwrap().sum();
+            conv.weight.as_mut_slice()[idx] = original;
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_w.as_slice()[idx]).abs() < 2e-2,
+                "weight grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_preserves_channel_count() {
+        let mut rng = SeededRng::new(4);
+        let mut dw = DepthwiseConv2d::new(6, 3, 1, 1, &mut rng).unwrap();
+        let y = dw.forward(&Tensor::zeros(&[1, 6, 8, 8]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 6, 8, 8]);
+    }
+
+    #[test]
+    fn depthwise_gradients_match_finite_differences() {
+        let mut rng = SeededRng::new(5);
+        let mut dw = DepthwiseConv2d::new(2, 3, 1, 1, &mut rng).unwrap();
+        let x = Initializer::HeNormal.create(&mut rng, &[1, 2, 4, 4], 9, 9);
+        let out = dw.forward(&x, true).unwrap();
+        dw.zero_grad();
+        let grad_in = dw.backward(&Tensor::ones(out.dims())).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, x.len() / 2, x.len() - 1] {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (dw.forward(&plus, true).unwrap().sum()
+                - dw.forward(&minus, true).unwrap().sum())
+                / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.as_slice()[idx]).abs() < 2e-2,
+                "depthwise input grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_channel_isolation() {
+        // Zeroing one input channel must not change outputs of other channels.
+        let mut rng = SeededRng::new(6);
+        let mut dw = DepthwiseConv2d::new(2, 3, 1, 1, &mut rng).unwrap();
+        let mut x = Initializer::HeNormal.create(&mut rng, &[1, 2, 4, 4], 9, 9);
+        let base = dw.forward(&x, false).unwrap();
+        for v in x.as_mut_slice()[0..16].iter_mut() {
+            *v = 0.0;
+        }
+        let altered = dw.forward(&x, false).unwrap();
+        // channel 1 (second half) must be identical
+        assert_eq!(&base.as_slice()[16..], &altered.as_slice()[16..]);
+    }
+
+    #[test]
+    fn constructors_reject_zero_dims() {
+        let mut rng = SeededRng::new(7);
+        assert!(Conv2d::new(0, 1, 3, 1, 1, &mut rng).is_err());
+        assert!(Conv2d::new(1, 1, 3, 0, 1, &mut rng).is_err());
+        assert!(DepthwiseConv2d::new(0, 3, 1, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = SeededRng::new(8);
+        let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng).unwrap();
+        assert_eq!(conv.param_count(), 8 * 3 * 3 * 3 + 8);
+        let dw = DepthwiseConv2d::new(8, 5, 1, 2, &mut rng).unwrap();
+        assert_eq!(dw.param_count(), 8 * 5 * 5 + 8);
+    }
+
+    #[test]
+    fn freezing_hides_conv_params() {
+        let mut rng = SeededRng::new(9);
+        let mut conv = Conv2d::new(2, 2, 3, 1, 1, &mut rng).unwrap();
+        assert!(conv.trainable_param_count() > 0);
+        conv.set_trainable(false);
+        assert_eq!(conv.trainable_param_count(), 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The [`Layer`] trait and parameter bookkeeping shared by all layers.
+
+use ftensor::Tensor;
+
+use crate::Result;
+
+/// A named parameter tensor paired with its gradient accumulator.
+///
+/// Layers expose their parameters through [`Layer::visit_params`] so that
+/// optimizers can update them and the trainer can count them, without the
+/// optimizer knowing anything about layer internals.
+#[derive(Debug)]
+pub struct ParamSet<'a> {
+    /// Stable name of the parameter within its layer (e.g. `"weight"`).
+    pub name: &'a str,
+    /// The parameter values, updated in place by optimizers.
+    pub value: &'a mut Tensor,
+    /// The gradient accumulated by the most recent backward pass.
+    pub grad: &'a mut Tensor,
+}
+
+/// A differentiable network component.
+///
+/// Layers own their parameters, gradients and the forward-pass cache needed
+/// by `backward`. The contract is:
+///
+/// 1. `forward` must be called before `backward`;
+/// 2. `backward` receives `dL/d(output)` and returns `dL/d(input)` while
+///    accumulating parameter gradients internally;
+/// 3. `visit_params` yields parameters only when the layer is trainable, so
+///    frozen (header) layers are invisible to the optimizer — this is how the
+///    producer's freezing method reduces trainable parameters.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Human-readable layer kind, used in error messages and summaries.
+    fn name(&self) -> &'static str;
+
+    /// Runs the layer on a batch, caching whatever `backward` will need.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Propagates the loss gradient through the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NeuralError::MissingForwardCache`] if called before
+    /// `forward`, or a shape error if `grad_output` is malformed.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Visits every trainable parameter of the layer.
+    ///
+    /// The default implementation visits nothing (parameter-free layers).
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(ParamSet<'_>)) {}
+
+    /// Total number of parameters the layer owns (independent of freezing).
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Number of parameters currently visible to optimizers.
+    fn trainable_param_count(&mut self) -> usize {
+        let mut n = 0usize;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+
+    /// Clears accumulated gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.grad.fill_zero());
+    }
+
+    /// Marks the layer as trainable or frozen. Frozen layers keep their
+    /// parameters but stop exposing them through [`Layer::visit_params`].
+    fn set_trainable(&mut self, _trainable: bool) {}
+
+    /// Whether the layer currently exposes parameters for training.
+    fn is_trainable(&self) -> bool {
+        true
+    }
+}
+
+/// Helper used by layers with a `trainable` flag to implement
+/// [`Layer::visit_params`] uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainableFlag {
+    trainable: bool,
+}
+
+impl TrainableFlag {
+    /// A new, trainable flag.
+    pub fn new() -> Self {
+        TrainableFlag { trainable: true }
+    }
+
+    /// Returns whether parameters should currently be exposed.
+    pub fn enabled(&self) -> bool {
+        self.trainable
+    }
+
+    /// Sets the flag.
+    pub fn set(&mut self, trainable: bool) {
+        self.trainable = trainable;
+    }
+}
+
+impl Default for TrainableFlag {
+    fn default() -> Self {
+        TrainableFlag::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal layer used to exercise the default trait methods.
+    #[derive(Debug)]
+    struct Bias {
+        value: Tensor,
+        grad: Tensor,
+        flag: TrainableFlag,
+        cache: bool,
+    }
+
+    impl Bias {
+        fn new(n: usize) -> Self {
+            Bias {
+                value: Tensor::zeros(&[n]),
+                grad: Tensor::zeros(&[n]),
+                flag: TrainableFlag::new(),
+                cache: false,
+            }
+        }
+    }
+
+    impl Layer for Bias {
+        fn name(&self) -> &'static str {
+            "bias"
+        }
+
+        fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+            self.cache = true;
+            Ok(input.add_row_broadcast(&self.value)?)
+        }
+
+        fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+            if !self.cache {
+                return Err(crate::NeuralError::MissingForwardCache {
+                    layer: "bias".into(),
+                });
+            }
+            let col_sum = grad_output.sum_axis(0)?;
+            self.grad.add_assign(&col_sum)?;
+            Ok(grad_output.clone())
+        }
+
+        fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamSet<'_>)) {
+            if self.flag.enabled() {
+                visitor(ParamSet {
+                    name: "bias",
+                    value: &mut self.value,
+                    grad: &mut self.grad,
+                });
+            }
+        }
+
+        fn param_count(&self) -> usize {
+            self.value.len()
+        }
+
+        fn set_trainable(&mut self, trainable: bool) {
+            self.flag.set(trainable);
+        }
+
+        fn is_trainable(&self) -> bool {
+            self.flag.enabled()
+        }
+    }
+
+    #[test]
+    fn trainable_param_count_respects_freezing() {
+        let mut layer = Bias::new(4);
+        assert_eq!(layer.param_count(), 4);
+        assert_eq!(layer.trainable_param_count(), 4);
+        layer.set_trainable(false);
+        assert_eq!(layer.trainable_param_count(), 0);
+        assert_eq!(layer.param_count(), 4, "raw count unaffected by freezing");
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulated_gradient() {
+        let mut layer = Bias::new(2);
+        let x = Tensor::ones(&[3, 2]);
+        let y = layer.forward(&x, true).unwrap();
+        layer.backward(&Tensor::ones(&[3, 2])).unwrap();
+        assert_eq!(layer.grad.as_slice(), &[3.0, 3.0]);
+        layer.zero_grad();
+        assert_eq!(layer.grad.as_slice(), &[0.0, 0.0]);
+        assert_eq!(y.dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn backward_before_forward_is_an_error() {
+        let mut layer = Bias::new(2);
+        assert!(layer.backward(&Tensor::ones(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn trainable_flag_defaults_to_enabled() {
+        assert!(TrainableFlag::default().enabled());
+    }
+}

@@ -1,0 +1,169 @@
+//! Losses and classification metrics.
+
+use ftensor::Tensor;
+
+use crate::{NeuralError, Result};
+
+/// Output of a loss computation: the scalar loss plus the gradient with
+/// respect to the logits, ready to feed into `Layer::backward`.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy over a batch of logits.
+///
+/// `logits` has shape `(batch, classes)`; `labels` holds one class index per
+/// batch row. The returned gradient is `(softmax(logits) − one_hot) / batch`,
+/// i.e. already averaged, so callers can pass it straight to `backward`.
+///
+/// # Errors
+///
+/// Returns [`NeuralError::LabelMismatch`] if the label count differs from the
+/// batch size or any label is out of range.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), neural::NeuralError> {
+/// use ftensor::Tensor;
+/// use neural::softmax_cross_entropy;
+///
+/// let logits = Tensor::from_vec(vec![5.0, 0.0, 0.0, 5.0], &[2, 2])?;
+/// let out = softmax_cross_entropy(&logits, &[0, 1])?;
+/// assert!(out.loss < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    let (batch, classes) = logits.shape().as_matrix()?;
+    if labels.len() != batch {
+        return Err(NeuralError::LabelMismatch {
+            predictions: batch,
+            labels: labels.len(),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        return Err(NeuralError::LabelMismatch {
+            predictions: classes,
+            labels: bad,
+        });
+    }
+    let probs = logits.softmax()?;
+    let p = probs.as_slice();
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let g = grad.as_mut_slice();
+    for (row, &label) in labels.iter().enumerate() {
+        let prob = p[row * classes + label].max(1e-12);
+        loss -= prob.ln();
+        g[row * classes + label] -= 1.0;
+    }
+    let scale = 1.0 / batch.max(1) as f32;
+    Ok(LossOutput {
+        loss: loss * scale,
+        grad: grad.scale(scale),
+    })
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Errors
+///
+/// Returns [`NeuralError::LabelMismatch`] if the label count differs from the
+/// batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let (batch, _) = logits.shape().as_matrix()?;
+    if labels.len() != batch {
+        return Err(NeuralError::LabelMismatch {
+            predictions: batch,
+            labels: labels.len(),
+        });
+    }
+    if batch == 0 {
+        return Ok(0.0);
+    }
+    let flat = logits.reshape(&[batch, logits.len() / batch])?;
+    let predictions = flat.argmax_rows()?;
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f32 / batch as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(out.loss < 0.01);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_classes_loss() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let out = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_points_away_from_wrong_class() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let out = softmax_cross_entropy(&logits, &[0]).unwrap();
+        // gradient for the true class is negative, the other positive
+        assert!(out.grad.as_slice()[0] < 0.0);
+        assert!(out.grad.as_slice()[1] > 0.0);
+        // gradients sum to ~0 per row
+        assert!(out.grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.0, -0.5], &[2, 3]).unwrap();
+        let labels = [2usize, 0usize];
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let lp = softmax_cross_entropy(&plus, &labels).unwrap().loss;
+            let lm = softmax_cross_entropy(&minus, &labels).unwrap().loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - out.grad.as_slice()[idx]).abs() < 1e-3,
+                "gradient mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_label_count_mismatch_and_out_of_range() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.2, 0.8], &[3, 2]).unwrap();
+        let acc = accuracy(&logits, &[0, 1, 0]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_rejects_mismatched_labels() {
+        let logits = Tensor::zeros(&[2, 2]);
+        assert!(accuracy(&logits, &[0]).is_err());
+    }
+}

@@ -1,0 +1,473 @@
+//! LSTM cell with backpropagation through time, used by the NAS controller.
+
+use ftensor::{Initializer, SeededRng, Tensor};
+
+use crate::layer::{Layer, ParamSet, TrainableFlag};
+use crate::{NeuralError, Result};
+
+/// Hidden and cell state carried between LSTM steps.
+#[derive(Debug, Clone)]
+pub struct LstmState {
+    /// Hidden state, shape `(batch, hidden)`.
+    pub h: Tensor,
+    /// Cell state, shape `(batch, hidden)`.
+    pub c: Tensor,
+}
+
+impl LstmState {
+    /// A zero state for the given batch size and hidden width.
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        LstmState {
+            h: Tensor::zeros(&[batch, hidden]),
+            c: Tensor::zeros(&[batch, hidden]),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Tensor,
+    h_prev: Tensor,
+    c_prev: Tensor,
+    i: Tensor,
+    f: Tensor,
+    g: Tensor,
+    o: Tensor,
+    c_new: Tensor,
+}
+
+/// A single-layer LSTM cell.
+///
+/// The FaHaNa controller (paper Section 3.2 ➀) is an RNN that emits one
+/// architecture decision per step and is updated with the Monte-Carlo policy
+/// gradient of Eq. 2. That update needs gradients of the log-probabilities
+/// with respect to the recurrent parameters across the whole episode, so the
+/// cell records per-step caches in [`LstmCell::step`] and replays them in
+/// [`LstmCell::backward_through_time`].
+///
+/// Gate layout in the packed weight matrices is `[input, forget, cell, output]`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), neural::NeuralError> {
+/// use ftensor::{SeededRng, Tensor};
+/// use neural::{LstmCell, LstmState};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut cell = LstmCell::new(8, 16, &mut rng)?;
+/// let state = LstmState::zeros(1, 16);
+/// let next = cell.step(&Tensor::zeros(&[1, 8]), &state)?;
+/// assert_eq!(next.h.dims(), &[1, 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LstmCell {
+    weight_x: Tensor,
+    weight_h: Tensor,
+    bias: Tensor,
+    weight_x_grad: Tensor,
+    weight_h_grad: Tensor,
+    bias_grad: Tensor,
+    input_size: usize,
+    hidden_size: usize,
+    caches: Vec<StepCache>,
+    trainable: TrainableFlag,
+}
+
+impl LstmCell {
+    /// Creates a cell with small-uniform initialised weights and a forget
+    /// gate bias of 1 (the usual trick to keep memory open early in
+    /// training).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InvalidConfig`] if either size is zero.
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut SeededRng) -> Result<Self> {
+        if input_size == 0 || hidden_size == 0 {
+            return Err(NeuralError::InvalidConfig(
+                "lstm sizes must be non-zero".into(),
+            ));
+        }
+        let weight_x = Initializer::SmallUniform.create(
+            rng,
+            &[input_size, 4 * hidden_size],
+            input_size,
+            hidden_size,
+        );
+        let weight_h = Initializer::SmallUniform.create(
+            rng,
+            &[hidden_size, 4 * hidden_size],
+            hidden_size,
+            hidden_size,
+        );
+        let mut bias = Tensor::zeros(&[4 * hidden_size]);
+        for idx in hidden_size..2 * hidden_size {
+            bias.as_mut_slice()[idx] = 1.0;
+        }
+        Ok(LstmCell {
+            weight_x_grad: Tensor::zeros(weight_x.dims()),
+            weight_h_grad: Tensor::zeros(weight_h.dims()),
+            bias_grad: Tensor::zeros(bias.dims()),
+            weight_x,
+            weight_h,
+            bias,
+            input_size,
+            hidden_size,
+            caches: Vec::new(),
+            trainable: TrainableFlag::new(),
+        })
+    }
+
+    /// The hidden width of the cell.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// The input width of the cell.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Number of recorded steps since the last [`LstmCell::clear_cache`].
+    pub fn recorded_steps(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Discards the recorded step caches (call at the start of each episode).
+    pub fn clear_cache(&mut self) {
+        self.caches.clear();
+    }
+
+    /// Runs one LSTM step and records the cache needed for BPTT.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` is not `(batch, input_size)` or the state
+    /// widths do not match the cell.
+    pub fn step(&mut self, x: &Tensor, state: &LstmState) -> Result<LstmState> {
+        let (batch, in_features) = x.shape().as_matrix()?;
+        if in_features != self.input_size {
+            return Err(NeuralError::BadInputShape {
+                layer: "lstm".into(),
+                expected: format!("(batch, {})", self.input_size),
+                actual: x.dims().to_vec(),
+            });
+        }
+        if state.h.dims() != [batch, self.hidden_size] || state.c.dims() != [batch, self.hidden_size]
+        {
+            return Err(NeuralError::BadInputShape {
+                layer: "lstm-state".into(),
+                expected: format!("({batch}, {})", self.hidden_size),
+                actual: state.h.dims().to_vec(),
+            });
+        }
+        let gates = x
+            .matmul(&self.weight_x)?
+            .add(&state.h.matmul(&self.weight_h)?)?
+            .add_row_broadcast(&self.bias)?;
+        let h = self.hidden_size;
+        let gate_slice = gates.as_slice();
+        let mut i = vec![0.0f32; batch * h];
+        let mut f = vec![0.0f32; batch * h];
+        let mut g = vec![0.0f32; batch * h];
+        let mut o = vec![0.0f32; batch * h];
+        for b in 0..batch {
+            for j in 0..h {
+                let row = &gate_slice[b * 4 * h..(b + 1) * 4 * h];
+                i[b * h + j] = sigmoid(row[j]);
+                f[b * h + j] = sigmoid(row[h + j]);
+                g[b * h + j] = row[2 * h + j].tanh();
+                o[b * h + j] = sigmoid(row[3 * h + j]);
+            }
+        }
+        let i = Tensor::from_vec(i, &[batch, h])?;
+        let f = Tensor::from_vec(f, &[batch, h])?;
+        let g = Tensor::from_vec(g, &[batch, h])?;
+        let o = Tensor::from_vec(o, &[batch, h])?;
+        let c_new = f.mul(&state.c)?.add(&i.mul(&g)?)?;
+        let h_new = o.mul(&c_new.tanh())?;
+        self.caches.push(StepCache {
+            x: x.clone(),
+            h_prev: state.h.clone(),
+            c_prev: state.c.clone(),
+            i,
+            f,
+            g,
+            o,
+            c_new: c_new.clone(),
+        });
+        Ok(LstmState { h: h_new, c: c_new })
+    }
+
+    /// Backpropagates through every recorded step.
+    ///
+    /// `grad_h` supplies `dL/dh_t` for each recorded step, in step order
+    /// (entries may be zero tensors for steps without a direct loss
+    /// contribution). Parameter gradients are accumulated into the cell;
+    /// the returned vector holds `dL/dx_t` per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `grad_h.len()` differs from the number of
+    /// recorded steps or shapes are inconsistent.
+    pub fn backward_through_time(&mut self, grad_h: &[Tensor]) -> Result<Vec<Tensor>> {
+        if grad_h.len() != self.caches.len() {
+            return Err(NeuralError::InvalidConfig(format!(
+                "got {} hidden gradients for {} recorded steps",
+                grad_h.len(),
+                self.caches.len()
+            )));
+        }
+        if self.caches.is_empty() {
+            return Ok(Vec::new());
+        }
+        let h = self.hidden_size;
+        let batch = self.caches[0].x.dims()[0];
+        let mut grad_inputs = vec![Tensor::zeros(&[batch, self.input_size]); self.caches.len()];
+        let mut d_h_next = Tensor::zeros(&[batch, h]);
+        let mut d_c_next = Tensor::zeros(&[batch, h]);
+        for t in (0..self.caches.len()).rev() {
+            let cache = self.caches[t].clone();
+            let dh_total = grad_h[t].add(&d_h_next)?;
+            let tanh_c = cache.c_new.tanh();
+            // dL/do and dL/dc
+            let d_o = dh_total.mul(&tanh_c)?;
+            let one_minus_tanh2 = tanh_c.map(|v| 1.0 - v * v);
+            let d_c = dh_total
+                .mul(&cache.o)?
+                .mul(&one_minus_tanh2)?
+                .add(&d_c_next)?;
+            let d_i = d_c.mul(&cache.g)?;
+            let d_g = d_c.mul(&cache.i)?;
+            let d_f = d_c.mul(&cache.c_prev)?;
+            d_c_next = d_c.mul(&cache.f)?;
+            // pre-activation gradients
+            let d_gi = d_i.mul(&cache.i.map(|v| v * (1.0 - v)).reshape(cache.i.dims())?)?;
+            let d_gf = d_f.mul(&cache.f.map(|v| v * (1.0 - v)))?;
+            let d_gg = d_g.mul(&cache.g.map(|v| 1.0 - v * v))?;
+            let d_go = d_o.mul(&cache.o.map(|v| v * (1.0 - v)))?;
+            // pack into (batch, 4h)
+            let mut packed = vec![0.0f32; batch * 4 * h];
+            for b in 0..batch {
+                for j in 0..h {
+                    packed[b * 4 * h + j] = d_gi.as_slice()[b * h + j];
+                    packed[b * 4 * h + h + j] = d_gf.as_slice()[b * h + j];
+                    packed[b * 4 * h + 2 * h + j] = d_gg.as_slice()[b * h + j];
+                    packed[b * 4 * h + 3 * h + j] = d_go.as_slice()[b * h + j];
+                }
+            }
+            let d_gates = Tensor::from_vec(packed, &[batch, 4 * h])?;
+            // parameter gradients
+            self.weight_x_grad
+                .add_assign(&cache.x.transpose()?.matmul(&d_gates)?)?;
+            self.weight_h_grad
+                .add_assign(&cache.h_prev.transpose()?.matmul(&d_gates)?)?;
+            self.bias_grad.add_assign(&d_gates.sum_axis(0)?)?;
+            // input and previous-hidden gradients
+            grad_inputs[t] = d_gates.matmul(&self.weight_x.transpose()?)?;
+            d_h_next = d_gates.matmul(&self.weight_h.transpose()?)?;
+        }
+        Ok(grad_inputs)
+    }
+}
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+impl Layer for LstmCell {
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+
+    /// Runs a single step from a zero state; provided so the cell can be
+    /// driven by generic [`Layer`] tooling (optimizers, counting).
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let (batch, _) = input.shape().as_matrix()?;
+        let state = LstmState::zeros(batch, self.hidden_size);
+        Ok(self.step(input, &state)?.h)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        if self.caches.is_empty() {
+            return Err(NeuralError::MissingForwardCache {
+                layer: "lstm".into(),
+            });
+        }
+        let mut grads = vec![Tensor::zeros(grad_output.dims()); self.caches.len()];
+        let last = grads.len() - 1;
+        grads[last] = grad_output.clone();
+        let inputs = self.backward_through_time(&grads)?;
+        Ok(inputs.into_iter().last().unwrap_or_default())
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamSet<'_>)) {
+        if self.trainable.enabled() {
+            visitor(ParamSet {
+                name: "weight_x",
+                value: &mut self.weight_x,
+                grad: &mut self.weight_x_grad,
+            });
+            visitor(ParamSet {
+                name: "weight_h",
+                value: &mut self.weight_h,
+                grad: &mut self.weight_h_grad,
+            });
+            visitor(ParamSet {
+                name: "bias",
+                value: &mut self.bias,
+                grad: &mut self.bias_grad,
+            });
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight_x.len() + self.weight_h.len() + self.bias.len()
+    }
+
+    fn set_trainable(&mut self, trainable: bool) {
+        self.trainable.set(trainable);
+    }
+
+    fn is_trainable(&self) -> bool {
+        self.trainable.enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_sizes() {
+        let mut rng = SeededRng::new(0);
+        assert!(LstmCell::new(0, 4, &mut rng).is_err());
+        assert!(LstmCell::new(4, 0, &mut rng).is_err());
+        assert!(LstmCell::new(4, 4, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn step_produces_bounded_hidden_state() {
+        let mut rng = SeededRng::new(1);
+        let mut cell = LstmCell::new(3, 5, &mut rng).unwrap();
+        let mut state = LstmState::zeros(2, 5);
+        for _ in 0..10 {
+            let x = Initializer::HeNormal.create(&mut rng, &[2, 3], 3, 5);
+            state = cell.step(&x, &state).unwrap();
+            // h = o * tanh(c) is bounded by |tanh| <= 1
+            assert!(state.h.as_slice().iter().all(|v| v.abs() <= 1.0));
+            assert!(state.h.is_finite());
+        }
+        assert_eq!(cell.recorded_steps(), 10);
+        cell.clear_cache();
+        assert_eq!(cell.recorded_steps(), 0);
+    }
+
+    #[test]
+    fn step_rejects_mismatched_shapes() {
+        let mut rng = SeededRng::new(2);
+        let mut cell = LstmCell::new(3, 5, &mut rng).unwrap();
+        let state = LstmState::zeros(1, 5);
+        assert!(cell.step(&Tensor::zeros(&[1, 4]), &state).is_err());
+        let bad_state = LstmState::zeros(1, 4);
+        assert!(cell.step(&Tensor::zeros(&[1, 3]), &bad_state).is_err());
+    }
+
+    #[test]
+    fn bptt_gradients_match_finite_differences() {
+        let mut rng = SeededRng::new(3);
+        let mut cell = LstmCell::new(2, 3, &mut rng).unwrap();
+        let steps = 3usize;
+        let inputs: Vec<Tensor> = (0..steps)
+            .map(|_| Initializer::HeNormal.create(&mut rng, &[1, 2], 2, 3))
+            .collect();
+
+        // loss = sum over steps of sum(h_t)
+        let run_loss = |cell: &mut LstmCell, inputs: &[Tensor]| -> f32 {
+            cell.clear_cache();
+            let mut state = LstmState::zeros(1, 3);
+            let mut loss = 0.0;
+            for x in inputs {
+                state = cell.step(x, &state).unwrap();
+                loss += state.h.sum();
+            }
+            loss
+        };
+
+        // analytic gradients
+        run_loss(&mut cell, &inputs);
+        cell.zero_grad();
+        let grad_h: Vec<Tensor> = (0..steps).map(|_| Tensor::ones(&[1, 3])).collect();
+        cell.backward_through_time(&grad_h).unwrap();
+        let analytic_wx = cell.weight_x_grad.clone();
+        let analytic_bias = cell.bias_grad.clone();
+
+        let eps = 1e-2f32;
+        for idx in [0usize, analytic_wx.len() / 2, analytic_wx.len() - 1] {
+            let original = cell.weight_x.as_slice()[idx];
+            cell.weight_x.as_mut_slice()[idx] = original + eps;
+            let lp = run_loss(&mut cell, &inputs);
+            cell.weight_x.as_mut_slice()[idx] = original - eps;
+            let lm = run_loss(&mut cell, &inputs);
+            cell.weight_x.as_mut_slice()[idx] = original;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_wx.as_slice()[idx]).abs() < 3e-2,
+                "weight_x grad mismatch at {idx}: numeric={numeric} analytic={}",
+                analytic_wx.as_slice()[idx]
+            );
+        }
+        for idx in [0usize, analytic_bias.len() - 1] {
+            let original = cell.bias.as_slice()[idx];
+            cell.bias.as_mut_slice()[idx] = original + eps;
+            let lp = run_loss(&mut cell, &inputs);
+            cell.bias.as_mut_slice()[idx] = original - eps;
+            let lm = run_loss(&mut cell, &inputs);
+            cell.bias.as_mut_slice()[idx] = original;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_bias.as_slice()[idx]).abs() < 3e-2,
+                "bias grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn bptt_rejects_wrong_gradient_count() {
+        let mut rng = SeededRng::new(4);
+        let mut cell = LstmCell::new(2, 2, &mut rng).unwrap();
+        let state = LstmState::zeros(1, 2);
+        cell.step(&Tensor::zeros(&[1, 2]), &state).unwrap();
+        assert!(cell.backward_through_time(&[]).is_err());
+    }
+
+    #[test]
+    fn param_count_matches_packed_layout() {
+        let mut rng = SeededRng::new(5);
+        let cell = LstmCell::new(4, 8, &mut rng).unwrap();
+        assert_eq!(cell.param_count(), 4 * 32 + 8 * 32 + 32);
+    }
+
+    #[test]
+    fn forget_bias_starts_at_one() {
+        let mut rng = SeededRng::new(6);
+        let cell = LstmCell::new(2, 4, &mut rng).unwrap();
+        let bias = cell.bias.as_slice();
+        for j in 4..8 {
+            assert_eq!(bias[j], 1.0);
+        }
+    }
+
+    #[test]
+    fn layer_trait_forward_backward_round_trip() {
+        let mut rng = SeededRng::new(7);
+        let mut cell = LstmCell::new(3, 4, &mut rng).unwrap();
+        let x = Tensor::ones(&[2, 3]);
+        let h = cell.forward(&x, true).unwrap();
+        assert_eq!(h.dims(), &[2, 4]);
+        let gx = cell.backward(&Tensor::ones(&[2, 4])).unwrap();
+        assert_eq!(gx.dims(), &[2, 3]);
+    }
+}

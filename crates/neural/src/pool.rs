@@ -1,0 +1,186 @@
+//! Pooling and shape-adapter layers.
+
+use ftensor::Tensor;
+
+use crate::layer::Layer;
+use crate::{NeuralError, Result};
+
+/// Global average pooling: `(batch, c, h, w)` → `(batch, c)`.
+///
+/// Every child network lowered from the search space ends with a
+/// `GlobalAvgPool` followed by the linear classifier, matching MobileNetV2
+/// and the FaHaNa-Net structure in the paper's Figure 7.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates the pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { input_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let (n, c, h, w) = match input.dims() {
+            [n, c, h, w] => (*n, *c, *h, *w),
+            dims => {
+                return Err(NeuralError::BadInputShape {
+                    layer: "global_avg_pool".into(),
+                    expected: "(batch, c, h, w)".into(),
+                    actual: dims.to_vec(),
+                })
+            }
+        };
+        let spatial = (h * w).max(1);
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c];
+        for b in 0..n {
+            for ch in 0..c {
+                let start = (b * c + ch) * spatial;
+                out[b * c + ch] = x[start..start + spatial].iter().sum::<f32>() / spatial as f32;
+            }
+        }
+        self.input_dims = Some(input.dims().to_vec());
+        Ok(Tensor::from_vec(out, &[n, c])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or_else(|| NeuralError::MissingForwardCache {
+                layer: "global_avg_pool".into(),
+            })?;
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        if grad_output.dims() != [n, c] {
+            return Err(NeuralError::BadInputShape {
+                layer: "global_avg_pool-backward".into(),
+                expected: format!("({n}, {c})"),
+                actual: grad_output.dims().to_vec(),
+            });
+        }
+        let spatial = (h * w).max(1);
+        let go = grad_output.as_slice();
+        let mut grad_in = vec![0.0f32; n * c * spatial];
+        for b in 0..n {
+            for ch in 0..c {
+                let g = go[b * c + ch] / spatial as f32;
+                let start = (b * c + ch) * spatial;
+                for v in &mut grad_in[start..start + spatial] {
+                    *v = g;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(grad_in, dims)?)
+    }
+}
+
+/// Flattens `(batch, …)` into `(batch, features)`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates the flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.is_empty() {
+            return Err(NeuralError::BadInputShape {
+                layer: "flatten".into(),
+                expected: "rank >= 1".into(),
+                actual: dims.to_vec(),
+            });
+        }
+        let batch = dims[0];
+        let features = input.len() / batch.max(1);
+        self.input_dims = Some(dims.to_vec());
+        Ok(input.reshape(&[batch, features])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or_else(|| NeuralError::MissingForwardCache {
+                layer: "flatten".into(),
+            })?;
+        Ok(grad_output.reshape(dims)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_avg_pool_averages_each_channel() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec(
+            vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        let y = pool.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_backward_spreads_gradient() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        pool.forward(&x, false).unwrap();
+        let g = pool
+            .backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_rejects_rank2() {
+        let mut pool = GlobalAvgPool::new();
+        assert!(pool.forward(&Tensor::zeros(&[2, 3]), false).is_err());
+    }
+
+    #[test]
+    fn flatten_round_trips_shape() {
+        let mut flat = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = flat.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let g = flat.backward(&Tensor::ones(&[2, 48])).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn pool_backward_requires_forward() {
+        let mut pool = GlobalAvgPool::new();
+        assert!(pool.backward(&Tensor::ones(&[1, 1])).is_err());
+        let mut flat = Flatten::new();
+        assert!(flat.backward(&Tensor::ones(&[1, 1])).is_err());
+    }
+
+    #[test]
+    fn pooling_layers_have_no_parameters() {
+        assert_eq!(GlobalAvgPool::new().param_count(), 0);
+        assert_eq!(Flatten::new().param_count(), 0);
+    }
+}

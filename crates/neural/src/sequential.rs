@@ -1,0 +1,328 @@
+//! Layer containers: [`Sequential`] stacks and [`Residual`] wrappers.
+
+use ftensor::Tensor;
+
+use crate::layer::{Layer, ParamSet};
+use crate::{NeuralError, Result};
+
+/// A stack of layers applied in order.
+///
+/// `Sequential` is itself a [`Layer`], so stacks nest (a residual block holds
+/// a `Sequential` body). It also exposes the hooks the rest of the framework
+/// needs:
+///
+/// * [`Sequential::forward_collect`] returns every intermediate activation —
+///   the feature-variation analysis behind the paper's Figure 3 and the
+///   freezing producer both use it;
+/// * [`Sequential::freeze_prefix`] marks the first `n` layers as
+///   non-trainable, implementing the frozen header.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), neural::NeuralError> {
+/// use ftensor::{SeededRng, Tensor};
+/// use neural::{Dense, Layer, Relu, Sequential};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut net = Sequential::new();
+/// net.push(Box::new(Dense::new(4, 16, &mut rng)));
+/// net.push(Box::new(Relu::new()));
+/// net.push(Box::new(Dense::new(16, 3, &mut rng)));
+/// assert_eq!(net.len(), 3);
+///
+/// let out = net.forward(&Tensor::ones(&[2, 4]), false)?;
+/// assert_eq!(out.dims(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the stack.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the stack.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` if the stack holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Names of the layers, in order (useful for summaries and debugging).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Runs a forward pass, returning the activation after every layer.
+    ///
+    /// The result has one entry per layer; entry `i` is the output of layer
+    /// `i`. Used by the freezing producer to compare per-layer feature maps
+    /// between demographic groups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error encountered.
+    pub fn forward_collect(&mut self, input: &Tensor, train: bool) -> Result<Vec<Tensor>> {
+        let mut activations = Vec::with_capacity(self.layers.len());
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current, train)?;
+            activations.push(current.clone());
+        }
+        Ok(activations)
+    }
+
+    /// Freezes the first `n` layers (clamped to the stack length), so they
+    /// stop exposing parameters to optimizers.
+    pub fn freeze_prefix(&mut self, n: usize) {
+        for layer in self.layers.iter_mut().take(n) {
+            layer.set_trainable(false);
+        }
+    }
+
+    /// Unfreezes every layer.
+    pub fn unfreeze_all(&mut self) {
+        for layer in &mut self.layers {
+            layer.set_trainable(true);
+        }
+    }
+
+    /// Number of layers currently frozen.
+    pub fn frozen_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| !l.is_trainable()).count()
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current, train)?;
+        }
+        Ok(current)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut grad = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(grad)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamSet<'_>)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    fn set_trainable(&mut self, trainable: bool) {
+        for layer in &mut self.layers {
+            layer.set_trainable(trainable);
+        }
+    }
+
+    fn is_trainable(&self) -> bool {
+        self.layers.iter().any(|l| l.is_trainable())
+    }
+}
+
+/// A residual wrapper computing `y = body(x) + x`.
+///
+/// This is the skip connection used by RB (ResNet) and stride-1 MB blocks.
+/// The wrapped body must preserve the input shape; a shape mismatch is
+/// reported as an error rather than silently dropping the skip.
+#[derive(Debug)]
+pub struct Residual {
+    body: Sequential,
+}
+
+impl Residual {
+    /// Wraps a body in a skip connection.
+    pub fn new(body: Sequential) -> Self {
+        Residual { body }
+    }
+
+    /// Read access to the wrapped body.
+    pub fn body(&self) -> &Sequential {
+        &self.body
+    }
+}
+
+impl Layer for Residual {
+    fn name(&self) -> &'static str {
+        "residual"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let out = self.body.forward(input, train)?;
+        if out.dims() != input.dims() {
+            return Err(NeuralError::BadInputShape {
+                layer: "residual".into(),
+                expected: format!("body output matching input {:?}", input.dims()),
+                actual: out.dims().to_vec(),
+            });
+        }
+        Ok(out.add(input)?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let grad_body = self.body.backward(grad_output)?;
+        Ok(grad_body.add(grad_output)?)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamSet<'_>)) {
+        self.body.visit_params(visitor);
+    }
+
+    fn param_count(&self) -> usize {
+        self.body.param_count()
+    }
+
+    fn zero_grad(&mut self) {
+        self.body.zero_grad();
+    }
+
+    fn set_trainable(&mut self, trainable: bool) {
+        self.body.set_trainable(trainable);
+    }
+
+    fn is_trainable(&self) -> bool {
+        self.body.is_trainable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::activation::Relu;
+    use ftensor::SeededRng;
+
+    fn small_net(rng: &mut SeededRng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Box::new(Dense::new(4, 8, rng)));
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Dense::new(8, 2, rng)));
+        net
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let mut rng = SeededRng::new(0);
+        let mut net = small_net(&mut rng);
+        let y = net.forward(&Tensor::ones(&[3, 4]), false).unwrap();
+        assert_eq!(y.dims(), &[3, 2]);
+        assert_eq!(net.layer_names(), vec!["dense", "relu", "dense"]);
+    }
+
+    #[test]
+    fn forward_collect_returns_every_activation() {
+        let mut rng = SeededRng::new(1);
+        let mut net = small_net(&mut rng);
+        let acts = net.forward_collect(&Tensor::ones(&[2, 4]), false).unwrap();
+        assert_eq!(acts.len(), 3);
+        assert_eq!(acts[0].dims(), &[2, 8]);
+        assert_eq!(acts[2].dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn backward_propagates_through_stack() {
+        let mut rng = SeededRng::new(2);
+        let mut net = small_net(&mut rng);
+        let y = net.forward(&Tensor::ones(&[2, 4]), true).unwrap();
+        let g = net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn freeze_prefix_reduces_trainable_params() {
+        let mut rng = SeededRng::new(3);
+        let mut net = small_net(&mut rng);
+        let full = net.trainable_param_count();
+        net.freeze_prefix(1);
+        let frozen = net.trainable_param_count();
+        assert_eq!(full - frozen, 4 * 8 + 8);
+        assert_eq!(net.frozen_layer_count(), 1);
+        net.unfreeze_all();
+        assert_eq!(net.trainable_param_count(), full);
+    }
+
+    #[test]
+    fn freeze_prefix_clamps_to_length() {
+        let mut rng = SeededRng::new(4);
+        let mut net = small_net(&mut rng);
+        net.freeze_prefix(100);
+        assert_eq!(net.trainable_param_count(), 0);
+        // parameter-free layers (Relu) ignore freezing; both Dense layers are frozen
+        assert_eq!(net.frozen_layer_count(), 2);
+    }
+
+    #[test]
+    fn residual_adds_skip_connection() {
+        let mut body = Sequential::new();
+        // identity body: a Dense initialised to the identity matrix
+        let weight = Tensor::eye(3);
+        let bias = Tensor::zeros(&[3]);
+        body.push(Box::new(Dense::from_parts(weight, bias).unwrap()));
+        let mut res = Residual::new(body);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let y = res.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn residual_rejects_shape_changing_body() {
+        let mut rng = SeededRng::new(5);
+        let mut body = Sequential::new();
+        body.push(Box::new(Dense::new(3, 4, &mut rng)));
+        let mut res = Residual::new(body);
+        assert!(res.forward(&Tensor::ones(&[1, 3]), false).is_err());
+    }
+
+    #[test]
+    fn residual_backward_includes_identity_path() {
+        let mut body = Sequential::new();
+        body.push(Box::new(Dense::from_parts(Tensor::eye(2), Tensor::zeros(&[2])).unwrap()));
+        let mut res = Residual::new(body);
+        res.forward(&Tensor::ones(&[1, 2]), true).unwrap();
+        let g = res.backward(&Tensor::ones(&[1, 2])).unwrap();
+        // gradient = body-path (identity) + skip-path = 2
+        assert_eq!(g.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut rng = SeededRng::new(6);
+        let net = small_net(&mut rng);
+        assert_eq!(net.param_count(), (4 * 8 + 8) + (8 * 2 + 2));
+    }
+}

@@ -1,0 +1,295 @@
+//! A small supervised training loop used by the trained evaluator.
+
+use ftensor::{SeededRng, Tensor};
+
+use crate::layer::Layer;
+use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::optim::{Optimizer, Sgd};
+use crate::sequential::Sequential;
+use crate::{NeuralError, Result};
+
+/// Hyperparameters of a training run.
+///
+/// Defaults mirror the paper's schedule in spirit (learning rate 0.1 decayed
+/// by 0.9 on a fixed step interval, batch size 32), scaled down to the proxy
+/// networks this reproduction trains.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate.
+    pub learning_rate: f32,
+    /// Multiplicative decay applied every `decay_every` epochs.
+    pub lr_decay: f32,
+    /// Epoch interval between decays.
+    pub decay_every: usize,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Seed controlling shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 20,
+            batch_size: 32,
+            learning_rate: 0.1,
+            lr_decay: 0.9,
+            decay_every: 20,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean training loss of the final epoch.
+    pub final_loss: f32,
+    /// Training accuracy after the final epoch.
+    pub train_accuracy: f32,
+    /// Loss recorded at the end of every epoch.
+    pub loss_history: Vec<f32>,
+    /// Number of optimizer steps performed.
+    pub steps: usize,
+}
+
+/// Trains a [`Sequential`] classifier on an in-memory dataset.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), neural::NeuralError> {
+/// use ftensor::{SeededRng, Tensor};
+/// use neural::{Dense, Relu, Sequential, TrainConfig, Trainer};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut net = Sequential::new();
+/// net.push(Box::new(Dense::new(2, 8, &mut rng)));
+/// net.push(Box::new(Relu::new()));
+/// net.push(Box::new(Dense::new(8, 2, &mut rng)));
+///
+/// let x = Tensor::from_vec(vec![1.0, 1.0, -1.0, -1.0], &[2, 2])?;
+/// let trainer = Trainer::new(TrainConfig { epochs: 5, ..TrainConfig::default() });
+/// let report = trainer.fit(&mut net, &x, &[0, 1])?;
+/// assert_eq!(report.loss_history.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Fits `net` to `(features, labels)` and reports the trajectory.
+    ///
+    /// `features` must be rank-2 `(samples, feature_dim)` or rank-4 NCHW with
+    /// the first dimension being the sample count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes disagree with the labels or a layer
+    /// rejects the input.
+    pub fn fit(
+        &self,
+        net: &mut Sequential,
+        features: &Tensor,
+        labels: &[usize],
+    ) -> Result<TrainReport> {
+        let samples = *features.dims().first().unwrap_or(&0);
+        if samples != labels.len() || samples == 0 {
+            return Err(NeuralError::LabelMismatch {
+                predictions: samples,
+                labels: labels.len(),
+            });
+        }
+        let row_len = features.len() / samples;
+        let mut optimizer = Sgd::new(
+            self.config.learning_rate,
+            self.config.momentum,
+            self.config.weight_decay,
+        );
+        let mut rng = SeededRng::new(self.config.seed);
+        let mut order: Vec<usize> = (0..samples).collect();
+        let mut loss_history = Vec::with_capacity(self.config.epochs);
+        let mut steps = 0usize;
+        for epoch in 0..self.config.epochs {
+            // Fisher–Yates shuffle
+            for i in (1..order.len()).rev() {
+                let j = rng.below(i + 1);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                let (batch_x, batch_labels) = gather_batch(features, labels, chunk, row_len)?;
+                let logits = net.forward(&batch_x, true)?;
+                let out = softmax_cross_entropy(&logits, &batch_labels)?;
+                net.backward(&out.grad)?;
+                optimizer.step(net);
+                epoch_loss += out.loss;
+                batches += 1;
+                steps += 1;
+            }
+            loss_history.push(epoch_loss / batches.max(1) as f32);
+            if self.config.decay_every > 0 && (epoch + 1) % self.config.decay_every == 0 {
+                optimizer.decay(self.config.lr_decay);
+            }
+        }
+        let logits = net.forward(features, false)?;
+        let train_accuracy = accuracy(&logits, labels)?;
+        Ok(TrainReport {
+            final_loss: loss_history.last().copied().unwrap_or(f32::MAX),
+            train_accuracy,
+            loss_history,
+            steps,
+        })
+    }
+
+    /// Evaluates `net` on a held-out set and returns the accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes disagree with the labels.
+    pub fn evaluate(&self, net: &mut Sequential, features: &Tensor, labels: &[usize]) -> Result<f32> {
+        let logits = net.forward(features, false)?;
+        accuracy(&logits, labels)
+    }
+}
+
+fn gather_batch(
+    features: &Tensor,
+    labels: &[usize],
+    indices: &[usize],
+    row_len: usize,
+) -> Result<(Tensor, Vec<usize>)> {
+    let mut data = Vec::with_capacity(indices.len() * row_len);
+    let mut batch_labels = Vec::with_capacity(indices.len());
+    let src = features.as_slice();
+    for &idx in indices {
+        data.extend_from_slice(&src[idx * row_len..(idx + 1) * row_len]);
+        batch_labels.push(labels[idx]);
+    }
+    let mut dims = features.dims().to_vec();
+    dims[0] = indices.len();
+    Ok((Tensor::from_vec(data, &dims)?, batch_labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::dense::Dense;
+
+    fn two_blob_dataset(n_per_class: usize, rng: &mut SeededRng) -> (Tensor, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..2usize {
+            let center = if class == 0 { 2.0 } else { -2.0 };
+            for _ in 0..n_per_class {
+                data.push(rng.normal(center, 0.5));
+                data.push(rng.normal(center, 0.5));
+                labels.push(class);
+            }
+        }
+        (
+            Tensor::from_vec(data, &[2 * n_per_class, 2]).unwrap(),
+            labels,
+        )
+    }
+
+    #[test]
+    fn trainer_learns_separable_blobs() {
+        let mut rng = SeededRng::new(0);
+        let (x, labels) = two_blob_dataset(32, &mut rng);
+        let mut net = Sequential::new();
+        net.push(Box::new(Dense::new(2, 16, &mut rng)));
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Dense::new(16, 2, &mut rng)));
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 15,
+            batch_size: 16,
+            learning_rate: 0.05,
+            seed: 1,
+            ..TrainConfig::default()
+        });
+        let report = trainer.fit(&mut net, &x, &labels).unwrap();
+        assert!(report.train_accuracy > 0.95, "accuracy {}", report.train_accuracy);
+        assert!(report.final_loss < report.loss_history[0]);
+        assert_eq!(report.loss_history.len(), 15);
+        assert!(report.steps >= 15);
+    }
+
+    #[test]
+    fn fit_rejects_label_mismatch() {
+        let mut rng = SeededRng::new(1);
+        let mut net = Sequential::new();
+        net.push(Box::new(Dense::new(2, 2, &mut rng)));
+        let trainer = Trainer::new(TrainConfig::default());
+        let x = Tensor::zeros(&[4, 2]);
+        assert!(trainer.fit(&mut net, &x, &[0, 1]).is_err());
+        assert!(trainer.fit(&mut net, &Tensor::zeros(&[0, 2]), &[]).is_err());
+    }
+
+    #[test]
+    fn evaluate_returns_accuracy() {
+        let mut rng = SeededRng::new(2);
+        let (x, labels) = two_blob_dataset(16, &mut rng);
+        let mut net = Sequential::new();
+        net.push(Box::new(Dense::new(2, 2, &mut rng)));
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 10,
+            learning_rate: 0.1,
+            ..TrainConfig::default()
+        });
+        trainer.fit(&mut net, &x, &labels).unwrap();
+        let acc = trainer.evaluate(&mut net, &x, &labels).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn default_config_matches_paper_style_schedule() {
+        let cfg = TrainConfig::default();
+        assert_eq!(cfg.batch_size, 32);
+        assert!((cfg.learning_rate - 0.1).abs() < 1e-6);
+        assert!((cfg.lr_decay - 0.9).abs() < 1e-6);
+        assert_eq!(cfg.decay_every, 20);
+    }
+
+    #[test]
+    fn frozen_prefix_still_trains_remaining_layers() {
+        let mut rng = SeededRng::new(3);
+        let (x, labels) = two_blob_dataset(16, &mut rng);
+        let mut net = Sequential::new();
+        net.push(Box::new(Dense::new(2, 8, &mut rng)));
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Dense::new(8, 2, &mut rng)));
+        net.freeze_prefix(2);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 10,
+            learning_rate: 0.1,
+            ..TrainConfig::default()
+        });
+        let report = trainer.fit(&mut net, &x, &labels).unwrap();
+        // even with the frozen header the classifier head learns something
+        assert!(report.train_accuracy > 0.6);
+    }
+}

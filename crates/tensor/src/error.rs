@@ -1,0 +1,130 @@
+//! Error type shared by all tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+///
+/// Every public operation in this crate that can fail returns a
+/// [`TensorError`] rather than panicking, so that higher layers (the
+/// trainer, the NAS evaluator) can turn malformed architectures into
+/// rejected candidates instead of crashes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The number of elements supplied does not match the requested shape.
+    LengthMismatch {
+        /// Number of elements provided by the caller.
+        provided: usize,
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Columns of the left-hand matrix.
+        left_cols: usize,
+        /// Rows of the right-hand matrix.
+        right_rows: usize,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Rank expected by the operation.
+        expected: usize,
+        /// Rank of the tensor that was supplied.
+        actual: usize,
+    },
+    /// An index was outside the bounds of the tensor.
+    IndexOutOfBounds {
+        /// The offending flat or per-axis index.
+        index: usize,
+        /// The bound that was exceeded.
+        bound: usize,
+    },
+    /// An axis argument referred to a dimension the tensor does not have.
+    InvalidAxis {
+        /// The requested axis.
+        axis: usize,
+        /// The rank of the tensor.
+        rank: usize,
+    },
+    /// A parameter was outside its valid range (e.g. zero-sized dimension).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { provided, expected } => write!(
+                f,
+                "data length {provided} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::MatmulDimMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matrix product inner dimensions differ: {left_cols} vs {right_rows}"
+            ),
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected a rank-{expected} tensor, got rank {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} is out of bounds for size {bound}")
+            }
+            TensorError::InvalidAxis { axis, rank } => {
+                write!(f, "axis {axis} is invalid for a rank-{rank} tensor")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch_mentions_both_sizes() {
+        let err = TensorError::LengthMismatch {
+            provided: 3,
+            expected: 4,
+        };
+        let text = err.to_string();
+        assert!(text.contains('3'));
+        assert!(text.contains('4'));
+    }
+
+    #[test]
+    fn display_shape_mismatch_mentions_shapes() {
+        let err = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![4],
+        };
+        let text = err.to_string();
+        assert!(text.contains("[2, 3]"));
+        assert!(text.contains("[4]"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let err: Box<dyn Error> = Box::new(TensorError::InvalidArgument("x".into()));
+        assert!(err.source().is_none());
+    }
+}

@@ -1,0 +1,231 @@
+//! Seeded random number generation and weight initialisation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// A deterministic random number generator used across the workspace.
+///
+/// Every stochastic component in the reproduction (dataset synthesis, weight
+/// initialisation, controller sampling, surrogate noise) draws from a
+/// [`SeededRng`], so a fixed seed reproduces a full experiment bit-for-bit.
+///
+/// # Example
+///
+/// ```
+/// use ftensor::SeededRng;
+///
+/// let mut a = SeededRng::new(42);
+/// let mut b = SeededRng::new(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        if (hi - lo).abs() < f32::EPSILON {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        // Box–Muller transform; u1 is kept away from 0 to avoid ln(0).
+        let u1: f32 = self.inner.gen_range(1e-7f32..1.0);
+        let u2: f32 = self.inner.gen_range(0.0f32..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        mean + std * z
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below requires n > 0");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Samples an index from an (unnormalised) non-negative weight vector.
+    ///
+    /// Falls back to the last index on numerical underflow so the caller
+    /// always receives a valid index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn sample_weighted(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "sample_weighted requires weights");
+        let total: f32 = weights.iter().map(|w| w.max(0.0)).sum();
+        if total <= 0.0 {
+            return self.below(weights.len());
+        }
+        let mut target = self.uniform(0.0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Derives an independent generator for a sub-component, so parallel
+    /// components do not share a stream.
+    pub fn fork(&mut self, label: u64) -> SeededRng {
+        let seed = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SeededRng::new(seed)
+    }
+}
+
+/// Weight-initialisation schemes for neural layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Initializer {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Uniform in `[-bound, bound]` with `bound = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Normal with `std = sqrt(2 / fan_in)` (He initialisation for ReLU nets).
+    HeNormal,
+    /// Uniform in `[-0.08, 0.08]` — the classic small-range LSTM init.
+    SmallUniform,
+}
+
+impl Initializer {
+    /// Creates an initialised tensor with the given dims and fan sizes.
+    pub fn create(
+        &self,
+        rng: &mut SeededRng,
+        dims: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+    ) -> Tensor {
+        let volume: usize = dims.iter().product();
+        let data: Vec<f32> = match self {
+            Initializer::Zeros => vec![0.0; volume],
+            Initializer::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                (0..volume).map(|_| rng.uniform(-bound, bound)).collect()
+            }
+            Initializer::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                (0..volume).map(|_| rng.normal(0.0, std)).collect()
+            }
+            Initializer::SmallUniform => (0..volume).map(|_| rng.uniform(-0.08, 0.08)).collect(),
+        };
+        Tensor::from_vec(data, dims).expect("volume matches dims by construction")
+    }
+}
+
+impl Default for Initializer {
+    fn default() -> Self {
+        Initializer::XavierUniform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(7);
+        let mut b = SeededRng::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.uniform(-1.0, 1.0), b.uniform(-1.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let xs: Vec<f32> = (0..8).map(|_| a.uniform(0.0, 1.0)).collect();
+        let ys: Vec<f32> = (0..8).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = SeededRng::new(11);
+        let samples: Vec<f32> = (0..4000).map(|_| rng.normal(2.0, 0.5)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var: f32 =
+            samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / samples.len() as f32;
+        assert!((mean - 2.0).abs() < 0.05, "mean was {mean}");
+        assert!((var - 0.25).abs() < 0.05, "variance was {var}");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = SeededRng::new(3);
+        for _ in 0..100 {
+            assert!(rng.below(5) < 5);
+        }
+    }
+
+    #[test]
+    fn sample_weighted_prefers_heavy_index() {
+        let mut rng = SeededRng::new(5);
+        let weights = [0.01, 0.01, 10.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..200 {
+            counts[rng.sample_weighted(&weights)] += 1;
+        }
+        assert!(counts[2] > 150);
+    }
+
+    #[test]
+    fn sample_weighted_handles_all_zero() {
+        let mut rng = SeededRng::new(5);
+        let idx = rng.sample_weighted(&[0.0, 0.0, 0.0]);
+        assert!(idx < 3);
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = SeededRng::new(9);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        assert_ne!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+    }
+
+    #[test]
+    fn initializers_have_expected_scale() {
+        let mut rng = SeededRng::new(13);
+        let zeros = Initializer::Zeros.create(&mut rng, &[4, 4], 4, 4);
+        assert!(zeros.as_slice().iter().all(|&v| v == 0.0));
+
+        let xavier = Initializer::XavierUniform.create(&mut rng, &[64, 64], 64, 64);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(xavier.as_slice().iter().all(|&v| v.abs() <= bound + 1e-6));
+
+        let he = Initializer::HeNormal.create(&mut rng, &[256, 4], 256, 4);
+        let std = he.as_slice().iter().map(|v| v * v).sum::<f32>() / he.len() as f32;
+        assert!((std.sqrt() - (2.0 / 256.0f32).sqrt()).abs() < 0.02);
+
+        let small = Initializer::SmallUniform.create(&mut rng, &[8, 8], 8, 8);
+        assert!(small.as_slice().iter().all(|&v| v.abs() <= 0.08));
+    }
+}

@@ -1,0 +1,44 @@
+//! `ftensor` — a minimal dense tensor substrate.
+//!
+//! This crate provides the numerical foundation used by the rest of the
+//! FaHaNa reproduction: a row-major `f32` [`Tensor`] with shape bookkeeping,
+//! elementwise arithmetic, matrix multiplication, reductions, the activation
+//! and normalisation primitives needed by the [`neural`] crate, and seeded
+//! random initialisation.
+//!
+//! The design goal is *predictability over raw speed*: everything is safe
+//! Rust over a flat `Vec<f32>`, and all fallible operations return a
+//! [`TensorError`] rather than panicking, so the NAS search loop can treat a
+//! shape mismatch as an evaluation failure instead of a crash.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), ftensor::TensorError> {
+//! use ftensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`neural`]: https://docs.rs/neural
+
+pub mod error;
+pub mod init;
+pub mod linalg;
+pub mod ops;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use init::{Initializer, SeededRng};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

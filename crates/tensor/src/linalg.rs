@@ -1,0 +1,340 @@
+//! Matrix-level linear algebra on [`Tensor`].
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors (rank-1 tensors are treated as a
+    /// single row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulDimMismatch`] if the inner dimensions do
+    /// not agree, or [`TensorError::RankMismatch`] for rank-0 operands.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), ftensor::TensorError> {
+    /// use ftensor::Tensor;
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&b)?, a);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k_left) = self.shape().as_matrix()?;
+        let (k_right, n) = other.shape().as_matrix()?;
+        if k_left != k_right {
+            return Err(TensorError::MatmulDimMismatch {
+                left_cols: k_left,
+                right_rows: k_right,
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k_left {
+                let a_ip = a[i * k_left + p];
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ip * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transposes a rank-2 tensor (rank-1 becomes a column matrix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for tensors of rank other than
+    /// 1 or 2.
+    pub fn transpose(&self) -> Result<Tensor> {
+        match self.dims() {
+            [n] => Tensor::from_vec(self.as_slice().to_vec(), &[*n, 1]),
+            [r, c] => {
+                let (rows, cols) = (*r, *c);
+                let src = self.as_slice();
+                let mut out = vec![0.0f32; rows * cols];
+                for i in 0..rows {
+                    for j in 0..cols {
+                        out[j * rows + i] = src[i * cols + j];
+                    }
+                }
+                Tensor::from_vec(out, &[cols, rows])
+            }
+            dims => Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: dims.len(),
+            }),
+        }
+    }
+
+    /// Matrix-vector product `self · v` where `self` is `(m × n)` and `v` has
+    /// length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if the sizes do not agree.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        let (m, n) = self.shape().as_matrix()?;
+        if v.len() != n {
+            return Err(TensorError::MatmulDimMismatch {
+                left_cols: n,
+                right_rows: v.len(),
+            });
+        }
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * n..(i + 1) * n];
+            out[i] = row.iter().zip(x.iter()).map(|(&a, &b)| a * b).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Outer product of two rank-1 tensors, producing an `(m × n)` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if either operand is not rank-1.
+    pub fn outer(&self, other: &Tensor) -> Result<Tensor> {
+        if self.dims().len() != 1 || other.dims().len() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: self.dims().len().max(other.dims().len()),
+            });
+        }
+        let m = self.len();
+        let n = other.len();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = self.as_slice()[i] * other.as_slice()[j];
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Dot product of two tensors of identical volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the volumes differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice().iter())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    /// Extracts row `i` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank-2 or `i` is out of bounds.
+    pub fn row(&self, i: usize) -> Result<Tensor> {
+        match self.dims() {
+            [rows, cols] => {
+                if i >= *rows {
+                    return Err(TensorError::IndexOutOfBounds {
+                        index: i,
+                        bound: *rows,
+                    });
+                }
+                let start = i * cols;
+                Tensor::from_vec(self.as_slice()[start..start + cols].to_vec(), &[*cols])
+            }
+            dims => Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: dims.len(),
+            }),
+        }
+    }
+
+    /// Overwrites row `i` of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/bounds mismatch or if `row.len()` differs
+    /// from the column count.
+    pub fn set_row(&mut self, i: usize, row: &Tensor) -> Result<()> {
+        let (rows, cols) = match self.dims() {
+            [r, c] => (*r, *c),
+            dims => {
+                return Err(TensorError::RankMismatch {
+                    expected: 2,
+                    actual: dims.len(),
+                })
+            }
+        };
+        if i >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: i,
+                bound: rows,
+            });
+        }
+        if row.len() != cols {
+            return Err(TensorError::LengthMismatch {
+                provided: row.len(),
+                expected: cols,
+            });
+        }
+        let start = i * cols;
+        self.as_mut_slice()[start..start + cols].copy_from_slice(row.as_slice());
+        Ok(())
+    }
+
+    /// Stacks rank-1 tensors of equal length into a rank-2 tensor
+    /// (`rows × len`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rows` is empty or lengths differ.
+    pub fn stack_rows(rows: &[Tensor]) -> Result<Tensor> {
+        let first = rows.first().ok_or_else(|| {
+            TensorError::InvalidArgument("stack_rows requires at least one row".into())
+        })?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(TensorError::LengthMismatch {
+                    provided: row.len(),
+                    expected: cols,
+                });
+            }
+            data.extend_from_slice(row.as_slice());
+        }
+        Tensor::from_vec(data, &[rows.len(), cols])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let id = Tensor::eye(3);
+        assert_eq!(a.matmul(&id).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = a.transpose().unwrap().transpose().unwrap();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let v = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let mv = a.matvec(&v).unwrap();
+        assert_eq!(mv.as_slice(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let u = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let v = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]).unwrap();
+        let o = u.outer(&v).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let u = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let v = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(u.dot(&v).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn row_and_set_row_round_trip() {
+        let mut m = Tensor::zeros(&[2, 3]);
+        let r = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        m.set_row(1, &r).unwrap();
+        assert_eq!(m.row(1).unwrap(), r);
+        assert_eq!(m.row(0).unwrap().as_slice(), &[0.0, 0.0, 0.0]);
+        assert!(m.row(2).is_err());
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix() {
+        let rows = vec![
+            Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap(),
+            Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap(),
+        ];
+        let m = Tensor::stack_rows(&rows).unwrap();
+        assert_eq!(m.dims(), &[2, 2]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(Tensor::stack_rows(&[]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_identity(values in proptest::collection::vec(-5.0f32..5.0, 9..=9)) {
+            let a = Tensor::from_vec(values, &[3, 3]).unwrap();
+            let id = Tensor::eye(3);
+            let prod = a.matmul(&id).unwrap();
+            for (x, y) in prod.as_slice().iter().zip(a.as_slice().iter()) {
+                prop_assert!((x - y).abs() < 1e-5);
+            }
+        }
+
+        #[test]
+        fn prop_transpose_preserves_sum(values in proptest::collection::vec(-5.0f32..5.0, 12..=12)) {
+            let a = Tensor::from_vec(values, &[3, 4]).unwrap();
+            let t = a.transpose().unwrap();
+            prop_assert!((a.sum() - t.sum()).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_dot_symmetry(u in proptest::collection::vec(-3.0f32..3.0, 1..16)) {
+            let n = u.len();
+            let a = Tensor::from_vec(u.clone(), &[n]).unwrap();
+            let b = Tensor::from_vec(u.into_iter().map(|x| x * 0.5).collect(), &[n]).unwrap();
+            prop_assert!((a.dot(&b).unwrap() - b.dot(&a).unwrap()).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Neural-network oriented elementwise and reduction operators.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+impl Tensor {
+    /// Rectified linear unit, `max(0, x)` elementwise.
+    pub fn relu(&self) -> Tensor {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// ReLU6, `min(max(0, x), 6)` elementwise — the activation used by
+    /// MobileNetV2-style blocks.
+    pub fn relu6(&self) -> Tensor {
+        self.map(|v| v.clamp(0.0, 6.0))
+    }
+
+    /// Logistic sigmoid elementwise.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|v| 1.0 / (1.0 + (-v).exp()))
+    }
+
+    /// Hyperbolic tangent elementwise.
+    pub fn tanh(&self) -> Tensor {
+        self.map(|v| v.tanh())
+    }
+
+    /// Numerically stable softmax over the last axis.
+    ///
+    /// For a rank-1 tensor this is the usual softmax; for rank-2 the softmax
+    /// is applied independently to every row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+    pub fn softmax(&self) -> Result<Tensor> {
+        let (rows, cols) = self.shape().as_matrix()?;
+        if cols == 0 {
+            return Err(TensorError::InvalidArgument(
+                "softmax requires a non-empty last axis".into(),
+            ));
+        }
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; src.len()];
+        for r in 0..rows {
+            let row = &src[r * cols..(r + 1) * cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exp: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+            let denom: f32 = exp.iter().sum();
+            for (c, e) in exp.iter().enumerate() {
+                out[r * cols + c] = e / denom;
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// Natural logarithm applied elementwise, with values clamped away from
+    /// zero to keep the result finite.
+    pub fn ln_clamped(&self) -> Tensor {
+        self.map(|v| v.max(1e-12).ln())
+    }
+
+    /// Sums a rank-2 tensor along `axis` (0 = down columns, 1 = across rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank-2 or
+    /// [`TensorError::InvalidAxis`] for axes other than 0/1.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
+        let (rows, cols) = match self.dims() {
+            [r, c] => (*r, *c),
+            dims => {
+                return Err(TensorError::RankMismatch {
+                    expected: 2,
+                    actual: dims.len(),
+                })
+            }
+        };
+        let src = self.as_slice();
+        match axis {
+            0 => {
+                let mut out = vec![0.0f32; cols];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        out[c] += src[r * cols + c];
+                    }
+                }
+                Tensor::from_vec(out, &[cols])
+            }
+            1 => {
+                let mut out = vec![0.0f32; rows];
+                for r in 0..rows {
+                    out[r] = src[r * cols..(r + 1) * cols].iter().sum();
+                }
+                Tensor::from_vec(out, &[rows])
+            }
+            _ => Err(TensorError::InvalidAxis { axis, rank: 2 }),
+        }
+    }
+
+    /// Mean of a rank-2 tensor along `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tensor::sum_axis`].
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor> {
+        let (rows, cols) = match self.dims() {
+            [r, c] => (*r, *c),
+            dims => {
+                return Err(TensorError::RankMismatch {
+                    expected: 2,
+                    actual: dims.len(),
+                })
+            }
+        };
+        let divisor = match axis {
+            0 => rows as f32,
+            1 => cols as f32,
+            _ => return Err(TensorError::InvalidAxis { axis, rank: 2 }),
+        };
+        Ok(self.sum_axis(axis)?.scale(1.0 / divisor.max(1.0)))
+    }
+
+    /// Per-row argmax of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank-2.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        let (rows, cols) = match self.dims() {
+            [r, c] => (*r, *c),
+            dims => {
+                return Err(TensorError::RankMismatch {
+                    expected: 2,
+                    actual: dims.len(),
+                })
+            }
+        };
+        let src = self.as_slice();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &src[r * cols..(r + 1) * cols];
+            let mut best = 0usize;
+            let mut best_v = f32::NEG_INFINITY;
+            for (c, &v) in row.iter().enumerate() {
+                if v > best_v {
+                    best = c;
+                    best_v = v;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Clips every element into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` (programmer error, mirrors `f32::clamp`).
+    pub fn clip(&self, lo: f32, hi: f32) -> Tensor {
+        assert!(lo <= hi, "clip requires lo <= hi");
+        self.map(|v| v.clamp(lo, hi))
+    }
+
+    /// Adds a rank-1 bias vector to every row of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if ranks or sizes do not agree.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Result<Tensor> {
+        let (rows, cols) = match self.dims() {
+            [r, c] => (*r, *c),
+            dims => {
+                return Err(TensorError::RankMismatch {
+                    expected: 2,
+                    actual: dims.len(),
+                })
+            }
+        };
+        if bias.len() != cols {
+            return Err(TensorError::LengthMismatch {
+                provided: bias.len(),
+                expected: cols,
+            });
+        }
+        let mut out = self.as_slice().to_vec();
+        let b = bias.as_slice();
+        for r in 0..rows {
+            for c in 0..cols {
+                out[r * cols + c] += b[c];
+            }
+        }
+        Tensor::from_vec(out, &[rows, cols])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(t.relu().as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu6_saturates() {
+        let t = Tensor::from_vec(vec![-1.0, 3.0, 9.0], &[3]).unwrap();
+        assert_eq!(t.relu6().as_slice(), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_monotone() {
+        let t = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[3]).unwrap();
+        let s = t.sigmoid();
+        assert!(s.as_slice()[0] < 0.01);
+        assert!((s.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(s.as_slice()[2] > 0.99);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]).unwrap();
+        let s = t.softmax().unwrap();
+        let row0: f32 = s.as_slice()[0..3].iter().sum();
+        let row1: f32 = s.as_slice()[3..6].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-5);
+        assert!((row1 - 1.0).abs() < 1e-5);
+        // uniform logits give uniform probabilities
+        assert!((s.as_slice()[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], &[2]).unwrap();
+        let s = t.softmax().unwrap();
+        assert!(s.is_finite());
+        assert!(s.as_slice()[1] > s.as_slice()[0]);
+    }
+
+    #[test]
+    fn sum_axis_directions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.sum_axis(0).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(t.sum_axis(1).unwrap().as_slice(), &[6.0, 15.0]);
+        assert!(t.sum_axis(2).is_err());
+    }
+
+    #[test]
+    fn mean_axis_divides_by_extent() {
+        let t = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[2, 2]).unwrap();
+        assert_eq!(t.mean_axis(0).unwrap().as_slice(), &[4.0, 6.0]);
+        assert_eq!(t.mean_axis(1).unwrap().as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.2, 0.1, 0.3], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias() {
+        let t = Tensor::zeros(&[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let r = t.add_row_broadcast(&b).unwrap();
+        assert_eq!(r.as_slice(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn clip_bounds_values() {
+        let t = Tensor::from_vec(vec![-5.0, 0.5, 5.0], &[3]).unwrap();
+        assert_eq!(t.clip(-1.0, 1.0).as_slice(), &[-1.0, 0.5, 1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_softmax_probabilities(values in proptest::collection::vec(-20.0f32..20.0, 1..16)) {
+            let n = values.len();
+            let t = Tensor::from_vec(values, &[n]).unwrap();
+            let s = t.softmax().unwrap();
+            let total: f32 = s.as_slice().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+            prop_assert!(s.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+
+        #[test]
+        fn prop_relu_is_idempotent(values in proptest::collection::vec(-10.0f32..10.0, 1..16)) {
+            let n = values.len();
+            let t = Tensor::from_vec(values, &[n]).unwrap();
+            let once = t.relu();
+            let twice = once.relu();
+            prop_assert_eq!(twice.as_slice(), once.as_slice());
+        }
+
+        #[test]
+        fn prop_sigmoid_in_unit_interval(values in proptest::collection::vec(-50.0f32..50.0, 1..16)) {
+            let n = values.len();
+            let t = Tensor::from_vec(values, &[n]).unwrap();
+            prop_assert!(t.sigmoid().as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Descriptive statistics helpers used by evaluators and reports.
+
+use crate::tensor::Tensor;
+
+/// Summary statistics over a set of scalar observations.
+///
+/// Used by the evaluator and benchmark harness to report accuracy /
+/// unfairness distributions across seeds or episodes.
+///
+/// # Example
+///
+/// ```
+/// use ftensor::stats::Summary;
+///
+/// let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std_dev: f32,
+    /// Smallest observation.
+    pub min: f32,
+    /// Largest observation.
+    pub max: f32,
+}
+
+impl Summary {
+    /// Computes summary statistics from a slice of observations.
+    ///
+    /// Returns a zeroed summary when the slice is empty.
+    pub fn from_values(values: &[f32]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f32>() / count as f32;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / count as f32;
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f32::INFINITY, f32::min),
+            max: values.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+        }
+    }
+}
+
+/// Mean L2 distance between corresponding rows of two matrices.
+///
+/// This is the primitive behind the paper's Figure 3 feature-variation
+/// analysis: for a layer's feature maps from the majority group and the
+/// minority group, the variation is the norm of the difference between the
+/// group-mean feature vectors.
+///
+/// Returns `None` if shapes differ or either tensor is not rank-2.
+pub fn mean_row_l2_distance(a: &Tensor, b: &Tensor) -> Option<f32> {
+    let (ra, ca) = a.shape().as_matrix().ok()?;
+    let (rb, cb) = b.shape().as_matrix().ok()?;
+    if ca != cb || ra == 0 || rb == 0 {
+        return None;
+    }
+    let mean_a = a.mean_axis(0).ok()?;
+    let mean_b = b.mean_axis(0).ok()?;
+    let diff = mean_a.sub(&mean_b).ok()?;
+    Some(diff.l2_norm())
+}
+
+/// Pearson correlation coefficient between two equally sized samples.
+///
+/// Returns `None` when fewer than two points are supplied or either sample
+/// has zero variance.
+pub fn pearson(xs: &[f32], ys: &[f32]) -> Option<f32> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f32;
+    let mx = xs.iter().sum::<f32>() / n;
+    let my = ys.iter().sum::<f32>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx <= f32::EPSILON || vy <= f32::EPSILON {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_slice_is_zeroed() {
+        let s = Summary::from_values(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_basic_statistics() {
+        let s = Summary::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-6);
+        assert!((s.std_dev - 2.0).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn row_distance_zero_for_identical_groups() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 1.0, 2.0], &[2, 2]).unwrap();
+        let d = mean_row_l2_distance(&a, &a).unwrap();
+        assert!(d.abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_distance_detects_shift() {
+        let a = Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let d = mean_row_l2_distance(&a, &b).unwrap();
+        assert!((d - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn row_distance_rejects_mismatched_columns() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(mean_row_l2_distance(&a, &b).is_none());
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-6);
+        let neg = [-2.0, -4.0, -6.0, -8.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_rejects_degenerate_input() {
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+}

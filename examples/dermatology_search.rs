@@ -1,0 +1,66 @@
+//! Dermatology case study: search for fair architectures on the synthetic
+//! dermatology dataset and compare the discovered networks against
+//! MobileNetV2, the fairest existing small model in the paper.
+//!
+//! Run with `cargo run -p fahana --example dermatology_search`.
+
+use archspace::zoo;
+use edgehw::{DeviceProfile, LatencyEstimator};
+use evaluator::{Evaluate, SurrogateEvaluator};
+use fahana::{FahanaConfig, FahanaSearch};
+
+fn main() -> Result<(), fahana::FahanaError> {
+    let config = FahanaConfig {
+        episodes: 200,
+        seed: 13,
+        ..FahanaConfig::default()
+    };
+    let outcome = FahanaSearch::new(config)?.run()?;
+
+    // Reference point: MobileNetV2 under the same evaluator and device model.
+    let mbv2 = zoo::mobilenet_v2(5, 224);
+    let mut surrogate = SurrogateEvaluator::default();
+    let mbv2_eval = surrogate.evaluate(&mbv2)?;
+    let pi = LatencyEstimator::new(DeviceProfile::raspberry_pi_4());
+    let mbv2_latency = pi.estimate_ms(&mbv2);
+
+    println!("baseline MobileNetV2: {:.2}M params, accuracy {:.2}%, unfairness {:.4}, {:.0} ms",
+        mbv2.param_millions(),
+        mbv2_eval.accuracy() * 100.0,
+        mbv2_eval.unfairness(),
+        mbv2_latency
+    );
+    println!();
+
+    if let Some(small) = &outcome.best_small {
+        let size_reduction = mbv2.param_count() as f64 / small.record.params.max(1) as f64;
+        let speedup = mbv2_latency / small.record.latency_ms.max(1.0);
+        let fairness_gain =
+            (mbv2_eval.unfairness() - small.record.unfairness) / mbv2_eval.unfairness() * 100.0;
+        println!(
+            "discovered small network: {} — {:.2}M params ({size_reduction:.2}x smaller), \
+             accuracy {:.2}%, unfairness {:.4} ({fairness_gain:.1}% fairer), {:.0} ms ({speedup:.2}x faster)",
+            small.record.name,
+            small.record.params as f64 / 1e6,
+            small.record.accuracy * 100.0,
+            small.record.unfairness,
+            small.record.latency_ms
+        );
+        println!("(paper reference for FaHaNa-Small: 5.28x smaller, 15.14% fairer, 5.75x faster)");
+    }
+    if let Some(fairest) = &outcome.fairest {
+        println!();
+        println!(
+            "fairest discovered network: {} — unfairness {:.4} at accuracy {:.2}%",
+            fairest.record.name,
+            fairest.record.unfairness,
+            fairest.record.accuracy * 100.0
+        );
+    }
+    println!();
+    println!("accuracy/unfairness Pareto frontier of the discovered networks:");
+    for p in outcome.accuracy_fairness_frontier() {
+        println!("  {:<20} accuracy {:.4}, unfairness {:.4}", p.label, p.maximize, p.minimize);
+    }
+    Ok(())
+}

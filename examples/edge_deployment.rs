@@ -1,0 +1,58 @@
+//! Edge deployment check: estimate latency and storage of candidate networks
+//! on the two boards the paper targets and check them against a deployment
+//! specification, exactly as the FaHaNa evaluator does before training.
+//!
+//! Run with `cargo run -p fahana --example edge_deployment`.
+
+use archspace::zoo::{self, ReferenceModel};
+use edgehw::{BlockLatencyTable, DeviceProfile, HardwareSpec, LatencyEstimator};
+
+fn main() {
+    let spec = HardwareSpec::table1_raspberry_pi();
+    println!(
+        "deployment spec: {} with TC = {:.0} ms and a {:.0} MB storage limit",
+        spec.device.kind,
+        spec.timing_constraint_ms,
+        spec.storage_limit_mb.unwrap_or(f64::INFINITY)
+    );
+    println!();
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>8}",
+        "model", "storage", "Pi (ms)", "Odroid (ms)", "deploy?"
+    );
+
+    let odroid = LatencyEstimator::new(DeviceProfile::odroid_xu4());
+    let mut candidates = vec![
+        zoo::paper_fahana_small(5, 224),
+        zoo::paper_fahana_fair(5, 224),
+    ];
+    for model in [
+        ReferenceModel::SqueezeNet10,
+        ReferenceModel::MnasNet05,
+        ReferenceModel::MobileNetV3Small,
+        ReferenceModel::MobileNetV2,
+        ReferenceModel::ResNet18,
+        ReferenceModel::ProxylessNasMobile,
+    ] {
+        candidates.push(zoo::reference_architecture(model, 5, 224));
+    }
+
+    // the per-block latency table amortises profiling across candidates,
+    // mirroring the paper's offline per-block measurement methodology
+    let mut table = BlockLatencyTable::new(DeviceProfile::raspberry_pi_4());
+    for arch in &candidates {
+        let pi_latency = table.estimate_ms(arch);
+        let (_, meets) = spec.check(arch);
+        println!(
+            "{:<18} {:>8.2}MB {:>12.1} {:>12.1} {:>8}",
+            arch.name(),
+            arch.storage_mb(),
+            pi_latency,
+            odroid.estimate_ms(arch),
+            if meets { "yes" } else { "no" }
+        );
+    }
+    let (hits, misses) = table.hit_miss();
+    println!();
+    println!("per-block latency table: {hits} cache hits, {misses} profiled block configurations");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: run a small FaHaNa search and print what it found.
+//!
+//! Run with `cargo run -p fahana --example quickstart`.
+
+use fahana::{FahanaConfig, FahanaSearch};
+
+fn main() -> Result<(), fahana::FahanaError> {
+    // A short search with the paper's constraints (Raspberry Pi, TC = 1500 ms,
+    // AC = 81%) but a small episode budget so it finishes in seconds.
+    let config = FahanaConfig {
+        episodes: 80,
+        seed: 7,
+        ..FahanaConfig::default()
+    };
+    let search = FahanaSearch::new(config)?;
+    println!(
+        "search space: 10^{:.1} candidate tails over {} searchable slots ({} backbone blocks frozen)",
+        search.space().log10_size(),
+        search.searchable_slots(),
+        search.frozen_blocks()
+    );
+
+    let outcome = search.run()?;
+    println!(
+        "explored {} episodes, {:.1}% of the children met the hardware + accuracy constraints",
+        outcome.history.len(),
+        outcome.valid_ratio * 100.0
+    );
+    if let Some(best) = &outcome.best {
+        println!(
+            "best architecture: {} — reward {:.3}, accuracy {:.2}%, unfairness {:.4}, {:.0} ms on the Pi",
+            best.record.name,
+            best.record.reward,
+            best.record.accuracy * 100.0,
+            best.record.unfairness,
+            best.record.latency_ms
+        );
+        println!("{}", archspace::render_architecture(&best.architecture));
+    } else {
+        println!("no valid architecture found — try more episodes");
+    }
+    Ok(())
+}

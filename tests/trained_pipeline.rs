@@ -1,0 +1,86 @@
+//! Cross-crate integration test of the "real" code path: generate synthetic
+//! dermatology images, lower a searched architecture to a trainable network,
+//! train it with the neural substrate, and measure fairness — the pipeline
+//! the paper runs on its GPU cluster, at laptop scale.
+
+use archspace::{SearchSpace, SpaceConfig};
+use archspace::{Architecture, BackboneProducer, BlockConfig, BlockKind};
+use dermsim::{DermatologyConfig, DermatologyGenerator};
+use evaluator::{Evaluate, TrainedEvaluator, TrainedEvaluatorConfig};
+use ftensor::SeededRng;
+use neural::TrainConfig;
+
+fn tiny_backbone() -> Architecture {
+    Architecture::builder(3)
+        .name("integration-backbone")
+        .stem(8, 3)
+        .input_size(8)
+        .block(BlockConfig::new(BlockKind::Cb, 8, 12, 12, 3))
+        .block(BlockConfig::new(BlockKind::Db, 12, 24, 12, 3))
+        .block(BlockConfig::new(BlockKind::Rb, 12, 16, 16, 3))
+        .build()
+        .expect("backbone is valid")
+}
+
+#[test]
+fn trained_evaluation_of_a_sampled_child_produces_sane_fairness_metrics() {
+    let dataset = DermatologyGenerator::new(DermatologyConfig {
+        samples: 150,
+        classes: 3,
+        image_size: 8,
+        minority_fraction: 0.25,
+        ..DermatologyConfig::default()
+    })
+    .generate();
+
+    // freeze the first block of the backbone and search a 2-slot tail
+    let producer = BackboneProducer::new(tiny_backbone(), 0.5);
+    let decision = producer.decide_split(&[0.01, 0.05, 0.09]);
+    let template = producer.template(&decision);
+    assert!(template.frozen_block_count() >= 1);
+
+    let space = SearchSpace::new(
+        SpaceConfig {
+            ch_mid_choices: vec![8, 12, 16],
+            ch_out_choices: vec![8, 12, 16],
+            kernel_choices: vec![3],
+            allow_skip: true,
+        },
+        template.searchable_slots(),
+    );
+    let mut rng = SeededRng::new(9);
+    let decisions = space.random_decisions(&mut rng);
+    let child = template
+        .instantiate(&space, &decisions, "integration-child")
+        .expect("child instantiates");
+    child.validate().expect("child is valid");
+
+    let mut evaluator = TrainedEvaluator::new(
+        &dataset,
+        TrainedEvaluatorConfig {
+            train: TrainConfig {
+                epochs: 4,
+                batch_size: 16,
+                learning_rate: 0.08,
+                ..TrainConfig::default()
+            },
+            seed: 2,
+        },
+    )
+    .expect("dataset is non-empty");
+
+    let frozen_eval = evaluator
+        .evaluate_with_frozen(&child, template.frozen_block_count())
+        .expect("training succeeds");
+    let full_eval = evaluator.evaluate(&child).expect("training succeeds");
+
+    for eval in [&frozen_eval, &full_eval] {
+        assert!((0.0..=1.0).contains(&eval.accuracy()));
+        assert!((0.0..=2.0).contains(&eval.unfairness()));
+        assert_eq!(eval.report.per_group.len(), 2);
+    }
+    assert!(
+        frozen_eval.trained_params < full_eval.trained_params,
+        "freezing the header must reduce the trained parameter count"
+    );
+}
