@@ -153,8 +153,7 @@ impl Architecture {
     pub fn final_channels(&self) -> usize {
         self.blocks
             .iter()
-            .filter(|b| !b.skipped)
-            .next_back()
+            .rfind(|b| !b.skipped)
             .map(|b| b.output_channels())
             .unwrap_or(self.stem.out_channels)
     }
@@ -198,12 +197,10 @@ impl Architecture {
 
     /// Total number of parameters (stem + blocks + norms + classifier).
     pub fn param_count(&self) -> u64 {
-        let stem_params = (self.input_channels
-            * self.stem.out_channels
-            * self.stem.kernel
-            * self.stem.kernel
-            + self.stem.out_channels) as u64
-            + 2 * self.stem.out_channels as u64;
+        let stem_params =
+            (self.input_channels * self.stem.out_channels * self.stem.kernel * self.stem.kernel
+                + self.stem.out_channels) as u64
+                + 2 * self.stem.out_channels as u64;
         let block_params: u64 = self.blocks.iter().map(|b| b.param_count()).sum();
         let classifier_params = (self.final_channels() * self.classes + self.classes) as u64;
         stem_params + block_params + classifier_params

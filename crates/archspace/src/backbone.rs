@@ -52,8 +52,7 @@ impl BackboneTemplate {
     pub fn tail_input_channels(&self) -> usize {
         self.frozen_blocks
             .iter()
-            .filter(|b| !b.skipped)
-            .next_back()
+            .rfind(|b| !b.skipped)
             .map(|b| b.output_channels())
             .unwrap_or(self.stem.out_channels)
     }

@@ -182,7 +182,7 @@ impl BlockConfig {
         if self.ch_in == 0 || self.ch_mid == 0 || self.ch_out == 0 {
             return Err("channel counts must be non-zero".into());
         }
-        if self.kernel == 0 || self.kernel % 2 == 0 {
+        if self.kernel == 0 || self.kernel.is_multiple_of(2) {
             return Err(format!("kernel {} must be odd and non-zero", self.kernel));
         }
         Ok(())
@@ -330,11 +330,7 @@ impl BlockConfig {
         }
         let conv_params: u64 = self.ops(8, 8).iter().map(|op| op.params()).sum();
         // every conv op is followed by a channel norm with 2·C parameters
-        let norm_params: u64 = self
-            .ops(8, 8)
-            .iter()
-            .map(|op| 2 * op.c_out as u64)
-            .sum();
+        let norm_params: u64 = self.ops(8, 8).iter().map(|op| 2 * op.c_out as u64).sum();
         conv_params + norm_params
     }
 
@@ -409,9 +405,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_dimensions() {
-        assert!(BlockConfig::new(BlockKind::Cb, 0, 8, 8, 3).validate().is_err());
-        assert!(BlockConfig::new(BlockKind::Cb, 8, 8, 8, 4).validate().is_err());
-        assert!(BlockConfig::new(BlockKind::Cb, 8, 8, 8, 3).validate().is_ok());
+        assert!(BlockConfig::new(BlockKind::Cb, 0, 8, 8, 3)
+            .validate()
+            .is_err());
+        assert!(BlockConfig::new(BlockKind::Cb, 8, 8, 8, 4)
+            .validate()
+            .is_err());
+        assert!(BlockConfig::new(BlockKind::Cb, 8, 8, 8, 3)
+            .validate()
+            .is_ok());
         assert!(BlockConfig::new(BlockKind::Cb, 0, 0, 0, 0)
             .skipped()
             .validate()

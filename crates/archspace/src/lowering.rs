@@ -16,21 +16,12 @@ use crate::error::ArchError;
 use crate::Result;
 
 /// Options controlling the lowering.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LoweringOptions {
     /// Seed for weight initialisation.
     pub seed: u64,
     /// If `true`, the stem and frozen header layers are marked non-trainable.
     pub freeze_first_blocks: usize,
-}
-
-impl Default for LoweringOptions {
-    fn default() -> Self {
-        LoweringOptions {
-            seed: 0,
-            freeze_first_blocks: 0,
-        }
-    }
 }
 
 /// A lowered network: the trainable stack plus the index of the first layer
@@ -60,12 +51,19 @@ pub fn lower(arch: &Architecture, options: LoweringOptions) -> Result<LoweredNet
     // Stem: conv(stride 2) + norm + ReLU.
     let stem = arch.stem();
     net.push(Box::new(
-        Conv2d::new(3, stem.out_channels, stem.kernel, 2, stem.kernel / 2, &mut rng)
-            .map_err(|e| ArchError::InvalidArchitecture(format!("stem: {e}")))?,
+        Conv2d::new(
+            3,
+            stem.out_channels,
+            stem.kernel,
+            2,
+            stem.kernel / 2,
+            &mut rng,
+        )
+        .map_err(|e| ArchError::InvalidArchitecture(format!("stem: {e}")))?,
     ));
-    net.push(Box::new(ChannelNorm::new(stem.out_channels).map_err(|e| {
-        ArchError::InvalidArchitecture(format!("stem norm: {e}"))
-    })?));
+    net.push(Box::new(ChannelNorm::new(stem.out_channels).map_err(
+        |e| ArchError::InvalidArchitecture(format!("stem norm: {e}")),
+    )?));
     net.push(Box::new(Relu::new()));
 
     for (block_idx, block) in arch.blocks().iter().enumerate() {
@@ -89,7 +87,11 @@ pub fn lower(arch: &Architecture, options: LoweringOptions) -> Result<LoweredNet
 
     // Head: global average pool + linear classifier.
     net.push(Box::new(GlobalAvgPool::new()));
-    net.push(Box::new(Dense::new(arch.final_channels(), arch.classes(), &mut rng)));
+    net.push(Box::new(Dense::new(
+        arch.final_channels(),
+        arch.classes(),
+        &mut rng,
+    )));
 
     Ok(LoweredNetwork {
         network: net,

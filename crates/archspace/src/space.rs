@@ -99,13 +99,7 @@ impl SearchSpace {
             1 => self.config.kernel_choices.len(),
             2 => self.config.ch_mid_choices.len(),
             3 => self.config.ch_out_choices.len(),
-            4 => {
-                if self.config.allow_skip {
-                    2
-                } else {
-                    1
-                }
-            }
+            4 if self.config.allow_skip => 2,
             _ => 1,
         }
     }
@@ -217,7 +211,11 @@ impl SearchSpace {
     /// # Errors
     ///
     /// Returns an error if any decision is invalid.
-    pub fn decode(&self, decisions: &[BlockDecision], input_channels: usize) -> Result<Vec<BlockConfig>> {
+    pub fn decode(
+        &self,
+        decisions: &[BlockDecision],
+        input_channels: usize,
+    ) -> Result<Vec<BlockConfig>> {
         if decisions.len() != self.slots {
             return Err(ArchError::DecisionLengthMismatch {
                 expected: self.slots,
@@ -229,7 +227,8 @@ impl SearchSpace {
         for decision in decisions {
             self.validate_decision(decision)?;
             if decision.skip {
-                blocks.push(BlockConfig::new(BlockKind::Db, current, current, current, 3).skipped());
+                blocks
+                    .push(BlockConfig::new(BlockKind::Db, current, current, current, 3).skipped());
                 continue;
             }
             let block = BlockConfig::new(

@@ -226,7 +226,11 @@ fn mobilenet_v3_large(classes: usize, input_size: usize) -> Architecture {
 fn mnasnet(width_half: bool, classes: usize, input_size: usize) -> Architecture {
     let w = |c: usize| if width_half { (c / 2).max(8) } else { c };
     Architecture::builder(classes)
-        .name(if width_half { "MnasNet 0.5" } else { "MnasNet 1.0" })
+        .name(if width_half {
+            "MnasNet 0.5"
+        } else {
+            "MnasNet 1.0"
+        })
         .stem(w(32), 3)
         .input_size(input_size)
         .blocks(vec![
@@ -255,7 +259,11 @@ fn mnasnet(width_half: bool, classes: usize, input_size: usize) -> Architecture 
 fn proxyless_nas(gpu: bool, classes: usize, input_size: usize) -> Architecture {
     // The GPU variant is shallower but much wider; the mobile variant is
     // deeper with smaller expansion ratios and mixed kernels.
-    let name = if gpu { "ProxylessNAS(G)" } else { "ProxylessNAS(M)" };
+    let name = if gpu {
+        "ProxylessNAS(G)"
+    } else {
+        "ProxylessNAS(M)"
+    };
     let blocks = if gpu {
         vec![
             db(40, 1, 24, 3),
@@ -584,14 +592,16 @@ mod tests {
 
     #[test]
     fn size_ordering_matches_paper_within_families() {
-        let params = |m: ReferenceModel| {
-            reference_architecture(m, 5, 64).param_count()
-        };
+        let params = |m: ReferenceModel| reference_architecture(m, 5, 64).param_count();
         assert!(params(ReferenceModel::MnasNet05) < params(ReferenceModel::MnasNet10));
-        assert!(params(ReferenceModel::MobileNetV3Small) < params(ReferenceModel::MobileNetV3Large));
+        assert!(
+            params(ReferenceModel::MobileNetV3Small) < params(ReferenceModel::MobileNetV3Large)
+        );
         assert!(params(ReferenceModel::ResNet18) < params(ReferenceModel::ResNet34));
         assert!(params(ReferenceModel::ResNet34) < params(ReferenceModel::ResNet50));
-        assert!(params(ReferenceModel::ProxylessNasMobile) < params(ReferenceModel::ProxylessNasGpu));
+        assert!(
+            params(ReferenceModel::ProxylessNasMobile) < params(ReferenceModel::ProxylessNasGpu)
+        );
     }
 
     #[test]
@@ -654,6 +664,9 @@ mod tests {
     #[test]
     fn labels_match_paper_names() {
         assert_eq!(ReferenceModel::MnasNet05.label(), "MnasNet 0.5");
-        assert_eq!(ReferenceModel::ProxylessNasGpu.to_string(), "ProxylessNAS(G)");
+        assert_eq!(
+            ReferenceModel::ProxylessNasGpu.to_string(),
+            "ProxylessNAS(G)"
+        );
     }
 }

@@ -51,9 +51,7 @@ fn bench_ablations(c: &mut Criterion) {
 
     // LUT vs direct estimation over a batch of children with repeated block
     // configurations — the situation the search loop is in.
-    let children: Vec<_> = (0..16)
-        .map(|_| zoo::paper_fahana_small(5, 224))
-        .collect();
+    let children: Vec<_> = (0..16).map(|_| zoo::paper_fahana_small(5, 224)).collect();
     c.bench_function("ablation/latency_direct_16_children", |b| {
         let estimator = LatencyEstimator::new(DeviceProfile::raspberry_pi_4());
         b.iter(|| {

@@ -9,9 +9,12 @@ use fahana_bench::{zoo_rows, CLASSES, INPUT_SIZE};
 
 fn main() {
     println!("Figure 1(a): unfairness score vs model size (existing networks)");
-    println!("{:<18} {:>10} {:>12} {:>12}", "model", "params (M)", "unfair (ours)", "unfair (paper)");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12}",
+        "model", "params (M)", "unfair (ours)", "unfair (paper)"
+    );
     let mut rows = zoo_rows();
-    rows.sort_by(|a, b| a.params.cmp(&b.params));
+    rows.sort_by_key(|a| a.params);
     for row in &rows {
         let paper = row
             .paper
@@ -28,7 +31,10 @@ fn main() {
 
     println!();
     println!("Figure 1(b): unfairness vs amount of minority data (1x..5x)");
-    println!("{:<18} {:>6} {:>6} {:>6} {:>6} {:>6}", "model", "1x", "2x", "3x", "4x", "5x");
+    println!(
+        "{:<18} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "model", "1x", "2x", "3x", "4x", "5x"
+    );
     let base_imbalance = 5.67;
     for model in [
         ReferenceModel::MnasNet05,

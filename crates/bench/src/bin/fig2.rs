@@ -28,5 +28,7 @@ fn main() {
         );
     }
     println!();
-    println!("Every model favours the majority (light) group; fairness improves with model capacity.");
+    println!(
+        "Every model favours the majority (light) group; fairness improves with model capacity."
+    );
 }

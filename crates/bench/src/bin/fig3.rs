@@ -52,8 +52,12 @@ fn main() {
                 "  split for gamma=0.5 on the measured profile: block {}",
                 measured.split_for_gamma(0.5)
             );
-            println!("  (an untrained proxy keeps the raw skin-tone shift in its early layers, so the");
-            println!("   measured profile is flatter than the paper's pretrained-backbone profile;");
+            println!(
+                "  (an untrained proxy keeps the raw skin-tone shift in its early layers, so the"
+            );
+            println!(
+                "   measured profile is flatter than the paper's pretrained-backbone profile;"
+            );
             println!("   the search therefore defaults to the published Figure 3 profile above)");
         }
         Err(e) => println!("  analysis failed: {e}"),

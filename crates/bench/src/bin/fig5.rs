@@ -17,10 +17,22 @@ fn main() {
 
     println!();
     println!("(a) best reward vs model size — architectures under 6M parameters");
-    println!("{:<24} {:>10} {:>9} {:>9}", "architecture", "params(M)", "reward", "source");
+    println!(
+        "{:<24} {:>10} {:>9} {:>9}",
+        "architecture", "params(M)", "reward", "source"
+    );
     let mut points: Vec<(String, f64, f64, &str)> = Vec::new();
-    for record in outcome.history.iter().filter(|r| r.valid && r.params < 6_000_000) {
-        points.push((record.name.clone(), record.params as f64 / 1e6, record.reward, "FaHaNa"));
+    for record in outcome
+        .history
+        .iter()
+        .filter(|r| r.valid && r.params < 6_000_000)
+    {
+        points.push((
+            record.name.clone(),
+            record.params as f64 / 1e6,
+            record.reward,
+            "FaHaNa",
+        ));
     }
     for row in zoo_rows().iter().chain(fahana_reference_rows().iter()) {
         if row.params < 6_000_000 {
@@ -65,6 +77,8 @@ fn main() {
         );
     }
     println!();
-    println!("Shape to check: the FaHaNa points push the Pareto frontier past the existing networks");
+    println!(
+        "Shape to check: the FaHaNa points push the Pareto frontier past the existing networks"
+    );
     println!("(higher reward at equal or smaller size; lower unfairness at equal accuracy).");
 }

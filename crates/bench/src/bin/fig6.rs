@@ -8,7 +8,10 @@ use fahana_bench::{fahana_reference_rows, zoo_rows, ModelRow};
 
 fn group_frontier(label: &str, rows: &[ModelRow]) {
     println!("-- {label} --");
-    println!("{:<20} {:>10} {:>12} {:>10}", "model", "accuracy", "unfairness", "on frontier");
+    println!(
+        "{:<20} {:>10} {:>12} {:>10}",
+        "model", "accuracy", "unfairness", "on frontier"
+    );
     let points: Vec<ParetoPoint> = rows
         .iter()
         .map(|r| ParetoPoint::new(r.name.clone(), r.accuracy, r.unfairness))
@@ -27,20 +30,34 @@ fn group_frontier(label: &str, rows: &[ModelRow]) {
 }
 
 fn main() {
-    println!("Figure 6: Pareto frontiers of existing models and FaHaNa-Nets (accuracy vs unfairness)");
+    println!(
+        "Figure 6: Pareto frontiers of existing models and FaHaNa-Nets (accuracy vs unfairness)"
+    );
     let mut all: Vec<ModelRow> = zoo_rows();
     all.extend(fahana_reference_rows());
     // SqueezeNet appears only in Table 1 in the paper; keep it out of the
     // frontier plot like the paper does.
     all.retain(|r| r.name != "SqueezeNet 1.0");
 
-    let g1: Vec<ModelRow> = all.iter().filter(|r| r.params < 4_000_000).cloned().collect();
-    let g2: Vec<ModelRow> = all.iter().filter(|r| r.params >= 4_000_000).cloned().collect();
+    let g1: Vec<ModelRow> = all
+        .iter()
+        .filter(|r| r.params < 4_000_000)
+        .cloned()
+        .collect();
+    let g2: Vec<ModelRow> = all
+        .iter()
+        .filter(|r| r.params >= 4_000_000)
+        .cloned()
+        .collect();
     group_frontier("(a) models with size < 4M", &g1);
     println!();
     group_frontier("(b) models with size >= 4M", &g2);
     println!();
-    println!("Shape to check: FaHaNa-Small sits on the G1 frontier (dominating all competitors except");
-    println!("at most MobileNetV2's accuracy corner), and FaHaNa-Fair is the closest G2 point to the");
+    println!(
+        "Shape to check: FaHaNa-Small sits on the G1 frontier (dominating all competitors except"
+    );
+    println!(
+        "at most MobileNetV2's accuracy corner), and FaHaNa-Fair is the closest G2 point to the"
+    );
     println!("ideal (high accuracy, low unfairness) corner.");
 }

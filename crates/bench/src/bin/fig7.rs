@@ -9,7 +9,10 @@ use fahana_bench::{harness_search_config, CLASSES, INPUT_SIZE};
 
 fn main() {
     println!("Figure 7: the FaHaNa-Fair architecture reported by the paper");
-    println!("{}", render_architecture(&zoo::paper_fahana_fair(CLASSES, INPUT_SIZE)));
+    println!(
+        "{}",
+        render_architecture(&zoo::paper_fahana_fair(CLASSES, INPUT_SIZE))
+    );
     println!();
     println!("Insight (paper Section 4.5): MB blocks extract common features cheaply at the high-");
     println!("resolution head, while the larger CB/RB blocks in the tail address fairness.");
@@ -34,15 +37,12 @@ fn main() {
                 .filter(|b| !b.skipped)
                 .rev()
                 .take(3)
-                .filter(|b| {
-                    matches!(
-                        b.kind,
-                        archspace::BlockKind::Rb | archspace::BlockKind::Cb
-                    )
-                })
+                .filter(|b| matches!(b.kind, archspace::BlockKind::Rb | archspace::BlockKind::Cb))
                 .count();
             println!("CB/RB blocks among the last three searched blocks: {tail} of 3");
         }
-        None => println!("(no valid architecture found in this short run — increase the episode budget)"),
+        None => println!(
+            "(no valid architecture found in this short run — increase the episode budget)"
+        ),
     }
 }

@@ -58,15 +58,25 @@ fn print_block(label: &str, monas: &SearchOutcome, fahana: &SearchOutcome) {
 fn main() {
     let episodes = 150;
     println!("Table 2: effectiveness of the freezing method ({episodes} episodes per run)");
-    println!("Paper reference: MONAS 10^19 / 27.50% / 104H45M (tight), 33.33% / 177H15M (relaxed);");
+    println!(
+        "Paper reference: MONAS 10^19 / 27.50% / 104H45M (tight), 33.33% / 177H15M (relaxed);"
+    );
     println!("                 FaHaNa 10^9 / 71.05% / 57H10M / 1.83x (tight), 95.23% / 66H20M / 2.67x (relaxed)");
     println!();
 
     let (monas_tight, fahana_tight) = run_pair(1500.0, episodes, 41);
-    print_block("Tight timing constraint (TC = 1500 ms)", &monas_tight, &fahana_tight);
+    print_block(
+        "Tight timing constraint (TC = 1500 ms)",
+        &monas_tight,
+        &fahana_tight,
+    );
     println!();
     let (monas_relaxed, fahana_relaxed) = run_pair(4000.0, episodes, 42);
-    print_block("Relaxed timing constraint (TC = 4000 ms)", &monas_relaxed, &fahana_relaxed);
+    print_block(
+        "Relaxed timing constraint (TC = 4000 ms)",
+        &monas_relaxed,
+        &fahana_relaxed,
+    );
     println!();
     println!("Shape to check: FaHaNa's space is orders of magnitude smaller, its valid ratio is");
     println!("higher under both constraints, and its modelled search time is lower (speedup > 1).");

@@ -17,11 +17,25 @@ fn print_group(label: &str, accuracy_constraint: f64, baseline_name: &str, rows:
         .iter()
         .find(|r| r.name == baseline_name)
         .expect("baseline model present");
-    println!("== {label} (accuracy requirement {:.0}%) ==", accuracy_constraint * 100.0);
+    println!(
+        "== {label} (accuracy requirement {:.0}%) ==",
+        accuracy_constraint * 100.0
+    );
     println!(
         "{:<18} {:>11} {:>8} {:>5} {:>8} {:>8} {:>8} {:>7} {:>9} {:>10} {:>8} {:>10} {:>8}",
-        "Model", "#Para", "Acc", "Meet", "Light", "Dark", "Unfair", "Reward",
-        "Stor(MB)", "Pi(ms)", "SpdUp", "Odroid(ms)", "SpdUp"
+        "Model",
+        "#Para",
+        "Acc",
+        "Meet",
+        "Light",
+        "Dark",
+        "Unfair",
+        "Reward",
+        "Stor(MB)",
+        "Pi(ms)",
+        "SpdUp",
+        "Odroid(ms)",
+        "SpdUp"
     );
     rule(140);
     for row in rows {
@@ -71,15 +85,29 @@ fn main() {
     all.extend(fahana_reference_rows());
     all.retain(|r| r.name != "SqueezeNet 1.0");
 
-    let g1: Vec<ModelRow> = all.iter().filter(|r| r.params < 4_000_000).cloned().collect();
-    let g2: Vec<ModelRow> = all.iter().filter(|r| r.params >= 4_000_000).cloned().collect();
+    let g1: Vec<ModelRow> = all
+        .iter()
+        .filter(|r| r.params < 4_000_000)
+        .cloned()
+        .collect();
+    let g2: Vec<ModelRow> = all
+        .iter()
+        .filter(|r| r.params >= 4_000_000)
+        .cloned()
+        .collect();
 
     print_group("Group 1: < 4M parameters", 0.81, "MobileNetV2", &g1);
     println!();
     print_group("Group 2: >= 4M parameters", 0.83, "ResNet-50", &g2);
     println!();
-    println!("Shape to check (paper): FaHaNa-Small is the fairest and smallest G1 model with the best");
-    println!("Pi/Odroid speedups over the MobileNetV2 baseline (paper: 5.28x smaller, 5.75x / 5.79x");
-    println!("faster, 15.14% fairer); FaHaNa-Fair achieves the lowest unfairness of all models while");
+    println!(
+        "Shape to check (paper): FaHaNa-Small is the fairest and smallest G1 model with the best"
+    );
+    println!(
+        "Pi/Odroid speedups over the MobileNetV2 baseline (paper: 5.28x smaller, 5.75x / 5.79x"
+    );
+    println!(
+        "faster, 15.14% fairer); FaHaNa-Fair achieves the lowest unfairness of all models while"
+    );
     println!("being ~4x smaller and faster than the ResNet-50 baseline.");
 }

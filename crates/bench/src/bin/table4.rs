@@ -70,6 +70,8 @@ fn main() {
     if let Some((name, unfairness)) = fairest_balanced {
         println!("fairest model after balancing: {name} (unfairness {unfairness:.4})");
     }
-    println!("Shape to check (paper): balancing improves fairness for every model and accuracy for");
+    println!(
+        "Shape to check (paper): balancing improves fairness for every model and accuracy for"
+    );
     println!("almost all of them, and FaHaNa-Small remains the fairest model after balancing.");
 }

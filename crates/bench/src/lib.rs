@@ -89,7 +89,13 @@ impl ModelRow {
 pub fn zoo_rows() -> Vec<ModelRow> {
     zoo::reference_models(CLASSES, INPUT_SIZE)
         .into_iter()
-        .map(|ZooEntry { architecture, paper, .. }| ModelRow::measure(&architecture, paper))
+        .map(
+            |ZooEntry {
+                 architecture,
+                 paper,
+                 ..
+             }| ModelRow::measure(&architecture, paper),
+        )
         .collect()
 }
 

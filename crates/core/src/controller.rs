@@ -81,7 +81,7 @@ impl RnnController {
                 "controller needs at least one decision".into(),
             ));
         }
-        if cardinalities.iter().any(|&c| c == 0) {
+        if cardinalities.contains(&0) {
             return Err(FahanaError::InvalidConfig(
                 "every decision needs at least one choice".into(),
             ));

@@ -46,9 +46,7 @@ pub use error::FahanaError;
 pub use monas::{MonasConfig, MonasSearch};
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use reward::{Reward, RewardConfig};
-pub use search::{
-    DiscoveredNetwork, EpisodeRecord, FahanaConfig, FahanaSearch, SearchOutcome,
-};
+pub use search::{DiscoveredNetwork, EpisodeRecord, FahanaConfig, FahanaSearch, SearchOutcome};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, FahanaError>;

@@ -12,19 +12,11 @@ use crate::Result;
 
 /// Configuration of a MONAS baseline run. It wraps [`FahanaConfig`] and
 /// forces the "no freezing" setting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MonasConfig {
     /// The underlying search settings (the `use_freezing` flag is ignored
     /// and forced to `false`).
     pub base: FahanaConfig,
-}
-
-impl Default for MonasConfig {
-    fn default() -> Self {
-        MonasConfig {
-            base: FahanaConfig::default(),
-        }
-    }
 }
 
 impl MonasConfig {
@@ -68,7 +60,7 @@ impl MonasSearch {
     ///
     /// # Errors
     ///
-    /// Propagates controller or evaluation failures.
+    /// Same conditions as [`FahanaSearch::run`](crate::FahanaSearch::run).
     pub fn run(self) -> Result<SearchOutcome> {
         self.inner.run()
     }
@@ -95,10 +87,7 @@ mod tests {
 
     #[test]
     fn monas_searches_the_full_backbone() {
-        let monas = MonasSearch::new(MonasConfig {
-            base: tiny_base(5),
-        })
-        .unwrap();
+        let monas = MonasSearch::new(MonasConfig { base: tiny_base(5) }).unwrap();
         // MobileNetV2 backbone has 17 blocks, all searchable for MONAS
         assert_eq!(monas.searchable_slots(), 17);
     }
@@ -115,7 +104,10 @@ mod tests {
 
     #[test]
     fn monas_run_produces_an_outcome_with_larger_space() {
-        let fahana = crate::FahanaSearch::new(tiny_base(10)).unwrap().run().unwrap();
+        let fahana = crate::FahanaSearch::new(tiny_base(10))
+            .unwrap()
+            .run()
+            .unwrap();
         let monas = MonasSearch::new(MonasConfig {
             base: tiny_base(10),
         })

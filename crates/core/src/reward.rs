@@ -72,19 +72,15 @@ impl RewardConfig {
             }
         } else if self.soft_constraints {
             // graded penalty: how far past the constraints the child is
-            let latency_excess = ((latency_ms - self.timing_constraint_ms)
-                / self.timing_constraint_ms)
-                .max(0.0);
+            let latency_excess =
+                ((latency_ms - self.timing_constraint_ms) / self.timing_constraint_ms).max(0.0);
             let accuracy_deficit = (self.accuracy_constraint - accuracy).max(0.0);
             Reward {
                 value: -(0.2 + latency_excess + 2.0 * accuracy_deficit).min(1.0),
                 valid,
             }
         } else {
-            Reward {
-                value: -1.0,
-                valid,
-            }
+            Reward { value: -1.0, valid }
         }
     }
 
@@ -144,7 +140,11 @@ mod tests {
     fn constraint_violations_return_minus_one() {
         let cfg = RewardConfig::default();
         assert_eq!(cfg.compute(0.5, 0.1, 100.0).value, -1.0, "accuracy too low");
-        assert_eq!(cfg.compute(0.9, 0.1, 9999.0).value, -1.0, "latency too high");
+        assert_eq!(
+            cfg.compute(0.9, 0.1, 9999.0).value,
+            -1.0,
+            "latency too high"
+        );
         assert!(!cfg.compute(0.9, 0.1, 9999.0).valid);
     }
 

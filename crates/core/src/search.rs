@@ -2,10 +2,11 @@
 
 use archspace::backbone::{BackboneProducer, BackboneTemplate};
 use archspace::{zoo, Architecture, SearchSpace, SpaceConfig};
-use dermsim::{DermatologyConfig, DermatologyGenerator};
-use edgehw::{BlockLatencyTable, DeviceProfile};
+use dermsim::{Dataset, DermatologyConfig, DermatologyGenerator};
+use edgehw::{DeviceProfile, SharedBlockLatencyTable};
 use evaluator::{
-    feature_variation_by_block, Evaluate, SearchCostConfig, SearchCostModel, SurrogateEvaluator,
+    feature_variation_by_block, EvalRequest, Evaluate, EvaluateBatch, SearchCostConfig,
+    SearchCostModel, SurrogateEvaluator,
 };
 use serde::{Deserialize, Serialize};
 
@@ -112,6 +113,9 @@ pub struct EpisodeRecord {
     pub accuracy: f64,
     /// Unfairness score (0 when the child was not evaluated).
     pub unfairness: f64,
+    /// Parameters the evaluation actually trained — smaller than `params`
+    /// when a frozen header was reused, 0 when the child was not evaluated.
+    pub trained_params: u64,
     /// The reward of Eq. 1.
     pub reward: f64,
     /// Whether the child met all constraints (reward ≠ −1).
@@ -193,17 +197,40 @@ impl SearchOutcome {
 /// The FaHaNa search engine with the default surrogate evaluator.
 ///
 /// The engine is generic in spirit — [`FahanaSearch::run_with_evaluator`]
-/// accepts any [`Evaluate`] implementation — while [`FahanaSearch::run`]
-/// uses the calibrated surrogate, which is what all the benches use.
+/// accepts any [`Evaluate`] implementation and
+/// [`FahanaSearch::run_with_batch_evaluator`] any [`EvaluateBatch`] stage —
+/// while [`FahanaSearch::run`] uses the calibrated surrogate, which is what
+/// all the benches use.
+///
+/// Episodes are processed in controller-update-sized chunks: the chunk is
+/// sampled sequentially (the controller RNN owns the only RNG stream), its
+/// children pass the hardware gate, the survivors are handed to the
+/// evaluation stage *as one batch*, and the policy-gradient update closes
+/// the chunk. A batch stage that evaluates in parallel (see
+/// `fahana-runtime`) therefore produces bit-identical outcomes to the
+/// sequential stage.
 #[derive(Debug)]
 pub struct FahanaSearch {
     config: FahanaConfig,
     template: BackboneTemplate,
     space: SearchSpace,
     controller: RnnController,
-    latency_table: BlockLatencyTable,
+    latency_table: SharedBlockLatencyTable,
     surrogate: SurrogateEvaluator,
     frozen_blocks: usize,
+}
+
+/// What the hardware gate decided about one sampled episode, before the
+/// evaluation stage runs.
+enum PreparedEpisode {
+    /// The controller's actions failed to decode into a well-formed child
+    /// (should not happen; kept as a defensive path).
+    Malformed,
+    /// The child violates the hardware specification and is never trained
+    /// (paper Figure 4 ➃); the finished record is already known.
+    Gated(EpisodeRecord),
+    /// The child passed the gate and awaits evaluation.
+    Pending { arch: Architecture, latency_ms: f64 },
 }
 
 impl FahanaSearch {
@@ -216,13 +243,26 @@ impl FahanaSearch {
     /// Returns an error if the configuration is inconsistent (e.g. zero
     /// episodes) or the backbone analysis fails.
     pub fn new(config: FahanaConfig) -> Result<Self> {
+        let dataset = DermatologyGenerator::new(config.dataset.clone()).generate();
+        Self::with_dataset(config, &dataset)
+    }
+
+    /// Like [`FahanaSearch::new`], but reuses a pre-generated dataset
+    /// instead of generating one from `config.dataset` — the campaign
+    /// runtime shares one dataset across a whole scenario grid this way.
+    /// The caller is responsible for passing a dataset consistent with
+    /// `config.dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FahanaSearch::new`].
+    pub fn with_dataset(config: FahanaConfig, dataset: &Dataset) -> Result<Self> {
         if config.episodes == 0 {
             return Err(FahanaError::InvalidConfig(
                 "a search needs at least one episode".into(),
             ));
         }
-        let dataset = DermatologyGenerator::new(config.dataset.clone()).generate();
-        let surrogate = SurrogateEvaluator::for_dataset(&dataset, config.seed);
+        let surrogate = SurrogateEvaluator::for_dataset(dataset, config.seed);
 
         let backbone = zoo::mobilenet_v2(config.classes, config.input_size);
         let producer = BackboneProducer::new(backbone.clone(), config.freeze_gamma);
@@ -232,7 +272,7 @@ impl FahanaSearch {
                 None => {
                     feature_variation_by_block(
                         &backbone,
-                        &dataset,
+                        dataset,
                         config.variation_batch,
                         config.seed,
                     )?
@@ -259,7 +299,7 @@ impl FahanaSearch {
                 ..config.controller
             },
         )?;
-        let latency_table = BlockLatencyTable::new(config.device.clone());
+        let latency_table = SharedBlockLatencyTable::new(config.device.clone());
         Ok(FahanaSearch {
             config,
             template,
@@ -286,6 +326,36 @@ impl FahanaSearch {
         &self.space
     }
 
+    /// The calibrated surrogate evaluator this search would run with by
+    /// default (derived from the generated dataset and the master seed).
+    pub fn surrogate(&self) -> &SurrogateEvaluator {
+        &self.surrogate
+    }
+
+    /// The per-block latency table used by the hardware gate.
+    pub fn latency_table(&self) -> &SharedBlockLatencyTable {
+        &self.latency_table
+    }
+
+    /// Replaces the latency table with a shared one, so concurrent searches
+    /// targeting the same device pool their offline block profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `table` was built for a different device profile
+    /// than this search's configuration.
+    pub fn set_latency_table(&mut self, table: SharedBlockLatencyTable) -> Result<()> {
+        if *table.device() != self.config.device {
+            return Err(FahanaError::InvalidConfig(format!(
+                "latency table profiles {} but the search targets {}",
+                table.device().kind,
+                self.config.device.kind
+            )));
+        }
+        self.latency_table = table;
+        Ok(())
+    }
+
     /// Runs the search with the calibrated surrogate evaluator.
     ///
     /// # Errors
@@ -300,50 +370,137 @@ impl FahanaSearch {
     ///
     /// # Errors
     ///
-    /// Propagates controller or evaluation failures.
+    /// Propagates controller failures. A failure to evaluate an individual
+    /// child does not abort the run — that episode is recorded as invalid
+    /// with reward −1, mirroring how constraint-violating children are
+    /// treated.
     pub fn run_with_evaluator<E: Evaluate>(&mut self, evaluator: &mut E) -> Result<SearchOutcome> {
-        let mut history: Vec<EpisodeRecord> = Vec::with_capacity(self.config.episodes);
+        self.run_with_batch_evaluator(evaluator)
+    }
+
+    /// Runs the search with a caller-supplied *batch* evaluation stage.
+    ///
+    /// Each controller-update chunk is sampled sequentially, gated against
+    /// the hardware specification, and the surviving children are handed to
+    /// `evaluator` as one batch. The stage may evaluate them in any order
+    /// (e.g. on a thread pool) as long as it returns results in request
+    /// order; the search outcome is identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures, and rejects a batch stage that
+    /// returns the wrong number of results. A per-request `Err` from the
+    /// stage does not abort the run — that episode is recorded as invalid
+    /// with reward −1, mirroring how constraint-violating children are
+    /// treated.
+    pub fn run_with_batch_evaluator<B: EvaluateBatch + ?Sized>(
+        &mut self,
+        evaluator: &mut B,
+    ) -> Result<SearchOutcome> {
+        let episodes = self.config.episodes;
+        let chunk_size = self.config.episodes_per_update.max(1);
+        let mut history: Vec<EpisodeRecord> = Vec::with_capacity(episodes);
         let mut discovered: Vec<DiscoveredNetwork> = Vec::new();
         let mut cost = SearchCostModel::new(self.config.cost);
-        let mut batch: Vec<(EpisodeSample, f64)> = Vec::new();
 
-        for episode in 0..self.config.episodes {
-            let sample = self.controller.sample_episode()?;
-            let record = match self.evaluate_episode(episode, &sample, evaluator, &mut cost) {
-                Ok((record, arch)) => {
-                    if record.valid {
-                        discovered.push(DiscoveredNetwork {
-                            architecture: arch,
-                            record: record.clone(),
-                        });
-                    }
-                    record
-                }
-                Err(_) => {
-                    // malformed child (should not happen): treat as invalid
-                    cost.record_invalid();
-                    EpisodeRecord {
-                        episode,
-                        name: format!("invalid-ep{episode}"),
-                        params: 0,
-                        storage_mb: 0.0,
-                        latency_ms: f64::INFINITY,
-                        accuracy: 0.0,
-                        unfairness: 0.0,
-                        reward: -1.0,
-                        valid: false,
-                    }
-                }
-            };
-            batch.push((sample, record.reward));
-            if batch.len() >= self.config.episodes_per_update {
-                self.controller.update(&batch)?;
-                batch.clear();
+        let mut episode = 0;
+        while episode < episodes {
+            let chunk = chunk_size.min(episodes - episode);
+
+            // ➀ sample the chunk (sequential: the controller RNN owns the
+            // only RNG stream, which defines the search trajectory)
+            let mut samples: Vec<EpisodeSample> = Vec::with_capacity(chunk);
+            for _ in 0..chunk {
+                samples.push(self.controller.sample_episode()?);
             }
-            history.push(record);
-        }
-        if !batch.is_empty() {
-            self.controller.update(&batch)?;
+
+            // ➁ instantiate children and apply the hardware gate
+            let prepared: Vec<PreparedEpisode> = samples
+                .iter()
+                .enumerate()
+                .map(|(offset, sample)| self.prepare_episode(episode + offset, sample))
+                .collect();
+
+            // ➂ evaluate the survivors as one batch
+            let requests: Vec<EvalRequest> = prepared
+                .iter()
+                .filter_map(|p| match p {
+                    PreparedEpisode::Pending { arch, .. } => {
+                        Some(EvalRequest::new(arch.clone(), self.frozen_blocks))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let evaluations = evaluator.evaluate_batch(&requests);
+            if evaluations.len() != requests.len() {
+                return Err(FahanaError::InvalidConfig(format!(
+                    "batch evaluator returned {} results for {} requests",
+                    evaluations.len(),
+                    requests.len()
+                )));
+            }
+
+            // ➃ assemble records in episode order and close the chunk with
+            // the policy-gradient update
+            let mut evaluations = evaluations.into_iter();
+            let mut update_batch: Vec<(EpisodeSample, f64)> = Vec::with_capacity(chunk);
+            for (offset, (sample, prep)) in samples.into_iter().zip(prepared).enumerate() {
+                let index = episode + offset;
+                let record = match prep {
+                    PreparedEpisode::Malformed => {
+                        cost.record_invalid();
+                        Self::invalid_record(index)
+                    }
+                    PreparedEpisode::Gated(record) => {
+                        cost.record_invalid();
+                        record
+                    }
+                    PreparedEpisode::Pending { arch, latency_ms } => {
+                        let evaluation = evaluations
+                            .next()
+                            .expect("one evaluation per pending episode");
+                        match evaluation {
+                            Ok(evaluation) => {
+                                cost.record_valid(evaluation.trained_params);
+                                let reward = self.config.reward.compute(
+                                    evaluation.accuracy(),
+                                    evaluation.unfairness(),
+                                    latency_ms,
+                                );
+                                let record = EpisodeRecord {
+                                    episode: index,
+                                    name: arch.name().to_string(),
+                                    params: arch.param_count(),
+                                    storage_mb: arch.storage_mb(),
+                                    latency_ms,
+                                    accuracy: evaluation.accuracy(),
+                                    unfairness: evaluation.unfairness(),
+                                    trained_params: evaluation.trained_params,
+                                    reward: reward.value,
+                                    valid: reward.valid,
+                                };
+                                if record.valid {
+                                    discovered.push(DiscoveredNetwork {
+                                        architecture: arch,
+                                        record: record.clone(),
+                                    });
+                                }
+                                record
+                            }
+                            Err(_) => {
+                                // evaluation failed (should not happen):
+                                // treat as invalid
+                                cost.record_invalid();
+                                Self::invalid_record(index)
+                            }
+                        }
+                    }
+                };
+                update_batch.push((sample, record.reward));
+                history.push(record);
+            }
+            self.controller.update(&update_batch)?;
+            episode += chunk;
         }
 
         let valid = history.iter().filter(|r| r.valid).count();
@@ -375,17 +532,19 @@ impl FahanaSearch {
         })
     }
 
-    fn evaluate_episode<E: Evaluate>(
-        &mut self,
-        episode: usize,
-        sample: &EpisodeSample,
-        evaluator: &mut E,
-        cost: &mut SearchCostModel,
-    ) -> Result<(EpisodeRecord, Architecture)> {
-        let decisions = self.space.decisions_from_actions(&sample.actions)?;
-        let child = self
-            .template
-            .instantiate(&self.space, &decisions, format!("fahana-ep{episode}"))?;
+    /// Decodes one sampled episode into a child and applies the hardware
+    /// gate (paper Figure 4 ➃: children that violate the specification are
+    /// never trained).
+    fn prepare_episode(&self, episode: usize, sample: &EpisodeSample) -> PreparedEpisode {
+        let Ok(decisions) = self.space.decisions_from_actions(&sample.actions) else {
+            return PreparedEpisode::Malformed;
+        };
+        let Ok(child) =
+            self.template
+                .instantiate(&self.space, &decisions, format!("fahana-ep{episode}"))
+        else {
+            return PreparedEpisode::Malformed;
+        };
         let latency_ms = self.latency_table.estimate_ms(&child);
         let storage_mb = child.storage_mb();
         let meets_storage = self
@@ -394,12 +553,8 @@ impl FahanaSearch {
             .map(|limit| storage_mb <= limit)
             .unwrap_or(true);
         let meets_latency = latency_ms <= self.config.reward.timing_constraint_ms;
-
-        // Hardware check first: children that violate the specification are
-        // never trained (paper Figure 4 ➃).
         if !meets_latency || !meets_storage {
-            cost.record_invalid();
-            let record = EpisodeRecord {
+            return PreparedEpisode::Gated(EpisodeRecord {
                 episode,
                 name: child.name().to_string(),
                 params: child.param_count(),
@@ -407,30 +562,32 @@ impl FahanaSearch {
                 latency_ms,
                 accuracy: 0.0,
                 unfairness: 0.0,
+                trained_params: 0,
                 reward: -1.0,
                 valid: false,
-            };
-            return Ok((record, child));
+            });
         }
-
-        let evaluation = evaluator.evaluate_with_frozen(&child, self.frozen_blocks)?;
-        cost.record_valid(evaluation.trained_params);
-        let reward = self
-            .config
-            .reward
-            .compute(evaluation.accuracy(), evaluation.unfairness(), latency_ms);
-        let record = EpisodeRecord {
-            episode,
-            name: child.name().to_string(),
-            params: child.param_count(),
-            storage_mb,
+        PreparedEpisode::Pending {
+            arch: child,
             latency_ms,
-            accuracy: evaluation.accuracy(),
-            unfairness: evaluation.unfairness(),
-            reward: reward.value,
-            valid: reward.valid,
-        };
-        Ok((record, child))
+        }
+    }
+
+    /// The placeholder record for an episode whose child could not be built
+    /// or evaluated.
+    fn invalid_record(episode: usize) -> EpisodeRecord {
+        EpisodeRecord {
+            episode,
+            name: format!("invalid-ep{episode}"),
+            params: 0,
+            storage_mb: 0.0,
+            latency_ms: f64::INFINITY,
+            accuracy: 0.0,
+            unfairness: 0.0,
+            trained_params: 0,
+            reward: -1.0,
+            valid: false,
+        }
     }
 }
 
@@ -469,7 +626,10 @@ mod tests {
             ..small_config(5, 1)
         })
         .unwrap();
-        assert!(fahana.frozen_blocks() > 0, "gamma=0.5 should freeze a header");
+        assert!(
+            fahana.frozen_blocks() > 0,
+            "gamma=0.5 should freeze a header"
+        );
         assert!(fahana.searchable_slots() < monas.searchable_slots());
         assert!(fahana.space().log10_size() < monas.space().log10_size());
         assert_eq!(monas.frozen_blocks(), 0);
@@ -477,7 +637,10 @@ mod tests {
 
     #[test]
     fn search_produces_history_and_statistics() {
-        let outcome = FahanaSearch::new(small_config(30, 2)).unwrap().run().unwrap();
+        let outcome = FahanaSearch::new(small_config(30, 2))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(outcome.history.len(), 30);
         assert!(outcome.valid_ratio >= 0.0 && outcome.valid_ratio <= 1.0);
         assert!(outcome.space_log10_size > 0.0);
@@ -497,7 +660,10 @@ mod tests {
 
     #[test]
     fn discovered_networks_satisfy_their_roles() {
-        let outcome = FahanaSearch::new(small_config(40, 3)).unwrap().run().unwrap();
+        let outcome = FahanaSearch::new(small_config(40, 3))
+            .unwrap()
+            .run()
+            .unwrap();
         if let Some(best) = &outcome.best {
             assert!(best.record.valid);
             // best is the max-reward valid record
@@ -519,14 +685,97 @@ mod tests {
 
     #[test]
     fn search_is_reproducible_for_a_seed() {
-        let a = FahanaSearch::new(small_config(15, 5)).unwrap().run().unwrap();
-        let b = FahanaSearch::new(small_config(15, 5)).unwrap().run().unwrap();
+        let a = FahanaSearch::new(small_config(15, 5))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = FahanaSearch::new(small_config(15, 5))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(a.history, b.history);
     }
 
     #[test]
+    fn batch_stage_evaluation_order_does_not_change_the_outcome() {
+        // a batch stage that walks its requests in reverse (as a stand-in
+        // for arbitrary parallel scheduling) but returns results in request
+        // order must reproduce the streaming outcome bit for bit
+        struct ReversingStage(SurrogateEvaluator);
+        impl EvaluateBatch for ReversingStage {
+            fn evaluate_batch(
+                &mut self,
+                requests: &[EvalRequest],
+            ) -> Vec<evaluator::Result<evaluator::FairnessEvaluation>> {
+                let mut results: Vec<_> = (0..requests.len()).map(|_| None).collect();
+                for (index, request) in requests.iter().enumerate().rev() {
+                    results[index] = Some(
+                        self.0
+                            .evaluate_with_frozen(&request.arch, request.frozen_blocks),
+                    );
+                }
+                results.into_iter().map(Option::unwrap).collect()
+            }
+        }
+
+        let streamed = FahanaSearch::new(small_config(20, 9))
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut search = FahanaSearch::new(small_config(20, 9)).unwrap();
+        let mut stage = ReversingStage(search.surrogate().clone());
+        let batched = search.run_with_batch_evaluator(&mut stage).unwrap();
+        assert_eq!(streamed.history, batched.history);
+        assert_eq!(streamed.valid_ratio, batched.valid_ratio);
+    }
+
+    #[test]
+    fn shared_latency_table_injection_preserves_outcomes_and_pools_profiles() {
+        let baseline = FahanaSearch::new(small_config(10, 6))
+            .unwrap()
+            .run()
+            .unwrap();
+
+        let shared = SharedBlockLatencyTable::new(small_config(10, 6).device);
+        let mut first = FahanaSearch::new(small_config(10, 6)).unwrap();
+        first.set_latency_table(shared.clone()).unwrap();
+        let first = first.run().unwrap();
+        let misses_after_first = shared.hit_miss().1;
+
+        let mut second = FahanaSearch::new(small_config(10, 6)).unwrap();
+        second.set_latency_table(shared.clone()).unwrap();
+        let second = second.run().unwrap();
+
+        assert_eq!(baseline.history, first.history);
+        assert_eq!(baseline.history, second.history);
+        // the second identical search re-visits only profiled blocks
+        assert_eq!(shared.hit_miss().1, misses_after_first);
+        assert!(shared.hit_miss().0 > 0);
+    }
+
+    #[test]
+    fn latency_table_for_wrong_device_is_rejected() {
+        let mut search = FahanaSearch::new(small_config(5, 1)).unwrap();
+        let wrong = SharedBlockLatencyTable::new(DeviceProfile::odroid_xu4());
+        assert!(search.set_latency_table(wrong).is_err());
+        let right = SharedBlockLatencyTable::new(DeviceProfile::raspberry_pi_4());
+        assert!(search.set_latency_table(right).is_ok());
+    }
+
+    #[test]
+    fn search_engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<FahanaSearch>();
+        assert_send::<SearchOutcome>();
+        assert_send::<FahanaConfig>();
+    }
+
+    #[test]
     fn frontier_helpers_return_nondominated_points() {
-        let outcome = FahanaSearch::new(small_config(30, 7)).unwrap().run().unwrap();
+        let outcome = FahanaSearch::new(small_config(30, 7))
+            .unwrap()
+            .run()
+            .unwrap();
         let frontier = outcome.accuracy_fairness_frontier();
         for p in &frontier {
             for q in &frontier {

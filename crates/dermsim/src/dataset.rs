@@ -130,11 +130,8 @@ impl Dataset {
             }
             data.extend_from_slice(&sample.pixels);
         }
-        let tensor = Tensor::from_vec(
-            data,
-            &[self.samples.len(), Sample::CHANNELS, size, size],
-        )
-        .ok()?;
+        let tensor =
+            Tensor::from_vec(data, &[self.samples.len(), Sample::CHANNELS, size, size]).ok()?;
         Some((tensor, self.labels()))
     }
 
@@ -225,7 +222,8 @@ mod tests {
         let c = data.split(0.6, 0.2, 8);
         // a different shuffle seed almost surely changes the first sample
         assert_ne!(
-            a.train.samples()[0].pixels, c.train.samples()[0].pixels,
+            a.train.samples()[0].pixels,
+            c.train.samples()[0].pixels,
             "different seeds should shuffle differently"
         );
     }

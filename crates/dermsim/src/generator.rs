@@ -139,6 +139,8 @@ impl DermatologyGenerator {
         let cfg = &self.config;
         let size = cfg.image_size;
         let mut pixels = vec![0.0f32; 3 * size * size];
+        // CHW offset of pixel (x, y) in channel c
+        let at = |c: usize, y: usize, x: usize| (c * size + y) * size + x;
 
         // Background tone: the demographic feature. Light skin is bright
         // with a warm tint; dark skin is darker.
@@ -150,9 +152,9 @@ impl DermatologyGenerator {
         let tone_jitter = rng.normal(0.0, 0.03);
         for y in 0..size {
             for x in 0..size {
-                pixels[(0 * size + y) * size + x] = base_r + tone_jitter;
-                pixels[(1 * size + y) * size + x] = base_g + tone_jitter;
-                pixels[(2 * size + y) * size + x] = base_b + tone_jitter;
+                pixels[at(0, y, x)] = base_r + tone_jitter;
+                pixels[at(1, y, x)] = base_g + tone_jitter;
+                pixels[at(2, y, x)] = base_b + tone_jitter;
             }
         }
 
@@ -178,11 +180,9 @@ impl DermatologyGenerator {
                 let delta = contrast * intensity;
                 // lesions darken the red channel and shift blue/green in a
                 // class-specific way so classes stay separable
-                pixels[(0 * size + y) * size + x] -= delta;
-                pixels[(1 * size + y) * size + x] -=
-                    delta * (0.4 + 0.1 * pattern_label as f32);
-                pixels[(2 * size + y) * size + x] +=
-                    delta * (0.15 * pattern_label as f32 - 0.2);
+                pixels[at(0, y, x)] -= delta;
+                pixels[at(1, y, x)] -= delta * (0.4 + 0.1 * pattern_label as f32);
+                pixels[at(2, y, x)] += delta * (0.15 * pattern_label as f32 - 0.2);
             }
         }
 
@@ -323,10 +323,7 @@ mod tests {
     fn pixels_are_clamped_to_unit_interval() {
         let dataset = DermatologyGenerator::new(small_config(100)).generate();
         for sample in dataset.samples() {
-            assert!(sample
-                .pixels
-                .iter()
-                .all(|&p| (0.0..=1.0).contains(&p)));
+            assert!(sample.pixels.iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
 

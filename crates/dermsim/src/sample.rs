@@ -161,7 +161,7 @@ mod tests {
     fn sample_pixel_indexing_is_channel_major() {
         let size = 2;
         let mut pixels = vec![0.0; 3 * size * size];
-        pixels[(1 * size + 1) * size + 0] = 0.7; // channel 1, y=1, x=0
+        pixels[(size + 1) * size] = 0.7; // channel 1, y=1, x=0
         let sample = Sample {
             pixels,
             size,

@@ -41,5 +41,5 @@ pub mod spec;
 
 pub use device::{DeviceKind, DeviceProfile};
 pub use latency::{LatencyBreakdown, LatencyEstimator};
-pub use lut::BlockLatencyTable;
+pub use lut::{BlockLatencyTable, SharedBlockLatencyTable};
 pub use spec::HardwareSpec;

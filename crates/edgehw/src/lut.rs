@@ -10,6 +10,8 @@
 //! [`LatencyEstimator::estimate`](crate::LatencyEstimator::estimate).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use archspace::block::BlockConfig;
 use archspace::Architecture;
@@ -24,6 +26,41 @@ struct BlockKey {
     block: BlockConfig,
     in_h: usize,
     in_w: usize,
+}
+
+/// Walks an architecture the way the offline profiling methodology does:
+/// stem and classifier head through the end-to-end estimator, every block
+/// through the per-block `lookup`, threading the spatial resolution.
+fn walk_architecture(
+    estimator: &LatencyEstimator,
+    arch: &Architecture,
+    mut lookup: impl FnMut(&BlockConfig, usize, usize) -> f64,
+) -> f64 {
+    let ops = arch.ops();
+    // stem is the first op, the classifier is the last one
+    let mut total = 0.0;
+    if let Some(stem_op) = ops.first() {
+        total += estimator
+            .estimate_ops(std::slice::from_ref(stem_op))
+            .total_ms;
+    }
+    if ops.len() > 1 {
+        if let Some(head_op) = ops.last() {
+            total += estimator
+                .estimate_ops(std::slice::from_ref(head_op))
+                .total_ms;
+        }
+    }
+    let mut h = archspace::block::spatial_out(arch.input_size(), arch.stem().reduction());
+    let mut w = h;
+    for block in arch.blocks() {
+        total += lookup(block, h, w);
+        if !block.skipped {
+            h = archspace::block::spatial_out(h, block.stride());
+            w = archspace::block::spatial_out(w, block.stride());
+        }
+    }
+    total
 }
 
 /// A memoised per-block latency table ("offline profiling").
@@ -96,30 +133,136 @@ impl BlockLatencyTable {
     /// (plus the stem and classifier, which are profiled as pseudo-blocks
     /// through the underlying estimator).
     pub fn estimate_ms(&mut self, arch: &Architecture) -> f64 {
-        let ops = arch.ops();
-        // stem is the first op, the classifier is the last one
-        let mut total = 0.0;
-        if let Some(stem_op) = ops.first() {
-            total += self.estimator.estimate_ops(std::slice::from_ref(stem_op)).total_ms;
-        }
-        if ops.len() > 1 {
-            if let Some(head_op) = ops.last() {
-                total += self
-                    .estimator
-                    .estimate_ops(std::slice::from_ref(head_op))
-                    .total_ms;
+        // split borrows: the walk reads the estimator while the lookup
+        // mutates the entry map and counters
+        let BlockLatencyTable {
+            estimator,
+            entries,
+            hits,
+            misses,
+        } = self;
+        walk_architecture(estimator, arch, |block, in_h, in_w| {
+            let key = BlockKey {
+                block: *block,
+                in_h,
+                in_w,
+            };
+            if let Some(&cached) = entries.get(&key) {
+                *hits += 1;
+                return cached;
             }
+            *misses += 1;
+            let latency = estimator.estimate_ops(&block.ops(in_h, in_w)).total_ms;
+            entries.insert(key, latency);
+            latency
+        })
+    }
+}
+
+/// A thread-safe, cheaply clonable per-block latency table.
+///
+/// Clones share one entry map behind an [`RwLock`] plus atomic hit/miss
+/// counters, so many search workers targeting the same device profile pool
+/// their offline block profiles — the block a worker profiles first is a
+/// cache hit for every other worker. Lookups are `&self`, which is what the
+/// campaign runtime needs to run searches concurrently.
+///
+/// # Example
+///
+/// ```
+/// use archspace::zoo;
+/// use edgehw::{DeviceProfile, LatencyEstimator, SharedBlockLatencyTable};
+///
+/// let device = DeviceProfile::raspberry_pi_4();
+/// let table = SharedBlockLatencyTable::new(device.clone());
+/// let worker = table.clone(); // shares profiles with `table`
+/// let arch = zoo::paper_fahana_small(5, 64);
+/// let from_table = worker.estimate_ms(&arch);
+/// let end_to_end = LatencyEstimator::new(device).estimate_ms(&arch);
+/// assert!((from_table - end_to_end).abs() / end_to_end < 0.05);
+/// assert!(table.len() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedBlockLatencyTable {
+    estimator: LatencyEstimator,
+    entries: Arc<RwLock<HashMap<BlockKey, f64>>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+impl SharedBlockLatencyTable {
+    /// Creates an empty shared table for a device.
+    pub fn new(device: DeviceProfile) -> Self {
+        SharedBlockLatencyTable {
+            estimator: LatencyEstimator::new(device),
+            entries: Arc::new(RwLock::new(HashMap::new())),
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
         }
-        let mut h = archspace::block::spatial_out(arch.input_size(), arch.stem().reduction());
-        let mut w = h;
-        for block in arch.blocks() {
-            total += self.block_latency_ms(block, h, w);
-            if !block.skipped {
-                h = archspace::block::spatial_out(h, block.stride());
-                w = archspace::block::spatial_out(w, block.stride());
-            }
+    }
+
+    /// The device profile the table profiles against.
+    pub fn device(&self) -> &DeviceProfile {
+        self.estimator.device()
+    }
+
+    /// Number of profiled block configurations.
+    pub fn len(&self) -> usize {
+        self.entries
+            .read()
+            .expect("latency table lock poisoned")
+            .len()
+    }
+
+    /// Whether no block has been profiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hit/miss counters across all clones.
+    ///
+    /// Two workers racing on the same unprofiled block may both record a
+    /// miss (they compute the same value, so the table stays consistent);
+    /// the reported hit-rate is therefore a lower bound under contention.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Latency of one block at a resolution, profiling it on first use.
+    pub fn block_latency_ms(&self, block: &BlockConfig, in_h: usize, in_w: usize) -> f64 {
+        let key = BlockKey {
+            block: *block,
+            in_h,
+            in_w,
+        };
+        if let Some(&cached) = self
+            .entries
+            .read()
+            .expect("latency table lock poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
         }
-        total
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let latency = self.estimator.estimate_ops(&block.ops(in_h, in_w)).total_ms;
+        self.entries
+            .write()
+            .expect("latency table lock poisoned")
+            .insert(key, latency);
+        latency
+    }
+
+    /// Estimates a whole architecture by summing its per-block latencies,
+    /// exactly like [`BlockLatencyTable::estimate_ms`] but through the
+    /// shared map.
+    pub fn estimate_ms(&self, arch: &Architecture) -> f64 {
+        walk_architecture(&self.estimator, arch, |block, in_h, in_w| {
+            self.block_latency_ms(block, in_h, in_w)
+        })
     }
 }
 
@@ -166,6 +309,66 @@ mod tests {
         let high = table.block_latency_ms(&block, 32, 32);
         assert!(high > low);
         assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn shared_table_matches_serial_table() {
+        let device = DeviceProfile::raspberry_pi_4();
+        let shared = SharedBlockLatencyTable::new(device.clone());
+        let mut serial = BlockLatencyTable::new(device);
+        for entry in zoo::reference_models(5, 64) {
+            let a = shared.estimate_ms(&entry.architecture);
+            let b = serial.estimate_ms(&entry.architecture);
+            assert_eq!(a, b, "{}: shared and serial tables must agree", entry.model);
+        }
+        assert_eq!(shared.len(), serial.len());
+    }
+
+    #[test]
+    fn shared_table_clones_pool_their_profiles() {
+        let table = SharedBlockLatencyTable::new(DeviceProfile::raspberry_pi_4());
+        let clone = table.clone();
+        let block = BlockConfig::new(BlockKind::Db, 32, 128, 32, 3);
+        let first = table.block_latency_ms(&block, 16, 16);
+        let second = clone.block_latency_ms(&block, 16, 16);
+        assert_eq!(first, second);
+        let (hits, misses) = table.hit_miss();
+        assert_eq!(
+            (hits, misses),
+            (1, 1),
+            "clone's lookup hits the shared entry"
+        );
+        assert_eq!(table.len(), 1);
+        assert!(!clone.is_empty());
+    }
+
+    #[test]
+    fn shared_table_is_safe_to_use_from_many_threads() {
+        let table = SharedBlockLatencyTable::new(DeviceProfile::raspberry_pi_4());
+        let arch = zoo::paper_fahana_small(5, 64);
+        let expected = LatencyEstimator::new(DeviceProfile::raspberry_pi_4()).estimate_ms(&arch);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let worker = table.clone();
+                let arch = &arch;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let got = worker.estimate_ms(arch);
+                        assert!((got - expected).abs() / expected < 0.05);
+                    }
+                });
+            }
+        });
+        let (hits, _misses) = table.hit_miss();
+        assert!(hits > 0, "repeat estimates must hit the shared profiles");
+    }
+
+    #[test]
+    fn shared_table_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedBlockLatencyTable>();
+        assert_send_sync::<DeviceProfile>();
+        assert_send_sync::<LatencyEstimator>();
     }
 
     #[test]

@@ -89,8 +89,14 @@ mod tests {
         let spec = HardwareSpec::table1_raspberry_pi();
         let (lat_small, ok_small) = spec.check(&zoo::paper_fahana_small(5, 224));
         let (lat_mbv2, ok_mbv2) = spec.check(&zoo::mobilenet_v2(5, 224));
-        assert!(ok_small, "FaHaNa-Small ({lat_small:.0}ms) should meet the spec");
-        assert!(!ok_mbv2, "MobileNetV2 ({lat_mbv2:.0}ms) should violate TC=1500ms");
+        assert!(
+            ok_small,
+            "FaHaNa-Small ({lat_small:.0}ms) should meet the spec"
+        );
+        assert!(
+            !ok_mbv2,
+            "MobileNetV2 ({lat_mbv2:.0}ms) should violate TC=1500ms"
+        );
     }
 
     #[test]

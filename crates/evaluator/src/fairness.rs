@@ -31,10 +31,7 @@ impl FairnessReport {
     pub fn new(overall_accuracy: f64, per_group: Vec<GroupAccuracy>) -> Self {
         let unfairness = unfairness_score(
             overall_accuracy,
-            &per_group
-                .iter()
-                .map(|g| g.accuracy)
-                .collect::<Vec<f64>>(),
+            &per_group.iter().map(|g| g.accuracy).collect::<Vec<f64>>(),
         );
         FairnessReport {
             overall_accuracy,
@@ -140,6 +137,8 @@ mod tests {
     }
 
     #[test]
+    // 0.7854 is MnasNet's published light-skin accuracy, not an attempt at π/4
+    #[allow(clippy::approx_constant)]
     fn mnasnet_published_numbers_reproduce_their_score() {
         // MnasNet 0.5: overall 78.12%, light 78.54%, dark 33.33% → 0.4521
         let u = unfairness_score(0.7812, &[0.7854, 0.3333]);
@@ -149,14 +148,7 @@ mod tests {
     #[test]
     fn report_from_predictions_counts_each_group() {
         let correct = [true, true, false, true, false, false];
-        let groups = [
-            Group(0),
-            Group(0),
-            Group(0),
-            Group(0),
-            Group(1),
-            Group(1),
-        ];
+        let groups = [Group(0), Group(0), Group(0), Group(0), Group(1), Group(1)];
         let report = report_from_predictions(&correct, &groups, 2);
         assert!((report.overall_accuracy - 0.5).abs() < 1e-9);
         assert!((report.group_accuracy(Group(0)).unwrap() - 0.75).abs() < 1e-9);

@@ -31,7 +31,7 @@ pub mod variation;
 
 pub use cost::{SearchCostConfig, SearchCostModel};
 pub use error::EvalError;
-pub use evaluate::{Evaluate, FairnessEvaluation};
+pub use evaluate::{EvalRequest, Evaluate, EvaluateBatch, FairnessEvaluation};
 pub use fairness::{unfairness_score, FairnessReport, GroupAccuracy};
 pub use surrogate::{SurrogateConfig, SurrogateEvaluator};
 pub use trained::{TrainedEvaluator, TrainedEvaluatorConfig};

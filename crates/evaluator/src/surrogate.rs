@@ -171,7 +171,11 @@ impl SurrogateEvaluator {
 
         let capacity = 0.845 - 0.085 * (-p_m / 1.5).exp();
         let structure = 0.035 * tail + 0.010 * het;
-        let depth_penalty = if depth < 3.0 { 0.05 * (3.0 - depth) } else { 0.0 };
+        let depth_penalty = if depth < 3.0 {
+            0.05 * (3.0 - depth)
+        } else {
+            0.0
+        };
         // balancing the dataset buys a small accuracy improvement (Table 4)
         let balance_bonus = 0.010 * (1.0 - imb).max(0.0);
         let raw = capacity + structure - depth_penalty + balance_bonus + self.noise(arch);
@@ -300,12 +304,18 @@ mod tests {
     #[test]
     fn larger_models_within_a_family_are_fairer() {
         // the paper's Figure 1(a) observation
-        assert!(eval(ReferenceModel::MnasNet05).unfairness() > eval(ReferenceModel::MnasNet10).unfairness());
+        assert!(
+            eval(ReferenceModel::MnasNet05).unfairness()
+                > eval(ReferenceModel::MnasNet10).unfairness()
+        );
         assert!(
             eval(ReferenceModel::MobileNetV3Small).unfairness()
                 > eval(ReferenceModel::MobileNetV3Large).unfairness()
         );
-        assert!(eval(ReferenceModel::ResNet18).unfairness() >= eval(ReferenceModel::ResNet50).unfairness());
+        assert!(
+            eval(ReferenceModel::ResNet18).unfairness()
+                >= eval(ReferenceModel::ResNet50).unfairness()
+        );
     }
 
     #[test]
@@ -364,7 +374,10 @@ mod tests {
             let ratio = 5.67 / multiplier as f64;
             let mut s = surrogate().with_imbalance_ratio(ratio.max(1.0));
             let u = s.evaluate(&arch).unwrap().unfairness();
-            assert!(u <= last + 1e-9, "unfairness should not increase with more minority data");
+            assert!(
+                u <= last + 1e-9,
+                "unfairness should not increase with more minority data"
+            );
             last = u;
         }
     }

@@ -122,8 +122,11 @@ mod tests {
     use dermsim::{DermatologyConfig, DermatologyGenerator};
 
     fn tiny_dataset() -> Dataset {
+        // 360 samples leave a 72-sample test split — small enough to train
+        // quickly, large enough that above-chance accuracy is a stable
+        // signal rather than a coin flip on two dozen samples.
         DermatologyGenerator::new(DermatologyConfig {
-            samples: 120,
+            samples: 360,
             image_size: 8,
             classes: 3,
             minority_fraction: 0.25,
@@ -156,12 +159,14 @@ mod tests {
             &dataset,
             TrainedEvaluatorConfig {
                 train: TrainConfig {
-                    epochs: 12,
+                    epochs: 25,
                     batch_size: 16,
-                    learning_rate: 0.1,
+                    // lr 0.1 reliably diverges on this tiny conv stack; a
+                    // gentler schedule converges for every probed seed
+                    learning_rate: 0.02,
                     ..TrainConfig::default()
                 },
-                seed: 1,
+                seed: 0,
             },
         )
         .unwrap();

@@ -117,8 +117,8 @@ pub fn feature_variation_by_block(
 /// available through [`feature_variation_by_block`].
 pub fn paper_figure3_profile() -> Vec<f32> {
     vec![
-        0.006, 0.007, 0.008, 0.009, 0.010, 0.012, 0.014, 0.016, 0.018, 0.021, 0.024, 0.028,
-        0.062, 0.075, 0.090, 0.105, 0.030,
+        0.006, 0.007, 0.008, 0.009, 0.010, 0.012, 0.014, 0.016, 0.018, 0.021, 0.024, 0.028, 0.062,
+        0.075, 0.090, 0.105, 0.030,
     ]
 }
 

@@ -126,28 +126,36 @@ mod tests {
     #[test]
     fn relu_gradient_matches() {
         let mut rng = SeededRng::new(0);
-        let x = Initializer::XavierUniform.create(&mut rng, &[2, 6], 6, 6).scale(3.0);
+        let x = Initializer::XavierUniform
+            .create(&mut rng, &[2, 6], 6, 6)
+            .scale(3.0);
         finite_difference(&mut Relu::new(), &x);
     }
 
     #[test]
     fn relu6_gradient_matches() {
         let mut rng = SeededRng::new(1);
-        let x = Initializer::XavierUniform.create(&mut rng, &[2, 6], 6, 6).scale(8.0);
+        let x = Initializer::XavierUniform
+            .create(&mut rng, &[2, 6], 6, 6)
+            .scale(8.0);
         finite_difference(&mut Relu6::new(), &x);
     }
 
     #[test]
     fn sigmoid_gradient_matches() {
         let mut rng = SeededRng::new(2);
-        let x = Initializer::XavierUniform.create(&mut rng, &[2, 6], 6, 6).scale(2.0);
+        let x = Initializer::XavierUniform
+            .create(&mut rng, &[2, 6], 6, 6)
+            .scale(2.0);
         finite_difference(&mut Sigmoid::new(), &x);
     }
 
     #[test]
     fn tanh_gradient_matches() {
         let mut rng = SeededRng::new(3);
-        let x = Initializer::XavierUniform.create(&mut rng, &[2, 6], 6, 6).scale(2.0);
+        let x = Initializer::XavierUniform
+            .create(&mut rng, &[2, 6], 6, 6)
+            .scale(2.0);
         finite_difference(&mut Tanh::new(), &x);
     }
 

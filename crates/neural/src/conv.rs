@@ -341,8 +341,8 @@ impl Layer for DepthwiseConv2d {
                                 if ix < 0 || ix as usize >= w {
                                     continue;
                                 }
-                                let xi = ((bi * self.channels + c) * h + iy as usize) * w
-                                    + ix as usize;
+                                let xi =
+                                    ((bi * self.channels + c) * h + iy as usize) * w + ix as usize;
                                 let wi = (c * k + ky) * k + kx;
                                 acc += x[xi] * wgt[wi];
                             }

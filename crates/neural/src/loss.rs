@@ -155,8 +155,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_rows() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.2, 0.8], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.2, 0.8], &[3, 2]).unwrap();
         let acc = accuracy(&logits, &[0, 1, 0]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
     }

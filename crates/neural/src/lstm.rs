@@ -155,7 +155,8 @@ impl LstmCell {
                 actual: x.dims().to_vec(),
             });
         }
-        if state.h.dims() != [batch, self.hidden_size] || state.c.dims() != [batch, self.hidden_size]
+        if state.h.dims() != [batch, self.hidden_size]
+            || state.c.dims() != [batch, self.hidden_size]
         {
             return Err(NeuralError::BadInputShape {
                 layer: "lstm-state".into(),
@@ -455,8 +456,9 @@ mod tests {
         let mut rng = SeededRng::new(6);
         let cell = LstmCell::new(2, 4, &mut rng).unwrap();
         let bias = cell.bias.as_slice();
-        for j in 4..8 {
-            assert_eq!(bias[j], 1.0);
+        // the forget-gate block of the bias vector is indices 4..8
+        for &b in &bias[4..8] {
+            assert_eq!(b, 1.0);
         }
     }
 

@@ -68,7 +68,10 @@ impl ChannelNorm {
             [n, c] if *c == self.channels => Ok((*n, 1)),
             dims => Err(NeuralError::BadInputShape {
                 layer: "channel_norm".into(),
-                expected: format!("(batch, {}, h, w) or (batch, {})", self.channels, self.channels),
+                expected: format!(
+                    "(batch, {}, h, w) or (batch, {})",
+                    self.channels, self.channels
+                ),
                 actual: dims.to_vec(),
             }),
         }

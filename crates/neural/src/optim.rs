@@ -163,19 +163,16 @@ impl Optimizer for Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::activation::Relu;
     use crate::dense::Dense;
     use crate::loss::softmax_cross_entropy;
     use crate::sequential::Sequential;
-    use crate::activation::Relu;
     use ftensor::{SeededRng, Tensor};
 
     fn toy_problem() -> (Tensor, Vec<usize>) {
         // four linearly separable points in 2-D
-        let x = Tensor::from_vec(
-            vec![1.0, 1.0, 1.0, 0.8, -1.0, -1.0, -0.8, -1.0],
-            &[4, 2],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 1.0, 1.0, 0.8, -1.0, -1.0, -0.8, -1.0], &[4, 2]).unwrap();
         (x, vec![0, 0, 1, 1])
     }
 

@@ -133,11 +133,8 @@ mod tests {
     #[test]
     fn global_avg_pool_averages_each_channel() {
         let mut pool = GlobalAvgPool::new();
-        let x = Tensor::from_vec(
-            vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0],
-            &[1, 2, 2, 2],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]).unwrap();
         let y = pool.forward(&x, false).unwrap();
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.as_slice(), &[4.0, 2.0]);

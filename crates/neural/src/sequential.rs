@@ -223,8 +223,8 @@ impl Layer for Residual {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dense::Dense;
     use crate::activation::Relu;
+    use crate::dense::Dense;
     use ftensor::SeededRng;
 
     fn small_net(rng: &mut SeededRng) -> Sequential {
@@ -311,7 +311,9 @@ mod tests {
     #[test]
     fn residual_backward_includes_identity_path() {
         let mut body = Sequential::new();
-        body.push(Box::new(Dense::from_parts(Tensor::eye(2), Tensor::zeros(&[2])).unwrap()));
+        body.push(Box::new(
+            Dense::from_parts(Tensor::eye(2), Tensor::zeros(&[2])).unwrap(),
+        ));
         let mut res = Residual::new(body);
         res.forward(&Tensor::ones(&[1, 2]), true).unwrap();
         let g = res.backward(&Tensor::ones(&[1, 2])).unwrap();

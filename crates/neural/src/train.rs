@@ -169,7 +169,12 @@ impl Trainer {
     /// # Errors
     ///
     /// Returns an error if shapes disagree with the labels.
-    pub fn evaluate(&self, net: &mut Sequential, features: &Tensor, labels: &[usize]) -> Result<f32> {
+    pub fn evaluate(
+        &self,
+        net: &mut Sequential,
+        features: &Tensor,
+        labels: &[usize],
+    ) -> Result<f32> {
         let logits = net.forward(features, false)?;
         accuracy(&logits, labels)
     }
@@ -232,7 +237,11 @@ mod tests {
             ..TrainConfig::default()
         });
         let report = trainer.fit(&mut net, &x, &labels).unwrap();
-        assert!(report.train_accuracy > 0.95, "accuracy {}", report.train_accuracy);
+        assert!(
+            report.train_accuracy > 0.95,
+            "accuracy {}",
+            report.train_accuracy
+        );
         assert!(report.final_loss < report.loss_history[0]);
         assert_eq!(report.loss_history.len(), 15);
         assert!(report.steps >= 15);

@@ -1,0 +1,213 @@
+//! `fahana-campaign` — run a FaHaNa scenario grid from a declarative
+//! config and emit per-scenario JSON reports.
+//!
+//! ```text
+//! fahana-campaign [--config FILE] [--out DIR] [--threads N]
+//!                 [--episodes N] [--seed N] [--no-cache]
+//!                 [--parallel-episodes] [--json] [--print-example]
+//! ```
+//!
+//! Without `--config`, the paper-flavoured default grid runs: 2 devices
+//! (Raspberry Pi 4, Odroid XU-4) × 2 reward settings (balanced,
+//! fairness-heavy) × freezing on/off = 8 scenarios.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fahana_runtime::{campaign_json, scenario_json, CampaignConfig, CampaignEngine};
+
+struct Cli {
+    config_path: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
+    threads: Option<usize>,
+    episodes: Option<usize>,
+    seed: Option<u64>,
+    no_cache: bool,
+    parallel_episodes: bool,
+    json: bool,
+    print_example: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fahana-campaign [--config FILE] [--out DIR] [--threads N] \
+     [--episodes N] [--seed N] [--no-cache] [--parallel-episodes] [--json] \
+     [--print-example]"
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        config_path: None,
+        out_dir: None,
+        threads: None,
+        episodes: None,
+        seed: None,
+        no_cache: false,
+        parallel_episodes: false,
+        json: false,
+        print_example: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--config" => cli.config_path = Some(PathBuf::from(value_of("--config")?)),
+            "--out" => cli.out_dir = Some(PathBuf::from(value_of("--out")?)),
+            "--threads" => {
+                cli.threads = Some(
+                    value_of("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads expects a number".to_string())?,
+                )
+            }
+            "--episodes" => {
+                cli.episodes = Some(
+                    value_of("--episodes")?
+                        .parse()
+                        .map_err(|_| "--episodes expects a number".to_string())?,
+                )
+            }
+            "--seed" => {
+                cli.seed = Some(
+                    value_of("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed expects a number".to_string())?,
+                )
+            }
+            "--no-cache" => cli.no_cache = true,
+            "--parallel-episodes" => cli.parallel_episodes = true,
+            "--json" => cli.json = true,
+            "--print-example" => cli.print_example = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(cli)
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    if cli.print_example {
+        print!("{}", CampaignConfig::example());
+        return Ok(());
+    }
+
+    let mut config = match &cli.config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            CampaignConfig::parse(&text).map_err(|e| e.to_string())?
+        }
+        None => CampaignConfig::default(),
+    };
+    if let Some(threads) = cli.threads {
+        config.threads = threads;
+    }
+    if let Some(episodes) = cli.episodes {
+        config.episodes = episodes;
+    }
+    if let Some(seed) = cli.seed {
+        config.seed = seed;
+    }
+    if cli.no_cache {
+        config.use_cache = false;
+    }
+    if cli.parallel_episodes {
+        config.parallel_episodes = true;
+    }
+
+    let engine = CampaignEngine::new(config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "running {} scenarios on {} worker threads (cache {}, episode batching {})",
+        engine.config().scenario_count(),
+        engine.threads(),
+        if engine.config().use_cache {
+            "on"
+        } else {
+            "off"
+        },
+        if engine.config().parallel_episodes {
+            "pooled"
+        } else {
+            "inline"
+        },
+    );
+    let outcome = engine.run().map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "{:<40} {:>7} {:>7} {:>9} {:>9} {:>8}",
+        "scenario", "valid%", "best R", "wall ms", "hit-rate", "entries"
+    );
+    for scenario in &outcome.scenarios {
+        let best = scenario
+            .outcome
+            .best
+            .as_ref()
+            .map(|b| format!("{:.3}", b.record.reward))
+            .unwrap_or_else(|| "-".into());
+        eprintln!(
+            "{:<40} {:>6.1}% {:>7} {:>9.1} {:>8.1}% {:>8}",
+            scenario.scenario.name,
+            scenario.outcome.valid_ratio * 100.0,
+            best,
+            scenario.wall_clock.as_secs_f64() * 1e3,
+            scenario.cache.hit_rate() * 100.0,
+            scenario.cache.hits + scenario.cache.misses,
+        );
+    }
+    eprintln!(
+        "campaign: {:.1} ms wall-clock, cache hit-rate {:.1}% over {} lookups ({} entries)",
+        outcome.wall_clock.as_secs_f64() * 1e3,
+        outcome.cache.hit_rate() * 100.0,
+        outcome.cache.hits + outcome.cache.misses,
+        outcome.cache_entries,
+    );
+
+    if let Some(dir) = &cli.out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let campaign_path = dir.join("campaign.json");
+        std::fs::write(&campaign_path, campaign_json(&outcome))
+            .map_err(|e| format!("cannot write {}: {e}", campaign_path.display()))?;
+        for scenario in &outcome.scenarios {
+            let path = dir.join(format!("{}.json", sanitize(&scenario.scenario.name)));
+            std::fs::write(&path, scenario_json(scenario))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        eprintln!(
+            "wrote campaign.json and {} scenario reports to {}",
+            outcome.scenarios.len(),
+            dir.display()
+        );
+    }
+    if cli.json {
+        println!("{}", campaign_json(&outcome));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fahana-campaign: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The campaign engine: many searches, one pool, one cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use edgehw::{DeviceKind, DeviceProfile, SharedBlockLatencyTable};
+use evaluator::{EvalRequest, Evaluate, EvaluateBatch, FairnessEvaluation};
+use fahana::{FahanaSearch, SearchOutcome};
+
+use crate::cache::{CacheStats, CachedEvaluator, EvalCache};
+use crate::pool::ThreadPool;
+use crate::scenario::{CampaignConfig, Scenario};
+use crate::{Result, RuntimeError};
+
+/// An [`EvaluateBatch`] stage that fans each batch out across a thread
+/// pool, preserving request order in its results.
+///
+/// Because the inner evaluator is cloned per request and every evaluator in
+/// this workspace is a deterministic function of its configuration, the
+/// results are bit-identical to sequential evaluation — only wall-clock
+/// changes.
+#[derive(Debug, Clone)]
+pub struct PooledBatchEvaluator<E> {
+    pool: Arc<ThreadPool>,
+    evaluator: E,
+}
+
+impl<E> PooledBatchEvaluator<E> {
+    /// Wraps `evaluator` so its batches run on `pool`.
+    pub fn new(pool: Arc<ThreadPool>, evaluator: E) -> Self {
+        PooledBatchEvaluator { pool, evaluator }
+    }
+
+    /// The wrapped evaluator.
+    pub fn evaluator(&self) -> &E {
+        &self.evaluator
+    }
+}
+
+impl<E> EvaluateBatch for PooledBatchEvaluator<E>
+where
+    E: Evaluate + Clone + Send + Sync + 'static,
+{
+    fn evaluate_batch(
+        &mut self,
+        requests: &[EvalRequest],
+    ) -> Vec<evaluator::Result<FairnessEvaluation>> {
+        if requests.len() <= 1 {
+            // nothing to fan out; skip the queueing overhead
+            return self.evaluator.evaluate_batch(requests);
+        }
+        let evaluator = self.evaluator.clone();
+        self.pool.map(requests.to_vec(), move |_, request| {
+            let mut worker = evaluator.clone();
+            worker.evaluate_with_frozen(&request.arch, request.frozen_blocks)
+        })
+    }
+}
+
+/// The result of one scenario's search.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The grid cell that ran.
+    pub scenario: Scenario,
+    /// The search outcome.
+    pub outcome: SearchOutcome,
+    /// Wall-clock time of this scenario (search construction + run).
+    pub wall_clock: Duration,
+    /// This scenario's evaluation-cache hits/misses (zeros when the cache
+    /// is disabled).
+    pub cache: CacheStats,
+}
+
+/// The result of a whole campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Per-scenario results, in grid order.
+    pub scenarios: Vec<ScenarioOutcome>,
+    /// Aggregate evaluation-cache statistics.
+    pub cache: CacheStats,
+    /// Distinct architectures memoised by the cache.
+    pub cache_entries: usize,
+    /// End-to-end campaign wall-clock.
+    pub wall_clock: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Runs a scenario grid concurrently on a work-stealing pool, sharing the
+/// evaluation cache and per-device latency tables across scenarios.
+///
+/// # Example
+///
+/// ```
+/// use fahana_runtime::{CampaignConfig, CampaignEngine};
+///
+/// let config = CampaignConfig {
+///     episodes: 4,
+///     samples: 120,
+///     threads: 2,
+///     ..CampaignConfig::default()
+/// };
+/// let outcome = CampaignEngine::new(config).unwrap().run().unwrap();
+/// assert_eq!(outcome.scenarios.len(), 8);
+/// ```
+#[derive(Debug)]
+pub struct CampaignEngine {
+    config: CampaignConfig,
+    pool: Arc<ThreadPool>,
+}
+
+impl CampaignEngine {
+    /// Validates the configuration and spins up the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if the grid is not runnable.
+    pub fn new(config: CampaignConfig) -> Result<Self> {
+        config.validate()?;
+        let pool = if config.threads == 0 {
+            ThreadPool::with_default_size()
+        } else {
+            ThreadPool::new(config.threads)
+        };
+        Ok(CampaignEngine {
+            config,
+            pool: Arc::new(pool),
+        })
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Runs every scenario of the grid and collects the results in grid
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario failure (scenario searches only fail on
+    /// configuration-level inconsistencies, so one failure means the grid
+    /// itself is bad).
+    pub fn run(&self) -> Result<CampaignOutcome> {
+        let scenarios = self.config.expand();
+        let cache = Arc::new(EvalCache::new());
+        // every grid cell shares samples/image_size/seed, so the synthetic
+        // dataset is generated once and injected into each search
+        let dataset =
+            Arc::new(dermsim::DermatologyGenerator::new(self.config.dataset_config()).generate());
+        let tables: HashMap<DeviceKind, SharedBlockLatencyTable> = self
+            .config
+            .devices
+            .iter()
+            .map(|&kind| {
+                (
+                    kind,
+                    SharedBlockLatencyTable::new(DeviceProfile::for_kind(kind)),
+                )
+            })
+            .collect();
+
+        let started = Instant::now();
+        let campaign_config = self.config.clone();
+        let pool = Arc::clone(&self.pool);
+        let shared_cache = Arc::clone(&cache);
+        let results: Vec<Result<ScenarioOutcome>> = self.pool.map(
+            scenarios
+                .into_iter()
+                .map(|scenario| {
+                    let table = tables[&scenario.device].clone();
+                    (scenario, table)
+                })
+                .collect(),
+            move |_, (scenario, table)| {
+                run_scenario(
+                    scenario,
+                    table,
+                    &campaign_config,
+                    Arc::clone(&dataset),
+                    Arc::clone(&shared_cache),
+                    Arc::clone(&pool),
+                )
+            },
+        );
+        let scenarios = results.into_iter().collect::<Result<Vec<_>>>()?;
+
+        Ok(CampaignOutcome {
+            scenarios,
+            cache: cache.stats(),
+            cache_entries: cache.len(),
+            wall_clock: started.elapsed(),
+            threads: self.pool.threads(),
+        })
+    }
+}
+
+/// Runs one grid cell: builds the search, wires the shared latency table,
+/// picks the evaluation stage (cached? pooled?) and executes it.
+fn run_scenario(
+    scenario: Scenario,
+    table: SharedBlockLatencyTable,
+    campaign: &CampaignConfig,
+    dataset: Arc<dermsim::Dataset>,
+    cache: Arc<EvalCache>,
+    pool: Arc<ThreadPool>,
+) -> Result<ScenarioOutcome> {
+    let started = Instant::now();
+    let scenario_error = |err: fahana::FahanaError| RuntimeError::Scenario {
+        name: scenario.name.clone(),
+        message: err.to_string(),
+    };
+
+    let search_config = scenario.to_fahana_config(campaign);
+    let mut search = FahanaSearch::with_dataset(search_config, &dataset).map_err(scenario_error)?;
+    search.set_latency_table(table).map_err(scenario_error)?;
+    let surrogate = search.surrogate().clone();
+
+    let (outcome, cache_stats) = if campaign.use_cache {
+        let cached = CachedEvaluator::surrogate(surrogate, cache);
+        let outcome =
+            run_search(&mut search, cached.clone(), campaign, pool).map_err(scenario_error)?;
+        (outcome, cached.local_stats())
+    } else {
+        let outcome = run_search(&mut search, surrogate, campaign, pool).map_err(scenario_error)?;
+        (outcome, CacheStats::default())
+    };
+
+    Ok(ScenarioOutcome {
+        scenario,
+        outcome,
+        wall_clock: started.elapsed(),
+        cache: cache_stats,
+    })
+}
+
+/// Dispatches on episode batching: sequential evaluation inside the
+/// scenario's worker, or nested fan-out on the shared pool.
+fn run_search<E>(
+    search: &mut FahanaSearch,
+    evaluator: E,
+    campaign: &CampaignConfig,
+    pool: Arc<ThreadPool>,
+) -> fahana::Result<SearchOutcome>
+where
+    E: Evaluate + Clone + Send + Sync + 'static,
+{
+    if campaign.parallel_episodes {
+        let mut stage = PooledBatchEvaluator::new(pool, evaluator);
+        search.run_with_batch_evaluator(&mut stage)
+    } else {
+        let mut stage = evaluator;
+        search.run_with_evaluator(&mut stage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::RewardSetting;
+    use evaluator::SurrogateEvaluator;
+    use fahana::FahanaConfig;
+
+    fn tiny_campaign() -> CampaignConfig {
+        CampaignConfig {
+            episodes: 6,
+            samples: 150,
+            threads: 2,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn pooled_batch_evaluator_matches_sequential_results() {
+        let pool = Arc::new(ThreadPool::new(3));
+        let archs = [
+            archspace::zoo::paper_fahana_small(5, 64),
+            archspace::zoo::mobilenet_v2(5, 64),
+            archspace::zoo::paper_fahana_fair(5, 64),
+        ];
+        let requests: Vec<EvalRequest> = archs
+            .iter()
+            .map(|a| EvalRequest::new(a.clone(), 1))
+            .collect();
+        let mut pooled = PooledBatchEvaluator::new(pool, SurrogateEvaluator::default());
+        let parallel = pooled.evaluate_batch(&requests);
+        let mut sequential_eval = SurrogateEvaluator::default();
+        let sequential = sequential_eval.evaluate_batch(&requests);
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(sequential.iter()) {
+            assert_eq!(p.as_ref().unwrap(), s.as_ref().unwrap());
+        }
+        assert_eq!(pooled.evaluator().config().seed, 2022);
+    }
+
+    #[test]
+    fn campaign_runs_the_whole_grid_in_order() {
+        let config = tiny_campaign();
+        let expected: Vec<String> = config.expand().into_iter().map(|s| s.name).collect();
+        let engine = CampaignEngine::new(config).unwrap();
+        assert_eq!(engine.threads(), 2);
+        let outcome = engine.run().unwrap();
+        assert_eq!(outcome.scenarios.len(), 8);
+        let got: Vec<&str> = outcome
+            .scenarios
+            .iter()
+            .map(|s| s.scenario.name.as_str())
+            .collect();
+        assert_eq!(got, expected.iter().map(String::as_str).collect::<Vec<_>>());
+        for scenario in &outcome.scenarios {
+            assert_eq!(scenario.outcome.history.len(), 6);
+            assert!(scenario.wall_clock > Duration::ZERO);
+        }
+        assert_eq!(outcome.threads, 2);
+        assert!(outcome.wall_clock > Duration::ZERO);
+    }
+
+    #[test]
+    fn scenarios_sharing_a_seed_hit_the_shared_cache() {
+        // 8 scenarios, 4 of which differ only by device/reward for each
+        // freezing mode — their controllers walk identical decision
+        // streams, so the cache must serve repeats
+        let outcome = CampaignEngine::new(tiny_campaign()).unwrap().run().unwrap();
+        assert!(
+            outcome.cache.hits > 0,
+            "expected cross-scenario cache hits, got {:?}",
+            outcome.cache
+        );
+        assert!(outcome.cache.hit_rate() > 0.0);
+        assert!(outcome.cache_entries > 0);
+        let per_scenario_hits: u64 = outcome.scenarios.iter().map(|s| s.cache.hits).sum();
+        let per_scenario_misses: u64 = outcome.scenarios.iter().map(|s| s.cache.misses).sum();
+        assert_eq!(per_scenario_hits, outcome.cache.hits);
+        assert_eq!(per_scenario_misses, outcome.cache.misses);
+    }
+
+    #[test]
+    fn cache_off_zeroes_the_counters_but_not_the_outcomes() {
+        let outcome = CampaignEngine::new(CampaignConfig {
+            use_cache: false,
+            ..tiny_campaign()
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(outcome.cache, CacheStats::default());
+        assert!(outcome
+            .scenarios
+            .iter()
+            .all(|s| s.cache == CacheStats::default()));
+        assert_eq!(outcome.scenarios.len(), 8);
+    }
+
+    #[test]
+    fn campaign_outcome_matches_directly_run_searches() {
+        let campaign = CampaignConfig {
+            devices: vec![edgehw::DeviceKind::RaspberryPi4],
+            rewards: vec![RewardSetting::balanced()],
+            freezing: vec![true, false],
+            ..tiny_campaign()
+        };
+        let outcome = CampaignEngine::new(campaign.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        for scenario_outcome in &outcome.scenarios {
+            let direct_config: FahanaConfig = scenario_outcome.scenario.to_fahana_config(&campaign);
+            let direct = FahanaSearch::new(direct_config).unwrap().run().unwrap();
+            assert_eq!(
+                direct.history, scenario_outcome.outcome.history,
+                "campaign result for {} must equal a direct run",
+                scenario_outcome.scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_grid_is_rejected_at_construction() {
+        let mut config = tiny_campaign();
+        config.episodes = 0;
+        assert!(matches!(
+            CampaignEngine::new(config),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,69 @@
+//! `fahana-runtime` — parallel, cache-aware FaHaNa search campaigns.
+//!
+//! The paper runs *one* search against *one* device and *one* reward
+//! setting; real deployments (and the follow-up literature on scenario
+//! diversity) need sweeps over many device profiles, reward weightings and
+//! search-space configurations. This crate turns the single-search engine
+//! of [`fahana`] into a campaign system:
+//!
+//! * [`pool`] — a std-only work-stealing thread pool with a helping
+//!   `map`, safe for nested parallelism (scenario-level fan-out *and*
+//!   episode-batch fan-out share one pool without deadlocking);
+//! * [`cache`] — an architecture-fingerprint-keyed evaluation cache behind
+//!   an `RwLock`, memoising [`evaluator::SurrogateEvaluator`] results so
+//!   scenarios that re-visit the same child architecture (same controller
+//!   seed, different device/reward) never re-evaluate it;
+//! * [`scenario`] — the declarative scenario grid (device × reward ×
+//!   freezing) and the campaign config-file parser;
+//! * [`campaign`] — the engine that expands a grid and runs every scenario
+//!   on the pool, sharing per-device latency tables
+//!   ([`edgehw::SharedBlockLatencyTable`]) and the evaluation cache;
+//! * [`report`] — hand-rolled JSON reports (best architecture, Pareto
+//!   frontier, wall-clock, cache hit-rate) for each scenario and the
+//!   campaign as a whole.
+//!
+//! Determinism is a hard guarantee: a scenario's [`fahana::SearchOutcome`]
+//! is bit-identical whether it runs serially, through the pool, with the
+//! cache enabled or disabled (see `tests/determinism.rs`).
+
+pub mod cache;
+pub mod campaign;
+pub mod pool;
+pub mod report;
+pub mod scenario;
+
+pub use cache::{CacheStats, CachedEvaluator, EvalCache};
+pub use campaign::{CampaignEngine, CampaignOutcome, PooledBatchEvaluator, ScenarioOutcome};
+pub use pool::ThreadPool;
+pub use report::{campaign_json, scenario_json};
+pub use scenario::{CampaignConfig, RewardSetting, Scenario};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Error type of the campaign runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The campaign configuration (file or grid) is invalid.
+    InvalidConfig(String),
+    /// A scenario's search failed.
+    Scenario {
+        /// Name of the failing scenario.
+        name: String,
+        /// The underlying search error, formatted.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig(msg) => write!(f, "invalid campaign config: {msg}"),
+            RuntimeError::Scenario { name, message } => {
+                write!(f, "scenario `{name}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,305 @@
+//! JSON campaign reports, hand-rolled.
+//!
+//! The offline build has no serde_json (see `vendor/README.md`), so this
+//! module renders reports through a tiny [`Json`] value tree. Emission
+//! rules: strings are escaped per RFC 8259, non-finite numbers become
+//! `null` (JSON has no NaN/∞), and object keys keep insertion order so
+//! reports diff cleanly across runs.
+
+use fahana::{EpisodeRecord, ParetoPoint, SearchOutcome};
+
+use crate::cache::CacheStats;
+use crate::campaign::{CampaignOutcome, ScenarioOutcome};
+
+/// A JSON value (construction side only — reports are written, not read).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (non-finite renders as `null`).
+    Num(f64),
+    /// An integer rendered without a decimal point.
+    Int(i64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for strings.
+    pub fn str(value: impl Into<String>) -> Json {
+        Json::Str(value.into())
+    }
+
+    /// Renders compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (index, item) in items.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (index, (key, value)) in entries.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn episode_json(record: &EpisodeRecord) -> Json {
+    Json::Obj(vec![
+        ("episode".into(), Json::Int(record.episode as i64)),
+        ("name".into(), Json::str(&record.name)),
+        ("params".into(), Json::Int(record.params as i64)),
+        (
+            "trained_params".into(),
+            Json::Int(record.trained_params as i64),
+        ),
+        ("storage_mb".into(), Json::Num(record.storage_mb)),
+        ("latency_ms".into(), Json::Num(record.latency_ms)),
+        ("accuracy".into(), Json::Num(record.accuracy)),
+        ("unfairness".into(), Json::Num(record.unfairness)),
+        ("reward".into(), Json::Num(record.reward)),
+        ("valid".into(), Json::Bool(record.valid)),
+    ])
+}
+
+fn frontier_json(points: &[ParetoPoint]) -> Json {
+    Json::Arr(
+        points
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(&p.label)),
+                    ("maximize".into(), Json::Num(p.maximize)),
+                    ("minimize".into(), Json::Num(p.minimize)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn cache_json(stats: &CacheStats) -> Json {
+    Json::Obj(vec![
+        ("hits".into(), Json::Int(stats.hits as i64)),
+        ("misses".into(), Json::Int(stats.misses as i64)),
+        ("hit_rate".into(), Json::Num(stats.hit_rate())),
+    ])
+}
+
+fn outcome_summary_json(outcome: &SearchOutcome) -> Vec<(String, Json)> {
+    let best = |network: &Option<fahana::DiscoveredNetwork>| match network {
+        Some(network) => episode_json(&network.record),
+        None => Json::Null,
+    };
+    vec![
+        ("episodes".into(), Json::Int(outcome.history.len() as i64)),
+        ("valid_ratio".into(), Json::Num(outcome.valid_ratio)),
+        (
+            "space_log10_size".into(),
+            Json::Num(outcome.space_log10_size),
+        ),
+        (
+            "frozen_blocks".into(),
+            Json::Int(outcome.frozen_blocks as i64),
+        ),
+        (
+            "searchable_slots".into(),
+            Json::Int(outcome.searchable_slots as i64),
+        ),
+        (
+            "modelled_search_hours".into(),
+            Json::Num(outcome.modelled_search_hours),
+        ),
+        (
+            "modelled_search_time".into(),
+            Json::str(&outcome.modelled_search_time),
+        ),
+        ("best".into(), best(&outcome.best)),
+        ("best_small".into(), best(&outcome.best_small)),
+        ("fairest".into(), best(&outcome.fairest)),
+        (
+            "accuracy_fairness_frontier".into(),
+            frontier_json(&outcome.accuracy_fairness_frontier()),
+        ),
+        (
+            "reward_size_frontier".into(),
+            frontier_json(&outcome.reward_size_frontier()),
+        ),
+    ]
+}
+
+/// The full entry list of one scenario's report (shared by the standalone
+/// scenario reports and the embedded array in the campaign report, so the
+/// two can never diverge).
+fn scenario_entries(scenario: &ScenarioOutcome) -> Vec<(String, Json)> {
+    let mut entries = vec![
+        ("scenario".into(), Json::str(&scenario.scenario.name)),
+        ("device".into(), Json::str(scenario.scenario.device.label())),
+        ("reward".into(), Json::str(&scenario.scenario.reward.name)),
+        ("alpha".into(), Json::Num(scenario.scenario.reward.alpha)),
+        ("beta".into(), Json::Num(scenario.scenario.reward.beta)),
+        (
+            "use_freezing".into(),
+            Json::Bool(scenario.scenario.use_freezing),
+        ),
+        (
+            "wall_clock_ms".into(),
+            Json::Num(scenario.wall_clock.as_secs_f64() * 1e3),
+        ),
+        ("cache".into(), cache_json(&scenario.cache)),
+    ];
+    entries.extend(outcome_summary_json(&scenario.outcome));
+    entries
+}
+
+/// Renders one scenario's report.
+pub fn scenario_json(scenario: &ScenarioOutcome) -> String {
+    Json::Obj(scenario_entries(scenario)).render()
+}
+
+/// Renders the whole campaign report (aggregates plus every scenario).
+pub fn campaign_json(outcome: &CampaignOutcome) -> String {
+    Json::Obj(vec![
+        ("threads".into(), Json::Int(outcome.threads as i64)),
+        (
+            "wall_clock_ms".into(),
+            Json::Num(outcome.wall_clock.as_secs_f64() * 1e3),
+        ),
+        ("cache".into(), cache_json(&outcome.cache)),
+        (
+            "cache_entries".into(),
+            Json::Int(outcome.cache_entries as i64),
+        ),
+        (
+            "scenario_count".into(),
+            Json::Int(outcome.scenarios.len() as i64),
+        ),
+        (
+            "scenarios".into(),
+            Json::Arr(
+                outcome
+                    .scenarios
+                    .iter()
+                    .map(|s| Json::Obj(scenario_entries(s)))
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        let value = Json::str("a\"b\\c\nd\te\u{1}");
+        let expected = "\"a\\\"b\\\\c\\nd\\te\\u0001\"";
+        assert_eq!(value.render(), expected);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Int(-3).render(), "-3");
+    }
+
+    #[test]
+    fn containers_render_compactly_in_order() {
+        let value = Json::Obj(vec![
+            ("b".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("a".into(), Json::Int(1)),
+        ]);
+        assert_eq!(value.render(), r#"{"b":[true,null],"a":1}"#);
+    }
+
+    #[test]
+    fn scenario_report_contains_the_headline_fields() {
+        use crate::scenario::CampaignConfig;
+        use crate::CampaignEngine;
+
+        let outcome = CampaignEngine::new(CampaignConfig {
+            episodes: 3,
+            samples: 120,
+            threads: 2,
+            devices: vec![edgehw::DeviceKind::RaspberryPi4],
+            rewards: vec![crate::RewardSetting::balanced()],
+            freezing: vec![true],
+            ..CampaignConfig::default()
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        let scenario = &outcome.scenarios[0];
+        let report = scenario_json(scenario);
+        for needle in [
+            r#""scenario":"raspberry_pi_4/balanced/frozen""#,
+            r#""device":"Raspberry PI""#,
+            r#""cache":{"hits":"#,
+            r#""valid_ratio":"#,
+            r#""accuracy_fairness_frontier":"#,
+            r#""wall_clock_ms":"#,
+        ] {
+            assert!(report.contains(needle), "missing {needle} in {report}");
+        }
+        let campaign_report = campaign_json(&outcome);
+        assert!(campaign_report.contains(r#""scenario_count":1"#));
+        assert!(campaign_report.contains(r#""threads":2"#));
+    }
+}

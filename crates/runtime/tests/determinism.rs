@@ -1,0 +1,178 @@
+//! Runtime determinism guarantees: the same seed must produce identical
+//! `SearchOutcome`s whether a search runs serially or through the thread
+//! pool, and with the evaluation cache on or off.
+
+use std::sync::Arc;
+
+use dermsim::DermatologyConfig;
+use fahana::{FahanaConfig, FahanaSearch};
+use fahana_runtime::{
+    CachedEvaluator, CampaignConfig, CampaignEngine, EvalCache, PooledBatchEvaluator, ThreadPool,
+};
+
+fn search_config(episodes: usize, seed: u64) -> FahanaConfig {
+    FahanaConfig {
+        episodes,
+        seed,
+        dataset: DermatologyConfig {
+            samples: 200,
+            image_size: 8,
+            ..DermatologyConfig::default()
+        },
+        ..FahanaConfig::default()
+    }
+}
+
+#[test]
+fn pooled_batch_evaluation_is_bit_identical_to_serial() {
+    let serial = FahanaSearch::new(search_config(30, 7))
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let pool = Arc::new(ThreadPool::new(4));
+    let mut search = FahanaSearch::new(search_config(30, 7)).unwrap();
+    let mut stage = PooledBatchEvaluator::new(pool, search.surrogate().clone());
+    let parallel = search.run_with_batch_evaluator(&mut stage).unwrap();
+
+    assert_eq!(serial.history, parallel.history);
+    assert_eq!(serial.valid_ratio, parallel.valid_ratio);
+    assert_eq!(
+        serial.best.as_ref().map(|b| &b.record),
+        parallel.best.as_ref().map(|b| &b.record)
+    );
+    assert_eq!(
+        serial.fairest.as_ref().map(|b| &b.record),
+        parallel.fairest.as_ref().map(|b| &b.record)
+    );
+}
+
+#[test]
+fn cached_evaluation_is_bit_identical_to_uncached() {
+    let uncached = FahanaSearch::new(search_config(30, 11))
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let cache = Arc::new(EvalCache::new());
+    let mut search = FahanaSearch::new(search_config(30, 11)).unwrap();
+    let mut cached_eval = CachedEvaluator::surrogate(search.surrogate().clone(), cache.clone());
+    let cached = search.run_with_evaluator(&mut cached_eval).unwrap();
+    assert_eq!(uncached.history, cached.history);
+
+    // a second identical search is served from the cache and still agrees
+    let mut rerun_search = FahanaSearch::new(search_config(30, 11)).unwrap();
+    let mut rerun_eval =
+        CachedEvaluator::surrogate(rerun_search.surrogate().clone(), cache.clone());
+    let rerun = rerun_search.run_with_evaluator(&mut rerun_eval).unwrap();
+    assert_eq!(uncached.history, rerun.history);
+    assert!(
+        rerun_eval.local_stats().hits > 0,
+        "the rerun should be served from the cache, got {:?}",
+        rerun_eval.local_stats()
+    );
+    assert_eq!(
+        rerun_eval.local_stats().misses,
+        0,
+        "an identical search must not re-evaluate anything"
+    );
+    assert!(cache.stats().hit_rate() > 0.0);
+}
+
+#[test]
+fn cached_pooled_and_plain_serial_runs_all_agree() {
+    // the full stack at once: shared cache + pooled batches vs plain serial
+    let serial = FahanaSearch::new(search_config(25, 13))
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let pool = Arc::new(ThreadPool::new(3));
+    let cache = Arc::new(EvalCache::new());
+    let mut search = FahanaSearch::new(search_config(25, 13)).unwrap();
+    let cached = CachedEvaluator::surrogate(search.surrogate().clone(), cache);
+    let mut stage = PooledBatchEvaluator::new(pool, cached);
+    let full_stack = search.run_with_batch_evaluator(&mut stage).unwrap();
+
+    assert_eq!(serial.history, full_stack.history);
+}
+
+#[test]
+fn campaign_over_eight_scenarios_matches_direct_runs_and_hits_the_cache() {
+    // acceptance criteria: >= 8 scenarios (2 devices x 2 rewards x
+    // freezing on/off) on >= 2 worker threads with a positive cache
+    // hit-rate, and every parallel outcome equal to its serial equivalent
+    let campaign = CampaignConfig {
+        episodes: 10,
+        samples: 150,
+        threads: 3,
+        parallel_episodes: true,
+        ..CampaignConfig::default()
+    };
+    assert_eq!(campaign.scenario_count(), 8);
+
+    let engine = CampaignEngine::new(campaign.clone()).unwrap();
+    assert!(engine.threads() >= 2);
+    let outcome = engine.run().unwrap();
+
+    assert_eq!(outcome.scenarios.len(), 8);
+    assert!(
+        outcome.cache.hit_rate() > 0.0,
+        "scenario grid must reuse evaluations, got {:?}",
+        outcome.cache
+    );
+
+    for scenario_outcome in &outcome.scenarios {
+        let direct = FahanaSearch::new(scenario_outcome.scenario.to_fahana_config(&campaign))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            direct.history, scenario_outcome.outcome.history,
+            "scenario {} must match its serial equivalent",
+            scenario_outcome.scenario.name
+        );
+    }
+}
+
+#[test]
+fn campaign_results_do_not_depend_on_thread_count_or_cache() {
+    let base = CampaignConfig {
+        episodes: 8,
+        samples: 150,
+        ..CampaignConfig::default()
+    };
+
+    let single = CampaignEngine::new(CampaignConfig {
+        threads: 1,
+        use_cache: false,
+        ..base.clone()
+    })
+    .unwrap()
+    .run()
+    .unwrap();
+
+    let parallel_cached = CampaignEngine::new(CampaignConfig {
+        threads: 4,
+        use_cache: true,
+        parallel_episodes: true,
+        ..base
+    })
+    .unwrap()
+    .run()
+    .unwrap();
+
+    assert_eq!(single.scenarios.len(), parallel_cached.scenarios.len());
+    for (a, b) in single
+        .scenarios
+        .iter()
+        .zip(parallel_cached.scenarios.iter())
+    {
+        assert_eq!(a.scenario.name, b.scenario.name);
+        assert_eq!(
+            a.outcome.history, b.outcome.history,
+            "scenario {} must be invariant to threading and caching",
+            a.scenario.name
+        );
+    }
+}

@@ -100,11 +100,12 @@ impl SeededRng {
 }
 
 /// Weight-initialisation schemes for neural layers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Initializer {
     /// All zeros (used for biases).
     Zeros,
     /// Uniform in `[-bound, bound]` with `bound = sqrt(6 / (fan_in + fan_out))`.
+    #[default]
     XavierUniform,
     /// Normal with `std = sqrt(2 / fan_in)` (He initialisation for ReLU nets).
     HeNormal,
@@ -135,12 +136,6 @@ impl Initializer {
             Initializer::SmallUniform => (0..volume).map(|_| rng.uniform(-0.08, 0.08)).collect(),
         };
         Tensor::from_vec(data, dims).expect("volume matches dims by construction")
-    }
-}
-
-impl Default for Initializer {
-    fn default() -> Self {
-        Initializer::XavierUniform
     }
 }
 

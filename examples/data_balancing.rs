@@ -49,7 +49,9 @@ fn main() -> Result<(), fahana::FahanaError> {
         );
     }
     println!();
-    println!("FaHaNa is compatible with data balancing: the discovered architecture still benefits");
+    println!(
+        "FaHaNa is compatible with data balancing: the discovered architecture still benefits"
+    );
     println!("from extra minority data and remains the fairest model after balancing.");
     Ok(())
 }

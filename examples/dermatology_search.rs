@@ -24,7 +24,8 @@ fn main() -> Result<(), fahana::FahanaError> {
     let pi = LatencyEstimator::new(DeviceProfile::raspberry_pi_4());
     let mbv2_latency = pi.estimate_ms(&mbv2);
 
-    println!("baseline MobileNetV2: {:.2}M params, accuracy {:.2}%, unfairness {:.4}, {:.0} ms",
+    println!(
+        "baseline MobileNetV2: {:.2}M params, accuracy {:.2}%, unfairness {:.4}, {:.0} ms",
         mbv2.param_millions(),
         mbv2_eval.accuracy() * 100.0,
         mbv2_eval.unfairness(),
@@ -60,7 +61,10 @@ fn main() -> Result<(), fahana::FahanaError> {
     println!();
     println!("accuracy/unfairness Pareto frontier of the discovered networks:");
     for p in outcome.accuracy_fairness_frontier() {
-        println!("  {:<20} accuracy {:.4}, unfairness {:.4}", p.label, p.maximize, p.minimize);
+        println!(
+            "  {:<20} accuracy {:.4}, unfairness {:.4}",
+            p.label, p.maximize, p.minimize
+        );
     }
     Ok(())
 }

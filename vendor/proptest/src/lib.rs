@@ -1,0 +1,194 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x surface this workspace's test
+//! suites use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), `prop_assert!`/`prop_assert_eq!`, range and
+//! tuple strategies, `collection::vec` and `sample::select`.
+//!
+//! Unlike upstream there is no shrinking and no persistence: each test runs
+//! a fixed number of cases drawn from a generator seeded deterministically
+//! from the test's module path, so failures reproduce across runs.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Run-shaping configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Module-style re-exports matching `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each argument is drawn from its strategy for
+/// every case; the body may use `prop_assert!` family macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            { $body }
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!("property {} failed at case {case}: {err}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Property-test assertion; fails the current case without panicking
+/// through arbitrary stack frames.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{Strategy, TestRng};
+
+    #[test]
+    fn config_constructors() {
+        assert_eq!(ProptestConfig::with_cases(5).cases, 5);
+        assert!(ProptestConfig::default().cases > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_and_tuples_generate_in_bounds(
+            n in 1usize..10,
+            x in -2.0f64..2.0,
+            (a, b) in (0.0f64..1.0, 0.0f64..1.0),
+            k in prop::sample::select(vec![3usize, 5, 7]),
+            xs in crate::collection::vec(0.0f32..1.0, 1..8),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((0.0..1.0).contains(&a) && (0.0..1.0).contains(&b));
+            prop_assert!([3usize, 5, 7].contains(&k));
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_is_used_without_inner_attribute(v in 0usize..3) {
+            prop_assert!(v < 3);
+            prop_assert_eq!(v, v);
+            prop_assert_ne!(v, v + 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let s = 0usize..100;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy drawing uniformly from a fixed list of options.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].clone()
+    }
+}
+
+/// Selects uniformly from `options`, which must be non-empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_only_returns_listed_options() {
+        let mut rng = TestRng::deterministic("select");
+        let s = select(vec![3usize, 5, 7]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                3 => seen[0] = true,
+                5 => seen[1] = true,
+                7 => seen[2] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all options should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one option")]
+    fn empty_select_panics() {
+        select(Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derives from the sibling `serde_derive` stub and
+//! declares the two marker traits so `use serde::{Serialize, Deserialize}`
+//! resolves in both the macro and the trait namespace. No in-tree code
+//! bounds on these traits (JSON output in `fahana-runtime` is hand-rolled),
+//! so the derives intentionally generate no impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no in-tree consumers).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no in-tree consumers).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for API fidelity with the
+//! real ecosystem, but nothing in-tree consumes the generated impls (JSON
+//! emission is hand-rolled in `fahana-runtime::report`). These derives
+//! therefore expand to nothing; they exist so `#[derive(Serialize,
+//! Deserialize)]` and `#[serde(...)]` helper attributes keep compiling
+//! without network access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
