@@ -72,6 +72,36 @@ pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
     frontier
 }
 
+/// Merges several frontiers (or arbitrary point sets) into one combined
+/// Pareto frontier.
+///
+/// This is the cross-campaign operation of the artifact store: each
+/// completed campaign contributes its own frontier, and a query over many
+/// campaigns needs the non-dominated subset of their union. The result is
+/// identical to running [`pareto_frontier`] on the concatenation of all
+/// inputs, so the merge is idempotent (`merge(f, f) == f` up to
+/// deduplication) and commutative in the objective values (label ties are
+/// broken by first occurrence, like `pareto_frontier` itself).
+///
+/// # Example
+///
+/// ```
+/// use fahana::{merge_frontiers, ParetoPoint};
+///
+/// let run_a = vec![ParetoPoint::new("a", 0.80, 0.20)];
+/// let run_b = vec![ParetoPoint::new("b", 0.85, 0.15)];
+/// let merged = merge_frontiers([run_a, run_b]);
+/// assert_eq!(merged.len(), 1);
+/// assert_eq!(merged[0].label, "b");
+/// ```
+pub fn merge_frontiers<I>(frontiers: I) -> Vec<ParetoPoint>
+where
+    I: IntoIterator<Item = Vec<ParetoPoint>>,
+{
+    let combined: Vec<ParetoPoint> = frontiers.into_iter().flatten().collect();
+    pareto_frontier(&combined)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +146,77 @@ mod tests {
     #[test]
     fn empty_input_gives_empty_frontier() {
         assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    fn values(frontier: &[ParetoPoint]) -> Vec<(f64, f64)> {
+        frontier.iter().map(|p| (p.maximize, p.minimize)).collect()
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        assert!(merge_frontiers(Vec::<Vec<ParetoPoint>>::new()).is_empty());
+        assert!(merge_frontiers([Vec::new(), Vec::new()]).is_empty());
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let frontier = pareto_frontier(&[
+            ParetoPoint::new("fair", 0.81, 0.12),
+            ParetoPoint::new("accurate", 0.88, 0.25),
+            ParetoPoint::new("dominated", 0.80, 0.30),
+        ]);
+        let merged = merge_frontiers([frontier.clone()]);
+        assert_eq!(merged, frontier);
+        let twice = merge_frontiers([frontier.clone(), frontier.clone()]);
+        assert_eq!(values(&twice), values(&frontier));
+    }
+
+    #[test]
+    fn merge_is_commutative_in_objective_values() {
+        let a = vec![
+            ParetoPoint::new("a1", 0.90, 0.40),
+            ParetoPoint::new("a2", 0.70, 0.10),
+        ];
+        let b = vec![
+            ParetoPoint::new("b1", 0.85, 0.20),
+            ParetoPoint::new("b2", 0.95, 0.50),
+        ];
+        let ab = merge_frontiers([a.clone(), b.clone()]);
+        let ba = merge_frontiers([b, a]);
+        assert_eq!(values(&ab), values(&ba));
+    }
+
+    #[test]
+    fn merge_drops_cross_frontier_dominated_points() {
+        // each input is a valid frontier on its own, but campaign B
+        // dominates most of campaign A once they are combined
+        let campaign_a = vec![
+            ParetoPoint::new("a-accurate", 0.84, 0.30),
+            ParetoPoint::new("a-fair", 0.78, 0.18),
+        ];
+        let campaign_b = vec![
+            ParetoPoint::new("b-accurate", 0.86, 0.25),
+            ParetoPoint::new("b-fair", 0.80, 0.15),
+        ];
+        let merged = merge_frontiers([campaign_a.clone(), campaign_b]);
+        let labels: Vec<&str> = merged.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["b-accurate", "b-fair"]);
+        // and equals a frontier over the flat union
+        let mut union = campaign_a;
+        union.extend(merged.clone());
+        assert_eq!(values(&pareto_frontier(&union)), values(&merged));
+    }
+
+    #[test]
+    fn merge_keeps_mutually_incomparable_points_from_all_inputs() {
+        let merged = merge_frontiers([
+            vec![ParetoPoint::new("x", 0.9, 0.5)],
+            vec![ParetoPoint::new("y", 0.8, 0.3)],
+            vec![ParetoPoint::new("z", 0.7, 0.1)],
+        ]);
+        assert_eq!(merged.len(), 3);
+        // sorted by the maximised objective, descending
+        assert!(merged.windows(2).all(|w| w[0].maximize >= w[1].maximize));
     }
 
     proptest! {

@@ -25,6 +25,39 @@ impl DeviceKind {
             DeviceKind::Desktop => "Desktop",
         }
     }
+
+    /// Stable machine-readable identifier, used as the device key in
+    /// scenario names, report JSON and the campaign artifact store.
+    /// [`DeviceKind::from_slug`] inverts it, so persisted artifacts can be
+    /// re-keyed to a profile without string heuristics.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            DeviceKind::RaspberryPi4 => "raspberry_pi_4",
+            DeviceKind::OdroidXu4 => "odroid_xu4",
+            DeviceKind::Desktop => "desktop",
+        }
+    }
+
+    /// Every device kind, in a stable order (useful for CLIs enumerating
+    /// valid `--device` values).
+    pub fn all() -> [DeviceKind; 3] {
+        [
+            DeviceKind::RaspberryPi4,
+            DeviceKind::OdroidXu4,
+            DeviceKind::Desktop,
+        ]
+    }
+
+    /// Parses a [`DeviceKind::slug`] (plus a few common aliases) back to
+    /// the device kind.
+    pub fn from_slug(slug: &str) -> Option<DeviceKind> {
+        match slug {
+            "raspberry_pi_4" | "raspberry_pi" | "pi4" | "pi" => Some(DeviceKind::RaspberryPi4),
+            "odroid_xu4" | "odroid" => Some(DeviceKind::OdroidXu4),
+            "desktop" => Some(DeviceKind::Desktop),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for DeviceKind {
@@ -171,5 +204,18 @@ mod tests {
     #[test]
     fn odroid_has_less_memory_than_pi() {
         assert!(DeviceProfile::odroid_xu4().memory_mb < DeviceProfile::raspberry_pi_4().memory_mb);
+    }
+
+    #[test]
+    fn slugs_round_trip_and_are_unique() {
+        let all = DeviceKind::all();
+        for kind in all {
+            assert_eq!(DeviceKind::from_slug(kind.slug()), Some(kind));
+        }
+        for (index, kind) in all.iter().enumerate() {
+            assert!(all[..index].iter().all(|k| k.slug() != kind.slug()));
+        }
+        assert_eq!(DeviceKind::from_slug("pi"), Some(DeviceKind::RaspberryPi4));
+        assert_eq!(DeviceKind::from_slug("gameboy"), None);
     }
 }

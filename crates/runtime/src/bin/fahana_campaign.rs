@@ -4,17 +4,28 @@
 //! ```text
 //! fahana-campaign [--config FILE] [--out DIR] [--threads N]
 //!                 [--episodes N] [--seed N] [--no-cache]
+//!                 [--cache-in FILE] [--cache-out FILE]
+//!                 [--store DIR] [--store-id ID]
 //!                 [--parallel-episodes] [--json] [--print-example]
 //! ```
 //!
 //! Without `--config`, the paper-flavoured default grid runs: 2 devices
 //! (Raspberry Pi 4, Odroid XU-4) × 2 reward settings (balanced,
 //! fairness-heavy) × freezing on/off = 8 scenarios.
+//!
+//! `--cache-in` warm-starts the evaluation cache from a snapshot written
+//! by a previous `--cache-out`; outcomes stay bit-identical to a cold run,
+//! only cheaper. `--store` ingests the campaign report into an artifact
+//! store that `fahana-query` can answer questions from.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use fahana_runtime::{campaign_json, scenario_json, CampaignConfig, CampaignEngine};
+use fahana_runtime::{
+    campaign_json, scenario_json, ArtifactStore, CacheSnapshot, CampaignConfig, CampaignEngine,
+    EvalCache,
+};
 
 struct Cli {
     config_path: Option<PathBuf>,
@@ -23,6 +34,10 @@ struct Cli {
     episodes: Option<usize>,
     seed: Option<u64>,
     no_cache: bool,
+    cache_in: Option<PathBuf>,
+    cache_out: Option<PathBuf>,
+    store_dir: Option<PathBuf>,
+    store_id: Option<String>,
     parallel_episodes: bool,
     json: bool,
     print_example: bool,
@@ -30,8 +45,9 @@ struct Cli {
 
 fn usage() -> &'static str {
     "usage: fahana-campaign [--config FILE] [--out DIR] [--threads N] \
-     [--episodes N] [--seed N] [--no-cache] [--parallel-episodes] [--json] \
-     [--print-example]"
+     [--episodes N] [--seed N] [--no-cache] [--cache-in FILE] \
+     [--cache-out FILE] [--store DIR] [--store-id ID] [--parallel-episodes] \
+     [--json] [--print-example]"
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -42,6 +58,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         episodes: None,
         seed: None,
         no_cache: false,
+        cache_in: None,
+        cache_out: None,
+        store_dir: None,
+        store_id: None,
         parallel_episodes: false,
         json: false,
         print_example: false,
@@ -78,6 +98,23 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 )
             }
             "--no-cache" => cli.no_cache = true,
+            "--cache-in" => cli.cache_in = Some(PathBuf::from(value_of("--cache-in")?)),
+            "--cache-out" => cli.cache_out = Some(PathBuf::from(value_of("--cache-out")?)),
+            "--store" => cli.store_dir = Some(PathBuf::from(value_of("--store")?)),
+            "--store-id" => {
+                // fail now, not after the campaign has run for hours
+                let value = value_of("--store-id")?;
+                if value.is_empty()
+                    || !value
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+                {
+                    return Err(format!(
+                        "--store-id must use letters, digits, `-`, `_` or `.`, got `{value}`"
+                    ));
+                }
+                cli.store_id = Some(value.to_string());
+            }
             "--parallel-episodes" => cli.parallel_episodes = true,
             "--json" => cli.json = true,
             "--print-example" => cli.print_example = true,
@@ -123,6 +160,28 @@ fn run(cli: Cli) -> Result<(), String> {
     if cli.parallel_episodes {
         config.parallel_episodes = true;
     }
+    // check the *effective* setting: the cache can also be disabled by
+    // `cache = off` in the config file, and a snapshot absorbed into a
+    // disabled cache would silently never be consulted
+    if !config.use_cache && (cli.cache_in.is_some() || cli.cache_out.is_some()) {
+        return Err(
+            "the evaluation cache is disabled (--no-cache or `cache = off`), \
+             which conflicts with --cache-in/--cache-out"
+                .into(),
+        );
+    }
+
+    let cache = Arc::new(EvalCache::new());
+    if let Some(path) = &cli.cache_in {
+        let snapshot = CacheSnapshot::load(path)
+            .map_err(|e| format!("cannot load {}: {e}", path.display()))?;
+        let absorbed = cache.absorb(&snapshot);
+        eprintln!(
+            "warm start: absorbed {absorbed} of {} cached evaluations from {}",
+            snapshot.len(),
+            path.display()
+        );
+    }
 
     let engine = CampaignEngine::new(config).map_err(|e| e.to_string())?;
     eprintln!(
@@ -140,7 +199,9 @@ fn run(cli: Cli) -> Result<(), String> {
             "inline"
         },
     );
-    let outcome = engine.run().map_err(|e| e.to_string())?;
+    let outcome = engine
+        .run_with_cache(Arc::clone(&cache))
+        .map_err(|e| e.to_string())?;
 
     eprintln!(
         "{:<40} {:>7} {:>7} {:>9} {:>9} {:>8}",
@@ -186,6 +247,45 @@ fn run(cli: Cli) -> Result<(), String> {
             "wrote campaign.json and {} scenario reports to {}",
             outcome.scenarios.len(),
             dir.display()
+        );
+    }
+    if let Some(path) = &cli.cache_out {
+        let snapshot = cache.snapshot();
+        snapshot
+            .save(path)
+            .map_err(|e| format!("cannot save cache snapshot: {e}"))?;
+        eprintln!(
+            "persisted {} cached evaluations to {}",
+            snapshot.len(),
+            path.display()
+        );
+    }
+    if let Some(dir) = &cli.store_dir {
+        let store = ArtifactStore::open(dir).map_err(|e| e.to_string())?;
+        let id = cli
+            .store_id
+            .clone()
+            .unwrap_or_else(|| format!("campaign-seed{}", engine.config().seed));
+        let report = campaign_json(&outcome);
+        let stored = match store.ingest(&id, &report) {
+            Ok(stored) => stored,
+            // same id already ingested (e.g. repeated smoke runs): suffix it
+            Err(fahana_runtime::StoreError::DuplicateId(_)) => {
+                let mut suffix = 2;
+                loop {
+                    match store.ingest(&format!("{id}-{suffix}"), &report) {
+                        Ok(stored) => break stored,
+                        Err(fahana_runtime::StoreError::DuplicateId(_)) => suffix += 1,
+                        Err(e) => return Err(e.to_string()),
+                    }
+                }
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        eprintln!(
+            "ingested campaign as `{}` into the artifact store at {}",
+            stored.id,
+            store.root().display()
         );
     }
     if cli.json {

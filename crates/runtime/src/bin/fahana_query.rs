@@ -1,0 +1,234 @@
+//! `fahana-query` — answer "best architecture for device X under
+//! constraint Y" from a campaign artifact store.
+//!
+//! ```text
+//! fahana-query --store DIR [--ingest FILE]...
+//!              [--device SLUG] [--reward NAME] [--freezing on|off]
+//!              [--max-latency-ms X] [--max-unfairness X]
+//!              [--min-accuracy X] [--max-params N]
+//!              [--top N] [--list] [--json]
+//! ```
+//!
+//! The store is a directory of ingested campaign reports (see
+//! `fahana-campaign --store`, or pass `--ingest` here to add reports
+//! first). Every query consults *all* ingested campaigns: candidate
+//! architectures are ranked by reward, and the accuracy/unfairness Pareto
+//! frontiers of every matching scenario are merged into one cross-campaign
+//! frontier.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use edgehw::DeviceKind;
+use fahana_runtime::{ArtifactStore, StoreQuery};
+
+struct Cli {
+    store_dir: Option<PathBuf>,
+    ingest: Vec<PathBuf>,
+    query: StoreQuery,
+    top: usize,
+    list: bool,
+    json: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fahana-query --store DIR [--ingest FILE]... [--device SLUG] \
+     [--reward NAME] [--freezing on|off] [--max-latency-ms X] \
+     [--max-unfairness X] [--min-accuracy X] [--max-params N] [--top N] \
+     [--list] [--json]"
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        store_dir: None,
+        ingest: Vec::new(),
+        query: StoreQuery::default(),
+        top: 10,
+        list: false,
+        json: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        let number = |flag: &str, value: &str| -> Result<f64, String> {
+            value
+                .parse()
+                .map_err(|_| format!("{flag} expects a number, got `{value}`"))
+        };
+        match arg.as_str() {
+            "--store" => cli.store_dir = Some(PathBuf::from(value_of("--store")?)),
+            "--ingest" => cli.ingest.push(PathBuf::from(value_of("--ingest")?)),
+            "--device" => {
+                let value = value_of("--device")?;
+                cli.query.device = Some(DeviceKind::from_slug(value).ok_or_else(|| {
+                    let known: Vec<&str> = DeviceKind::all().iter().map(|d| d.slug()).collect();
+                    format!(
+                        "unknown device `{value}` (expected one of {})",
+                        known.join(", ")
+                    )
+                })?);
+            }
+            "--reward" => cli.query.reward = Some(value_of("--reward")?.to_string()),
+            "--freezing" => {
+                cli.query.freezing = Some(match value_of("--freezing")? {
+                    "on" | "true" | "yes" | "1" => true,
+                    "off" | "false" | "no" | "0" => false,
+                    other => return Err(format!("--freezing expects on/off, got `{other}`")),
+                });
+            }
+            "--max-latency-ms" => {
+                let value = value_of("--max-latency-ms")?;
+                cli.query.max_latency_ms = Some(number("--max-latency-ms", value)?);
+            }
+            "--max-unfairness" => {
+                let value = value_of("--max-unfairness")?;
+                cli.query.max_unfairness = Some(number("--max-unfairness", value)?);
+            }
+            "--min-accuracy" => {
+                let value = value_of("--min-accuracy")?;
+                cli.query.min_accuracy = Some(number("--min-accuracy", value)?);
+            }
+            "--max-params" => {
+                let value = value_of("--max-params")?;
+                cli.query.max_params = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--max-params expects an integer, got `{value}`"))?,
+                );
+            }
+            "--top" => {
+                let value = value_of("--top")?;
+                cli.top = value
+                    .parse()
+                    .map_err(|_| format!("--top expects an integer, got `{value}`"))?;
+            }
+            "--list" => cli.list = true,
+            "--json" => cli.json = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if cli.store_dir.is_none() {
+        return Err(format!("--store is required\n{}", usage()));
+    }
+    Ok(cli)
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    let store = ArtifactStore::open(cli.store_dir.expect("validated in parse_cli"))
+        .map_err(|e| e.to_string())?;
+
+    if !cli.ingest.is_empty() {
+        // batch API: the catalog is rebuilt once, not once per file
+        let stored = store.ingest_files(&cli.ingest).map_err(|e| e.to_string())?;
+        for (path, campaign) in cli.ingest.iter().zip(stored.iter()) {
+            eprintln!(
+                "ingested {} as `{}` ({} scenarios)",
+                path.display(),
+                campaign.id,
+                campaign.report.scenarios.len()
+            );
+        }
+    }
+
+    if cli.list {
+        let campaigns = store.campaigns().map_err(|e| e.to_string())?;
+        if campaigns.is_empty() {
+            eprintln!("store is empty — ingest reports with --ingest or fahana-campaign --store");
+            return Ok(());
+        }
+        for campaign in &campaigns {
+            println!(
+                "{}: {} scenarios, {} threads, {:.1} ms wall-clock",
+                campaign.id,
+                campaign.report.scenarios.len(),
+                campaign.report.threads,
+                campaign.report.wall_clock_ms,
+            );
+            for scenario in &campaign.report.scenarios {
+                println!(
+                    "  {} (best: {})",
+                    scenario.scenario,
+                    scenario
+                        .best
+                        .as_ref()
+                        .map(|b| b.name.as_str())
+                        .unwrap_or("-")
+                );
+            }
+        }
+        return Ok(());
+    }
+
+    let answer = store.query(&cli.query).map_err(|e| e.to_string())?;
+
+    if cli.json {
+        println!("{}", answer.to_json().render());
+        return Ok(());
+    }
+
+    eprintln!(
+        "consulted {} campaigns, {} matching scenarios",
+        answer.campaigns_consulted, answer.scenarios_matched
+    );
+    if answer.candidates.is_empty() {
+        println!("no architecture satisfies the constraints");
+        return Ok(());
+    }
+    println!(
+        "{:<28} {:>9} {:>9} {:>9} {:>9} {:>7}  provenance",
+        "architecture", "params", "lat ms", "acc", "unfair", "reward"
+    );
+    for candidate in answer.candidates.iter().take(cli.top) {
+        println!(
+            "{:<28} {:>9} {:>9.1} {:>9.4} {:>9.4} {:>7.3}  {}/{} ({})",
+            candidate.record.name,
+            candidate.record.params,
+            candidate.record.latency_ms,
+            candidate.record.accuracy,
+            candidate.record.unfairness,
+            candidate.record.reward,
+            candidate.campaign,
+            candidate.scenario,
+            candidate.role,
+        );
+    }
+    if let Some(best) = &answer.best {
+        println!(
+            "best: {} ({:.4} accuracy, {:.4} unfairness, {:.1} ms) from {}/{}",
+            best.record.name,
+            best.record.accuracy,
+            best.record.unfairness,
+            best.record.latency_ms,
+            best.campaign,
+            best.scenario,
+        );
+    }
+    println!(
+        "merged accuracy/unfairness frontier: {} points",
+        answer.frontier.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fahana-query: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -67,9 +67,9 @@ impl Fingerprint {
 /// The cache key: evaluator fingerprint × architecture structure × frozen
 /// block count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CacheKey {
-    lo: u64,
-    hi: u64,
+pub(crate) struct CacheKey {
+    pub(crate) lo: u64,
+    pub(crate) hi: u64,
 }
 
 impl CacheKey {
@@ -165,6 +165,34 @@ impl EvalCache {
             .write()
             .expect("eval cache poisoned")
             .insert(key, evaluation);
+    }
+
+    /// Copies every entry out, for snapshotting (see [`crate::snapshot`]).
+    pub(crate) fn export_entries(&self) -> Vec<(CacheKey, FairnessEvaluation)> {
+        self.entries
+            .read()
+            .expect("eval cache poisoned")
+            .iter()
+            .map(|(key, evaluation)| (*key, evaluation.clone()))
+            .collect()
+    }
+
+    /// Inserts entries that are not already memoised (existing entries
+    /// win, so a warm-start can never change live results). Returns the
+    /// number of entries actually added.
+    pub(crate) fn import_entries(
+        &self,
+        entries: impl IntoIterator<Item = (CacheKey, FairnessEvaluation)>,
+    ) -> usize {
+        let mut map = self.entries.write().expect("eval cache poisoned");
+        let mut added = 0;
+        for (key, evaluation) in entries {
+            if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(key) {
+                slot.insert(evaluation);
+                added += 1;
+            }
+        }
+        added
     }
 }
 

@@ -148,8 +148,23 @@ impl CampaignEngine {
     /// configuration-level inconsistencies, so one failure means the grid
     /// itself is bad).
     pub fn run(&self) -> Result<CampaignOutcome> {
+        self.run_with_cache(Arc::new(EvalCache::new()))
+    }
+
+    /// Like [`CampaignEngine::run`], but over a caller-provided cache —
+    /// the warm-start entry point: seed the cache from a persisted
+    /// [`crate::CacheSnapshot`] via [`EvalCache::absorb`] first, and every
+    /// evaluation already memoised is served instead of recomputed. The
+    /// outcome's hit/miss statistics reflect this run only (absorbing does
+    /// not touch the counters), and because cached results are
+    /// bit-identical to fresh evaluations, a warm-started campaign
+    /// produces exactly the outcomes a cold one would.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignEngine::run`].
+    pub fn run_with_cache(&self, cache: Arc<EvalCache>) -> Result<CampaignOutcome> {
         let scenarios = self.config.expand();
-        let cache = Arc::new(EvalCache::new());
         // every grid cell shares samples/image_size/seed, so the synthetic
         // dataset is generated once and injected into each search
         let dataset =

@@ -20,23 +20,36 @@
 //!   ([`edgehw::SharedBlockLatencyTable`]) and the evaluation cache;
 //! * [`report`] — hand-rolled JSON reports (best architecture, Pareto
 //!   frontier, wall-clock, cache hit-rate) for each scenario and the
-//!   campaign as a whole.
+//!   campaign as a whole, with a parser and typed schema structs so
+//!   reports round-trip;
+//! * [`snapshot`] — a versioned, checksummed on-disk format for the
+//!   evaluation cache, so campaigns warm-start from prior runs
+//!   (`fahana-campaign --cache-in/--cache-out`);
+//! * [`store`] — the campaign artifact store: ingested reports indexed by
+//!   device × reward × freezing, answering "best architecture for device
+//!   X under constraint Y" queries (the `fahana-query` binary) with
+//!   cross-campaign Pareto-frontier merging.
 //!
 //! Determinism is a hard guarantee: a scenario's [`fahana::SearchOutcome`]
 //! is bit-identical whether it runs serially, through the pool, with the
-//! cache enabled or disabled (see `tests/determinism.rs`).
+//! cache enabled or disabled, cold or warm-started from a snapshot (see
+//! `tests/determinism.rs`).
 
 pub mod cache;
 pub mod campaign;
 pub mod pool;
 pub mod report;
 pub mod scenario;
+pub mod snapshot;
+pub mod store;
 
 pub use cache::{CacheStats, CachedEvaluator, EvalCache};
 pub use campaign::{CampaignEngine, CampaignOutcome, PooledBatchEvaluator, ScenarioOutcome};
 pub use pool::ThreadPool;
-pub use report::{campaign_json, scenario_json};
+pub use report::{campaign_json, scenario_json, CampaignReport, Json, ReportError, ScenarioReport};
 pub use scenario::{CampaignConfig, RewardSetting, Scenario};
+pub use snapshot::{CacheSnapshot, MergeOutcome, SnapshotError};
+pub use store::{ArtifactStore, Candidate, QueryAnswer, StoreError, StoreQuery, StoredCampaign};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,17 +1,26 @@
-//! JSON campaign reports, hand-rolled.
+//! JSON campaign reports: a hand-rolled value tree, a renderer *and* a
+//! parser, and a typed schema layer.
 //!
 //! The offline build has no serde_json (see `vendor/README.md`), so this
-//! module renders reports through a tiny [`Json`] value tree. Emission
-//! rules: strings are escaped per RFC 8259, non-finite numbers become
-//! `null` (JSON has no NaN/∞), and object keys keep insertion order so
-//! reports diff cleanly across runs.
+//! module carries its own [`Json`] value tree. Emission rules: strings are
+//! escaped per RFC 8259, non-finite numbers become `null` (JSON has no
+//! NaN/∞), and object keys keep insertion order so reports diff cleanly
+//! across runs.
+//!
+//! Reports are round-trippable: [`Json::parse`] inverts [`Json::render`],
+//! and the typed [`ScenarioReport`] / [`CampaignReport`] structs carry the
+//! schema in one place — the renderer and the parser both go through them,
+//! so `render → parse → re-render` is byte-identical (the golden-file
+//! tests in `tests/report_schema.rs` pin this down). The parser is what
+//! lets the campaign artifact store ([`crate::store`]) ingest previously
+//! written reports instead of only producing them.
 
-use fahana::{EpisodeRecord, ParetoPoint, SearchOutcome};
+use fahana::{EpisodeRecord, ParetoPoint};
 
 use crate::cache::CacheStats;
 use crate::campaign::{CampaignOutcome, ScenarioOutcome};
 
-/// A JSON value (construction side only — reports are written, not read).
+/// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
     /// `null`
@@ -29,6 +38,41 @@ pub enum Json {
     /// An object with insertion-ordered keys.
     Obj(Vec<(String, Json)>),
 }
+
+/// Failure to parse a report: either the text is not JSON, or it is JSON
+/// that does not match the report schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// Not syntactically valid JSON.
+    Json {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Valid JSON, wrong shape.
+    Schema {
+        /// Dotted path of the offending field.
+        path: String,
+        /// What was expected.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Json { offset, message } => {
+                write!(f, "invalid JSON at byte {offset}: {message}")
+            }
+            ReportError::Schema { path, message } => {
+                write!(f, "report schema violation at `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
 
 impl Json {
     /// Convenience constructor for strings.
@@ -96,6 +140,660 @@ impl Json {
             }
         }
     }
+
+    /// Parses JSON text (the inverse of [`Json::render`]).
+    ///
+    /// Accepts standard RFC 8259 JSON. Numbers without a fractional part
+    /// or exponent that fit `i64` *and* whose text equals the integer's
+    /// canonical rendering become [`Json::Int`]; everything else numeric
+    /// becomes [`Json::Num`] — so re-rendering a parsed document
+    /// reproduces it byte-for-byte whenever the original was produced by
+    /// [`Json::render`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError::Json`] with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, ReportError> {
+        let mut parser = Parser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Looks a key up in an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value of [`Json::Num`] or [`Json::Int`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer value of [`Json::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String contents.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array items.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser over the input's bytes.
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ReportError {
+        ReportError::Json {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ReportError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ReportError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't' | b'f' | b'n') => self.literal(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(self.error(format!("unexpected character `{}`", b as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Json, ReportError> {
+        for (word, value) in [
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("null", Json::Null),
+        ] {
+            if self.text[self.pos..].starts_with(word) {
+                self.pos += word.len();
+                return Ok(value);
+            }
+        }
+        Err(self.error("expected `true`, `false` or `null`"))
+    }
+
+    fn number(&mut self) -> Result<Json, ReportError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let literal = &self.text[start..self.pos];
+        let has_fraction = literal.contains(['.', 'e', 'E']);
+        if !has_fraction {
+            if let Ok(int) = literal.parse::<i64>() {
+                if int.to_string() == literal {
+                    return Ok(Json::Int(int));
+                }
+            }
+        }
+        let number: f64 = literal
+            .parse()
+            .map_err(|_| self.error(format!("invalid number `{literal}`")))?;
+        if !number.is_finite() {
+            return Err(self.error(format!("number `{literal}` overflows f64")));
+        }
+        Ok(Json::Num(number))
+    }
+
+    fn string(&mut self) -> Result<String, ReportError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("dangling escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            self.pos -= 1;
+                            return Err(self.error(format!("bad escape `\\{}`", other as char)));
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.error("raw control character in string"));
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // multi-byte UTF-8: the input is a valid &str, so a
+                    // char boundary is guaranteed here
+                    let c = self.text[self.pos..]
+                        .chars()
+                        .next()
+                        .expect("non-empty remainder");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ReportError> {
+        let digits = self
+            .text
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let code = u32::from_str_radix(digits, 16)
+            .map_err(|_| self.error(format!("bad \\u escape `{digits}`")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ReportError> {
+        let code = self.hex4()?;
+        if (0xD800..0xDC00).contains(&code) {
+            // high surrogate: a low surrogate escape must follow
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let low = self.hex4()?;
+                if (0xDC00..0xE000).contains(&low) {
+                    let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                    return char::from_u32(combined)
+                        .ok_or_else(|| self.error("invalid surrogate pair"));
+                }
+            }
+            return Err(self.error("unpaired high surrogate"));
+        }
+        char::from_u32(code).ok_or_else(|| self.error(format!("invalid codepoint {code:#x}")))
+    }
+
+    fn object(&mut self) -> Result<Json, ReportError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ReportError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed schema layer
+// ---------------------------------------------------------------------------
+
+/// The parsed (or to-be-rendered) form of one scenario's report. This is
+/// the single source of truth for the scenario schema: rendering and
+/// parsing both go through it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (`device/reward/freezing`).
+    pub scenario: String,
+    /// Human-readable device label.
+    pub device: String,
+    /// Stable device key ([`edgehw::DeviceKind::slug`]); what the artifact
+    /// store indexes on.
+    pub device_slug: String,
+    /// Reward setting name.
+    pub reward: String,
+    /// Accuracy weight α.
+    pub alpha: f64,
+    /// Unfairness weight β.
+    pub beta: f64,
+    /// Whether the frozen-header search ran.
+    pub use_freezing: bool,
+    /// Scenario wall-clock in milliseconds.
+    pub wall_clock_ms: f64,
+    /// Evaluation-cache counters of this scenario.
+    pub cache: CacheStats,
+    /// Episodes run.
+    pub episodes: u64,
+    /// Fraction of valid episodes.
+    pub valid_ratio: f64,
+    /// log10 of the search-space size.
+    pub space_log10_size: f64,
+    /// Frozen backbone blocks.
+    pub frozen_blocks: u64,
+    /// Searchable tail slots.
+    pub searchable_slots: u64,
+    /// Modelled GPU-cluster search time (hours).
+    pub modelled_search_hours: f64,
+    /// Same, formatted like the paper.
+    pub modelled_search_time: String,
+    /// Highest-reward valid child.
+    pub best: Option<EpisodeRecord>,
+    /// Highest-reward valid child under 4 M parameters.
+    pub best_small: Option<EpisodeRecord>,
+    /// Lowest-unfairness valid child.
+    pub fairest: Option<EpisodeRecord>,
+    /// Accuracy/unfairness Pareto frontier over valid children.
+    pub accuracy_fairness_frontier: Vec<ParetoPoint>,
+    /// Reward/size Pareto frontier over valid children.
+    pub reward_size_frontier: Vec<ParetoPoint>,
+}
+
+/// The parsed (or to-be-rendered) form of a whole campaign report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Worker threads used.
+    pub threads: u64,
+    /// Campaign wall-clock in milliseconds.
+    pub wall_clock_ms: f64,
+    /// Aggregate cache counters.
+    pub cache: CacheStats,
+    /// Distinct architectures memoised.
+    pub cache_entries: u64,
+    /// Per-scenario reports, in grid order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl ScenarioReport {
+    /// Projects a live [`ScenarioOutcome`] onto the report schema.
+    pub fn from_outcome(outcome: &ScenarioOutcome) -> Self {
+        let summary = &outcome.outcome;
+        let record = |network: &Option<fahana::DiscoveredNetwork>| {
+            network.as_ref().map(|n| n.record.clone())
+        };
+        ScenarioReport {
+            scenario: outcome.scenario.name.clone(),
+            device: outcome.scenario.device.label().to_string(),
+            device_slug: outcome.scenario.device.slug().to_string(),
+            reward: outcome.scenario.reward.name.clone(),
+            alpha: outcome.scenario.reward.alpha,
+            beta: outcome.scenario.reward.beta,
+            use_freezing: outcome.scenario.use_freezing,
+            wall_clock_ms: outcome.wall_clock.as_secs_f64() * 1e3,
+            cache: outcome.cache,
+            episodes: summary.history.len() as u64,
+            valid_ratio: summary.valid_ratio,
+            space_log10_size: summary.space_log10_size,
+            frozen_blocks: summary.frozen_blocks as u64,
+            searchable_slots: summary.searchable_slots as u64,
+            modelled_search_hours: summary.modelled_search_hours,
+            modelled_search_time: summary.modelled_search_time.clone(),
+            best: record(&summary.best),
+            best_small: record(&summary.best_small),
+            fairest: record(&summary.fairest),
+            accuracy_fairness_frontier: summary.accuracy_fairness_frontier(),
+            reward_size_frontier: summary.reward_size_frontier(),
+        }
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let record = |record: &Option<EpisodeRecord>| match record {
+            Some(record) => episode_json(record),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("scenario".into(), Json::str(&self.scenario)),
+            ("device".into(), Json::str(&self.device)),
+            ("device_slug".into(), Json::str(&self.device_slug)),
+            ("reward".into(), Json::str(&self.reward)),
+            ("alpha".into(), Json::Num(self.alpha)),
+            ("beta".into(), Json::Num(self.beta)),
+            ("use_freezing".into(), Json::Bool(self.use_freezing)),
+            ("wall_clock_ms".into(), Json::Num(self.wall_clock_ms)),
+            ("cache".into(), cache_json(&self.cache)),
+            ("episodes".into(), Json::Int(self.episodes as i64)),
+            ("valid_ratio".into(), Json::Num(self.valid_ratio)),
+            ("space_log10_size".into(), Json::Num(self.space_log10_size)),
+            ("frozen_blocks".into(), Json::Int(self.frozen_blocks as i64)),
+            (
+                "searchable_slots".into(),
+                Json::Int(self.searchable_slots as i64),
+            ),
+            (
+                "modelled_search_hours".into(),
+                Json::Num(self.modelled_search_hours),
+            ),
+            (
+                "modelled_search_time".into(),
+                Json::str(&self.modelled_search_time),
+            ),
+            ("best".into(), record(&self.best)),
+            ("best_small".into(), record(&self.best_small)),
+            ("fairest".into(), record(&self.fairest)),
+            (
+                "accuracy_fairness_frontier".into(),
+                frontier_json(&self.accuracy_fairness_frontier),
+            ),
+            (
+                "reward_size_frontier".into(),
+                frontier_json(&self.reward_size_frontier),
+            ),
+        ])
+    }
+
+    /// Parses a scenario report (JSON text).
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError`] on syntax or schema violations.
+    pub fn parse(text: &str) -> Result<Self, ReportError> {
+        Self::from_json(&Json::parse(text)?, "")
+    }
+
+    fn from_json(value: &Json, path: &str) -> Result<Self, ReportError> {
+        let at = |key: &str| join_path(path, key);
+        Ok(ScenarioReport {
+            scenario: str_field(value, path, "scenario")?,
+            device: str_field(value, path, "device")?,
+            device_slug: str_field(value, path, "device_slug")?,
+            reward: str_field(value, path, "reward")?,
+            alpha: f64_field(value, path, "alpha")?,
+            beta: f64_field(value, path, "beta")?,
+            use_freezing: bool_field(value, path, "use_freezing")?,
+            wall_clock_ms: f64_field(value, path, "wall_clock_ms")?,
+            cache: cache_from_json(field(value, path, "cache")?, &at("cache"))?,
+            episodes: u64_field(value, path, "episodes")?,
+            valid_ratio: f64_field(value, path, "valid_ratio")?,
+            space_log10_size: f64_field(value, path, "space_log10_size")?,
+            frozen_blocks: u64_field(value, path, "frozen_blocks")?,
+            searchable_slots: u64_field(value, path, "searchable_slots")?,
+            modelled_search_hours: f64_field(value, path, "modelled_search_hours")?,
+            modelled_search_time: str_field(value, path, "modelled_search_time")?,
+            best: record_from_json(field(value, path, "best")?, &at("best"))?,
+            best_small: record_from_json(field(value, path, "best_small")?, &at("best_small"))?,
+            fairest: record_from_json(field(value, path, "fairest")?, &at("fairest"))?,
+            accuracy_fairness_frontier: frontier_from_json(
+                field(value, path, "accuracy_fairness_frontier")?,
+                &at("accuracy_fairness_frontier"),
+            )?,
+            reward_size_frontier: frontier_from_json(
+                field(value, path, "reward_size_frontier")?,
+                &at("reward_size_frontier"),
+            )?,
+        })
+    }
+}
+
+impl CampaignReport {
+    /// Projects a live [`CampaignOutcome`] onto the report schema.
+    pub fn from_outcome(outcome: &CampaignOutcome) -> Self {
+        CampaignReport {
+            threads: outcome.threads as u64,
+            wall_clock_ms: outcome.wall_clock.as_secs_f64() * 1e3,
+            cache: outcome.cache,
+            cache_entries: outcome.cache_entries as u64,
+            scenarios: outcome
+                .scenarios
+                .iter()
+                .map(ScenarioReport::from_outcome)
+                .collect(),
+        }
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("threads".into(), Json::Int(self.threads as i64)),
+            ("wall_clock_ms".into(), Json::Num(self.wall_clock_ms)),
+            ("cache".into(), cache_json(&self.cache)),
+            ("cache_entries".into(), Json::Int(self.cache_entries as i64)),
+            (
+                "scenario_count".into(),
+                Json::Int(self.scenarios.len() as i64),
+            ),
+            (
+                "scenarios".into(),
+                Json::Arr(self.scenarios.iter().map(ScenarioReport::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a campaign report (JSON text).
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError`] on syntax or schema violations, including a
+    /// `scenario_count` that disagrees with the scenario array.
+    pub fn parse(text: &str) -> Result<Self, ReportError> {
+        let value = Json::parse(text)?;
+        let scenarios_json = field(&value, "", "scenarios")?;
+        let items = scenarios_json.as_arr().ok_or_else(|| ReportError::Schema {
+            path: "scenarios".into(),
+            message: "expected an array".into(),
+        })?;
+        let mut scenarios = Vec::with_capacity(items.len());
+        for (index, item) in items.iter().enumerate() {
+            scenarios.push(ScenarioReport::from_json(
+                item,
+                &format!("scenarios[{index}]"),
+            )?);
+        }
+        let declared = u64_field(&value, "", "scenario_count")?;
+        if declared != scenarios.len() as u64 {
+            return Err(ReportError::Schema {
+                path: "scenario_count".into(),
+                message: format!(
+                    "declares {declared} scenarios but the array holds {}",
+                    scenarios.len()
+                ),
+            });
+        }
+        Ok(CampaignReport {
+            threads: u64_field(&value, "", "threads")?,
+            wall_clock_ms: f64_field(&value, "", "wall_clock_ms")?,
+            cache: cache_from_json(field(&value, "", "cache")?, "cache")?,
+            cache_entries: u64_field(&value, "", "cache_entries")?,
+            scenarios,
+        })
+    }
+}
+
+fn join_path(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn field<'a>(value: &'a Json, path: &str, key: &str) -> Result<&'a Json, ReportError> {
+    value.get(key).ok_or_else(|| ReportError::Schema {
+        path: join_path(path, key),
+        message: "missing field".into(),
+    })
+}
+
+fn f64_field(value: &Json, path: &str, key: &str) -> Result<f64, ReportError> {
+    field(value, path, key)?
+        .as_f64()
+        .ok_or_else(|| ReportError::Schema {
+            path: join_path(path, key),
+            message: "expected a number".into(),
+        })
+}
+
+fn u64_field(value: &Json, path: &str, key: &str) -> Result<u64, ReportError> {
+    field(value, path, key)?
+        .as_i64()
+        .and_then(|i| u64::try_from(i).ok())
+        .ok_or_else(|| ReportError::Schema {
+            path: join_path(path, key),
+            message: "expected a non-negative integer".into(),
+        })
+}
+
+fn str_field(value: &Json, path: &str, key: &str) -> Result<String, ReportError> {
+    field(value, path, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ReportError::Schema {
+            path: join_path(path, key),
+            message: "expected a string".into(),
+        })
+}
+
+fn bool_field(value: &Json, path: &str, key: &str) -> Result<bool, ReportError> {
+    field(value, path, key)?
+        .as_bool()
+        .ok_or_else(|| ReportError::Schema {
+            path: join_path(path, key),
+            message: "expected a boolean".into(),
+        })
+}
+
+fn cache_from_json(value: &Json, path: &str) -> Result<CacheStats, ReportError> {
+    // hit_rate is derived from hits/misses, so it is not read back
+    Ok(CacheStats {
+        hits: u64_field(value, path, "hits")?,
+        misses: u64_field(value, path, "misses")?,
+    })
+}
+
+fn record_from_json(value: &Json, path: &str) -> Result<Option<EpisodeRecord>, ReportError> {
+    if matches!(value, Json::Null) {
+        return Ok(None);
+    }
+    Ok(Some(EpisodeRecord {
+        episode: u64_field(value, path, "episode")? as usize,
+        name: str_field(value, path, "name")?,
+        params: u64_field(value, path, "params")?,
+        storage_mb: f64_field(value, path, "storage_mb")?,
+        latency_ms: f64_field(value, path, "latency_ms")?,
+        accuracy: f64_field(value, path, "accuracy")?,
+        unfairness: f64_field(value, path, "unfairness")?,
+        trained_params: u64_field(value, path, "trained_params")?,
+        reward: f64_field(value, path, "reward")?,
+        valid: bool_field(value, path, "valid")?,
+    }))
+}
+
+fn frontier_from_json(value: &Json, path: &str) -> Result<Vec<ParetoPoint>, ReportError> {
+    let items = value.as_arr().ok_or_else(|| ReportError::Schema {
+        path: path.to_string(),
+        message: "expected an array".into(),
+    })?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(index, item)| {
+            let path = format!("{path}[{index}]");
+            Ok(ParetoPoint {
+                label: str_field(item, &path, "name")?,
+                maximize: f64_field(item, &path, "maximize")?,
+                minimize: f64_field(item, &path, "minimize")?,
+            })
+        })
+        .collect()
 }
 
 fn episode_json(record: &EpisodeRecord) -> Json {
@@ -139,106 +837,14 @@ fn cache_json(stats: &CacheStats) -> Json {
     ])
 }
 
-fn outcome_summary_json(outcome: &SearchOutcome) -> Vec<(String, Json)> {
-    let best = |network: &Option<fahana::DiscoveredNetwork>| match network {
-        Some(network) => episode_json(&network.record),
-        None => Json::Null,
-    };
-    vec![
-        ("episodes".into(), Json::Int(outcome.history.len() as i64)),
-        ("valid_ratio".into(), Json::Num(outcome.valid_ratio)),
-        (
-            "space_log10_size".into(),
-            Json::Num(outcome.space_log10_size),
-        ),
-        (
-            "frozen_blocks".into(),
-            Json::Int(outcome.frozen_blocks as i64),
-        ),
-        (
-            "searchable_slots".into(),
-            Json::Int(outcome.searchable_slots as i64),
-        ),
-        (
-            "modelled_search_hours".into(),
-            Json::Num(outcome.modelled_search_hours),
-        ),
-        (
-            "modelled_search_time".into(),
-            Json::str(&outcome.modelled_search_time),
-        ),
-        ("best".into(), best(&outcome.best)),
-        ("best_small".into(), best(&outcome.best_small)),
-        ("fairest".into(), best(&outcome.fairest)),
-        (
-            "accuracy_fairness_frontier".into(),
-            frontier_json(&outcome.accuracy_fairness_frontier()),
-        ),
-        (
-            "reward_size_frontier".into(),
-            frontier_json(&outcome.reward_size_frontier()),
-        ),
-    ]
-}
-
-/// The full entry list of one scenario's report (shared by the standalone
-/// scenario reports and the embedded array in the campaign report, so the
-/// two can never diverge).
-fn scenario_entries(scenario: &ScenarioOutcome) -> Vec<(String, Json)> {
-    let mut entries = vec![
-        ("scenario".into(), Json::str(&scenario.scenario.name)),
-        ("device".into(), Json::str(scenario.scenario.device.label())),
-        ("reward".into(), Json::str(&scenario.scenario.reward.name)),
-        ("alpha".into(), Json::Num(scenario.scenario.reward.alpha)),
-        ("beta".into(), Json::Num(scenario.scenario.reward.beta)),
-        (
-            "use_freezing".into(),
-            Json::Bool(scenario.scenario.use_freezing),
-        ),
-        (
-            "wall_clock_ms".into(),
-            Json::Num(scenario.wall_clock.as_secs_f64() * 1e3),
-        ),
-        ("cache".into(), cache_json(&scenario.cache)),
-    ];
-    entries.extend(outcome_summary_json(&scenario.outcome));
-    entries
-}
-
 /// Renders one scenario's report.
 pub fn scenario_json(scenario: &ScenarioOutcome) -> String {
-    Json::Obj(scenario_entries(scenario)).render()
+    ScenarioReport::from_outcome(scenario).to_json().render()
 }
 
 /// Renders the whole campaign report (aggregates plus every scenario).
 pub fn campaign_json(outcome: &CampaignOutcome) -> String {
-    Json::Obj(vec![
-        ("threads".into(), Json::Int(outcome.threads as i64)),
-        (
-            "wall_clock_ms".into(),
-            Json::Num(outcome.wall_clock.as_secs_f64() * 1e3),
-        ),
-        ("cache".into(), cache_json(&outcome.cache)),
-        (
-            "cache_entries".into(),
-            Json::Int(outcome.cache_entries as i64),
-        ),
-        (
-            "scenario_count".into(),
-            Json::Int(outcome.scenarios.len() as i64),
-        ),
-        (
-            "scenarios".into(),
-            Json::Arr(
-                outcome
-                    .scenarios
-                    .iter()
-                    .map(|s| Json::Obj(scenario_entries(s)))
-                    .collect(),
-            ),
-        ),
-    ])
-    .render()
+    CampaignReport::from_outcome(outcome).to_json().render()
 }
 
 #[cfg(test)]
@@ -270,11 +876,88 @@ mod tests {
     }
 
     #[test]
-    fn scenario_report_contains_the_headline_fields() {
+    fn parse_inverts_render_on_value_trees() {
+        let value = Json::Obj(vec![
+            ("s".into(), Json::str("esc \"\\\n\t\u{1} ünïcøde 🎛")),
+            ("i".into(), Json::Int(-42)),
+            ("n".into(), Json::Num(0.125)),
+            ("whole".into(), Json::Num(3.0)),
+            ("b".into(), Json::Bool(false)),
+            ("z".into(), Json::Null),
+            (
+                "a".into(),
+                Json::Arr(vec![Json::Int(1), Json::str("x"), Json::Null]),
+            ),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+        ]);
+        let text = value.render();
+        let parsed = Json::parse(&text).unwrap();
+        // byte-identical re-render (Num(3.0) renders "3" and comes back as
+        // Int(3) — a different variant with the identical rendering)
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_escapes() {
+        let parsed =
+            Json::parse(" { \"k\" : [ 1 , 2.5 , \"a\\u0041\\n\\/\\u00e9\" , true , null ] } ")
+                .unwrap();
+        let items = parsed.get("k").unwrap().as_arr().unwrap();
+        assert_eq!(items[0].as_i64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].as_str(), Some("aA\n/é"));
+        assert_eq!(items[3].as_bool(), Some(true));
+        assert_eq!(items[4], Json::Null);
+    }
+
+    #[test]
+    fn parse_handles_surrogate_pairs() {
+        let parsed = Json::parse(r#""🎉""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("🎉"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for (text, needle) in [
+            ("", "end of input"),
+            ("{", "expected `\""),
+            ("[1,", "end of input"),
+            ("[1 2]", "expected `,` or `]`"),
+            ("{\"a\" 1}", "expected `:`"),
+            ("tru", "expected `true`"),
+            ("\"unterminated", "unterminated"),
+            ("\"bad \\x escape\"", "bad escape"),
+            ("\"\\ud800 lonely\"", "unpaired high surrogate"),
+            ("1e999", "overflows"),
+            ("01x", "trailing characters"),
+            ("{} {}", "trailing characters"),
+            ("nan", "expected `true`, `false` or `null`"),
+        ] {
+            let err = Json::parse(text).unwrap_err();
+            let formatted = err.to_string();
+            assert!(
+                formatted.contains(needle),
+                "`{text}` should fail with `{needle}`, got `{formatted}`"
+            );
+        }
+    }
+
+    #[test]
+    fn parsed_integers_keep_their_exact_text() {
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        // `-0` is not i64-canonical, so it stays a float and re-renders
+        // byte-identically
+        assert_eq!(Json::parse("-0").unwrap().render(), "-0");
+        assert_eq!(Json::parse("1.5e3").unwrap(), Json::Num(1500.0));
+    }
+
+    fn small_outcome() -> CampaignOutcome {
         use crate::scenario::CampaignConfig;
         use crate::CampaignEngine;
 
-        let outcome = CampaignEngine::new(CampaignConfig {
+        CampaignEngine::new(CampaignConfig {
             episodes: 3,
             samples: 120,
             threads: 2,
@@ -285,12 +968,18 @@ mod tests {
         })
         .unwrap()
         .run()
-        .unwrap();
+        .unwrap()
+    }
+
+    #[test]
+    fn scenario_report_contains_the_headline_fields() {
+        let outcome = small_outcome();
         let scenario = &outcome.scenarios[0];
         let report = scenario_json(scenario);
         for needle in [
             r#""scenario":"raspberry_pi_4/balanced/frozen""#,
             r#""device":"Raspberry PI""#,
+            r#""device_slug":"raspberry_pi_4""#,
             r#""cache":{"hits":"#,
             r#""valid_ratio":"#,
             r#""accuracy_fairness_frontier":"#,
@@ -301,5 +990,33 @@ mod tests {
         let campaign_report = campaign_json(&outcome);
         assert!(campaign_report.contains(r#""scenario_count":1"#));
         assert!(campaign_report.contains(r#""threads":2"#));
+    }
+
+    #[test]
+    fn typed_reports_round_trip_bit_exactly() {
+        let outcome = small_outcome();
+        let scenario_text = scenario_json(&outcome.scenarios[0]);
+        let parsed = ScenarioReport::parse(&scenario_text).unwrap();
+        assert_eq!(parsed.to_json().render(), scenario_text);
+        assert_eq!(parsed.device_slug, "raspberry_pi_4");
+
+        let campaign_text = campaign_json(&outcome);
+        let parsed = CampaignReport::parse(&campaign_text).unwrap();
+        assert_eq!(parsed.to_json().render(), campaign_text);
+        assert_eq!(parsed.scenarios.len(), 1);
+        assert_eq!(parsed.cache.hits, outcome.cache.hits);
+    }
+
+    #[test]
+    fn schema_violations_name_the_offending_path() {
+        let err = CampaignReport::parse(r#"{"threads":2}"#).unwrap_err();
+        assert!(matches!(err, ReportError::Schema { .. }), "{err:?}");
+        assert!(err.to_string().contains("scenarios"), "{err}");
+
+        let outcome = small_outcome();
+        let text =
+            campaign_json(&outcome).replace(r#""scenario_count":1"#, r#""scenario_count":5"#);
+        let err = CampaignReport::parse(&text).unwrap_err();
+        assert!(err.to_string().contains("scenario_count"), "{err}");
     }
 }

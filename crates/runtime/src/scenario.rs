@@ -148,23 +148,10 @@ impl Default for CampaignConfig {
     }
 }
 
-fn device_slug(kind: DeviceKind) -> &'static str {
-    match kind {
-        DeviceKind::RaspberryPi4 => "raspberry_pi_4",
-        DeviceKind::OdroidXu4 => "odroid_xu4",
-        DeviceKind::Desktop => "desktop",
-    }
-}
-
 fn parse_device(value: &str) -> std::result::Result<DeviceKind, String> {
-    match value {
-        "raspberry_pi_4" | "raspberry_pi" | "pi4" | "pi" => Ok(DeviceKind::RaspberryPi4),
-        "odroid_xu4" | "odroid" => Ok(DeviceKind::OdroidXu4),
-        "desktop" => Ok(DeviceKind::Desktop),
-        other => Err(format!(
-            "unknown device `{other}` (expected raspberry_pi_4, odroid_xu4 or desktop)"
-        )),
-    }
+    DeviceKind::from_slug(value).ok_or_else(|| {
+        format!("unknown device `{value}` (expected raspberry_pi_4, odroid_xu4 or desktop)")
+    })
 }
 
 fn parse_bool(key: &str, value: &str) -> std::result::Result<bool, String> {
@@ -200,7 +187,7 @@ impl CampaignConfig {
                 for &use_freezing in &self.freezing {
                     let mode = if use_freezing { "frozen" } else { "full" };
                     scenarios.push(Scenario {
-                        name: format!("{}/{}/{mode}", device_slug(device), reward.name),
+                        name: format!("{}/{}/{mode}", device.slug(), reward.name),
                         device,
                         reward: reward.clone(),
                         use_freezing,
@@ -262,7 +249,7 @@ impl CampaignConfig {
             if self.devices[..index].contains(&device) {
                 return Err(RuntimeError::InvalidConfig(format!(
                     "duplicate device `{}` on the device axis",
-                    device_slug(device)
+                    device.slug()
                 )));
             }
         }

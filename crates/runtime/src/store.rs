@@ -1,0 +1,707 @@
+//! The campaign artifact store: a durable, queryable catalog of completed
+//! campaign reports.
+//!
+//! A campaign run is expensive; its report is cheap to keep. The store
+//! ingests campaign JSON reports (as written by `fahana-campaign --out`)
+//! under a root directory and answers the question the ROADMAP's serving
+//! front-end cares about: *"best architecture for device X under
+//! latency/fairness constraint Y"* — across every campaign ever ingested,
+//! with Pareto frontiers merged via [`fahana::merge_frontiers`].
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <root>/
+//!   artifacts/<id>.json   # one ingested campaign report, verbatim
+//!   catalog.json          # regenerated index: id → scenario keys
+//! ```
+//!
+//! Artifacts are the source of truth; `catalog.json` is a derived,
+//! human-readable index rebuilt on every ingest (it is never read back,
+//! so a stale or deleted catalog can not corrupt anything). Scenarios are
+//! keyed by device slug × reward name × freezing mode — the three grid
+//! axes of [`crate::scenario::CampaignConfig`].
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use edgehw::DeviceKind;
+use fahana::{merge_frontiers, EpisodeRecord, ParetoPoint};
+
+use crate::report::{CampaignReport, Json, ReportError, ScenarioReport};
+
+/// Failure of a store operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Filesystem trouble.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error, formatted.
+        message: String,
+    },
+    /// An artifact file is not a valid campaign report.
+    BadArtifact {
+        /// The offending file.
+        path: String,
+        /// Why it failed to parse.
+        error: ReportError,
+    },
+    /// An artifact with this id already exists.
+    DuplicateId(String),
+    /// The id contains characters that would escape the artifacts
+    /// directory.
+    InvalidId(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, message } => write!(f, "store io on {path}: {message}"),
+            StoreError::BadArtifact { path, error } => {
+                write!(f, "bad artifact {path}: {error}")
+            }
+            StoreError::DuplicateId(id) => write!(f, "artifact id `{id}` already exists"),
+            StoreError::InvalidId(id) => write!(f, "invalid artifact id `{id}`"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One campaign report held by the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredCampaign {
+    /// The artifact id (file stem under `artifacts/`).
+    pub id: String,
+    /// The parsed report.
+    pub report: CampaignReport,
+}
+
+/// A "best architecture for device X under constraint Y" question.
+///
+/// Unset fields do not constrain. Constraints apply to the *records* the
+/// reports carry (best / best-small / fairest architectures per scenario);
+/// only records marked valid by their search are considered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreQuery {
+    /// Only scenarios targeting this device.
+    pub device: Option<DeviceKind>,
+    /// Only scenarios with this reward setting name.
+    pub reward: Option<String>,
+    /// Only scenarios with this freezing mode.
+    pub freezing: Option<bool>,
+    /// Upper bound on estimated device latency (ms).
+    pub max_latency_ms: Option<f64>,
+    /// Upper bound on the unfairness score.
+    pub max_unfairness: Option<f64>,
+    /// Lower bound on overall accuracy.
+    pub min_accuracy: Option<f64>,
+    /// Upper bound on parameter count.
+    pub max_params: Option<u64>,
+}
+
+impl StoreQuery {
+    fn admits(&self, record: &EpisodeRecord) -> bool {
+        record.valid
+            && self.max_latency_ms.is_none_or(|tc| record.latency_ms <= tc)
+            && self.max_unfairness.is_none_or(|u| record.unfairness <= u)
+            && self.min_accuracy.is_none_or(|a| record.accuracy >= a)
+            && self.max_params.is_none_or(|p| record.params <= p)
+    }
+
+    fn admits_scenario(&self, scenario: &ScenarioReport) -> bool {
+        self.device
+            .is_none_or(|device| scenario.device_slug == device.slug())
+            && self.reward.as_deref().is_none_or(|r| scenario.reward == r)
+            && self.freezing.is_none_or(|f| scenario.use_freezing == f)
+    }
+}
+
+/// One architecture satisfying a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Which artifact it came from.
+    pub campaign: String,
+    /// Which scenario within that campaign.
+    pub scenario: String,
+    /// The role the record played in its report (`best`, `best_small`,
+    /// `fairest`).
+    pub role: &'static str,
+    /// The discovered architecture's metrics.
+    pub record: EpisodeRecord,
+}
+
+/// The answer to a [`StoreQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// Highest-reward admissible architecture, if any.
+    pub best: Option<Candidate>,
+    /// Every admissible architecture, deduplicated by name (highest
+    /// reward kept), sorted by reward descending.
+    pub candidates: Vec<Candidate>,
+    /// The accuracy/unfairness Pareto frontier merged across every
+    /// matching scenario of every campaign.
+    pub frontier: Vec<ParetoPoint>,
+    /// Campaigns inspected.
+    pub campaigns_consulted: usize,
+    /// Scenarios that matched the device/reward/freezing filters.
+    pub scenarios_matched: usize,
+}
+
+impl QueryAnswer {
+    /// Renders the answer as JSON (what `fahana-query --json` prints).
+    pub fn to_json(&self) -> Json {
+        let candidate_json = |c: &Candidate| {
+            Json::Obj(vec![
+                ("campaign".into(), Json::str(&c.campaign)),
+                ("scenario".into(), Json::str(&c.scenario)),
+                ("role".into(), Json::str(c.role)),
+                ("name".into(), Json::str(&c.record.name)),
+                ("params".into(), Json::Int(c.record.params as i64)),
+                ("latency_ms".into(), Json::Num(c.record.latency_ms)),
+                ("accuracy".into(), Json::Num(c.record.accuracy)),
+                ("unfairness".into(), Json::Num(c.record.unfairness)),
+                ("reward".into(), Json::Num(c.record.reward)),
+            ])
+        };
+        Json::Obj(vec![
+            (
+                "best".into(),
+                self.best.as_ref().map(candidate_json).unwrap_or(Json::Null),
+            ),
+            (
+                "candidates".into(),
+                Json::Arr(self.candidates.iter().map(candidate_json).collect()),
+            ),
+            (
+                "frontier".into(),
+                Json::Arr(
+                    self.frontier
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(&p.label)),
+                                ("maximize".into(), Json::Num(p.maximize)),
+                                ("minimize".into(), Json::Num(p.minimize)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "campaigns_consulted".into(),
+                Json::Int(self.campaigns_consulted as i64),
+            ),
+            (
+                "scenarios_matched".into(),
+                Json::Int(self.scenarios_matched as i64),
+            ),
+        ])
+    }
+}
+
+/// A directory of ingested campaign reports with query support.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory tree cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        let artifacts = root.join("artifacts");
+        std::fs::create_dir_all(&artifacts).map_err(|e| StoreError::Io {
+            path: artifacts.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Ok(ArtifactStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn artifact_path(&self, id: &str) -> PathBuf {
+        self.root.join("artifacts").join(format!("{id}.json"))
+    }
+
+    /// Ingests a campaign report (JSON text) under `id`. The report is
+    /// validated by parsing before anything is written; the id must be a
+    /// plain file stem (letters, digits, `-`, `_`, `.`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadArtifact`] for unparsable reports,
+    /// [`StoreError::DuplicateId`] / [`StoreError::InvalidId`] for id
+    /// problems, [`StoreError::Io`] for filesystem failures.
+    pub fn ingest(&self, id: &str, report_json: &str) -> Result<StoredCampaign, StoreError> {
+        let stored = self.ingest_inner(id, report_json)?;
+        self.write_catalog()?;
+        Ok(stored)
+    }
+
+    fn ingest_inner(&self, id: &str, report_json: &str) -> Result<StoredCampaign, StoreError> {
+        if id.is_empty()
+            || !id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        {
+            return Err(StoreError::InvalidId(id.to_string()));
+        }
+        let report =
+            CampaignReport::parse(report_json).map_err(|error| StoreError::BadArtifact {
+                path: format!("<ingest:{id}>"),
+                error,
+            })?;
+        let path = self.artifact_path(id);
+        if path.exists() {
+            return Err(StoreError::DuplicateId(id.to_string()));
+        }
+        // atomic publish: write a hidden sibling (never listed — campaigns()
+        // only reads `*.json`), then hard-link it into place. The link fails
+        // if a concurrent ingest won the race, so an artifact can neither be
+        // observed half-written nor silently overwritten.
+        let tmp = self.root.join("artifacts").join(format!(".{id}.tmp"));
+        std::fs::write(&tmp, report_json).map_err(|e| StoreError::Io {
+            path: tmp.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let publish = std::fs::hard_link(&tmp, &path);
+        std::fs::remove_file(&tmp).ok();
+        publish.map_err(|e| {
+            if e.kind() == std::io::ErrorKind::AlreadyExists {
+                StoreError::DuplicateId(id.to_string())
+            } else {
+                StoreError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                }
+            }
+        })?;
+        Ok(StoredCampaign {
+            id: id.to_string(),
+            report,
+        })
+    }
+
+    /// Ingests a report file, deriving the id from its file stem and
+    /// suffixing `-2`, `-3`, … if that id is taken.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::ingest`].
+    pub fn ingest_file(&self, path: impl AsRef<Path>) -> Result<StoredCampaign, StoreError> {
+        let stored = self.ingest_file_inner(path.as_ref())?;
+        self.write_catalog()?;
+        Ok(stored)
+    }
+
+    /// Ingests several report files, rebuilding the catalog once at the
+    /// end instead of after every file (ingesting N reports re-parses the
+    /// whole store per catalog rebuild, so per-file rebuilds would be
+    /// quadratic).
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::ingest`]; the first failure aborts the batch
+    /// (already-ingested files stay ingested, and the catalog is rebuilt
+    /// before the error is returned so it never lags the artifacts).
+    pub fn ingest_files(
+        &self,
+        paths: &[impl AsRef<Path>],
+    ) -> Result<Vec<StoredCampaign>, StoreError> {
+        let mut stored = Vec::with_capacity(paths.len());
+        let mut failure = None;
+        for path in paths {
+            match self.ingest_file_inner(path.as_ref()) {
+                Ok(campaign) => stored.push(campaign),
+                Err(error) => {
+                    failure = Some(error);
+                    break;
+                }
+            }
+        }
+        if !stored.is_empty() {
+            self.write_catalog()?;
+        }
+        match failure {
+            Some(error) => Err(error),
+            None => Ok(stored),
+        }
+    }
+
+    fn ingest_file_inner(&self, path: &Path) -> Result<StoredCampaign, StoreError> {
+        let text = std::fs::read_to_string(path).map_err(|e| StoreError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let stem: String = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "campaign".into())
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let mut id = stem.clone();
+        let mut suffix = 2;
+        loop {
+            match self.ingest_inner(&id, &text) {
+                Err(StoreError::DuplicateId(_)) => {
+                    id = format!("{stem}-{suffix}");
+                    suffix += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Loads every ingested campaign, sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on unreadable directories/files,
+    /// [`StoreError::BadArtifact`] if an artifact no longer parses
+    /// (external tampering — the store itself only writes validated
+    /// reports).
+    pub fn campaigns(&self) -> Result<Vec<StoredCampaign>, StoreError> {
+        let dir = self.root.join("artifacts");
+        let entries = std::fs::read_dir(&dir).map_err(|e| StoreError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let mut campaigns = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).map_err(|e| StoreError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            let report = CampaignReport::parse(&text).map_err(|error| StoreError::BadArtifact {
+                path: path.display().to_string(),
+                error,
+            })?;
+            let id = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            campaigns.push(StoredCampaign { id, report });
+        }
+        campaigns.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(campaigns)
+    }
+
+    /// Answers a query from every ingested campaign: filters scenarios by
+    /// device/reward/freezing, collects admissible best/best-small/fairest
+    /// records, and merges the accuracy/unfairness frontiers of every
+    /// matching scenario into one cross-campaign Pareto frontier.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::campaigns`].
+    pub fn query(&self, query: &StoreQuery) -> Result<QueryAnswer, StoreError> {
+        let campaigns = self.campaigns()?;
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut frontiers: Vec<Vec<ParetoPoint>> = Vec::new();
+        let mut scenarios_matched = 0;
+        for campaign in &campaigns {
+            for scenario in &campaign.report.scenarios {
+                if !query.admits_scenario(scenario) {
+                    continue;
+                }
+                scenarios_matched += 1;
+                frontiers.push(scenario.accuracy_fairness_frontier.clone());
+                for (role, record) in [
+                    ("best", &scenario.best),
+                    ("best_small", &scenario.best_small),
+                    ("fairest", &scenario.fairest),
+                ] {
+                    if let Some(record) = record {
+                        if query.admits(record) {
+                            candidates.push(Candidate {
+                                campaign: campaign.id.clone(),
+                                scenario: scenario.scenario.clone(),
+                                role,
+                                record: record.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // dedupe by architecture name, keeping the highest-reward sighting
+        candidates.sort_by(|a, b| {
+            b.record
+                .reward
+                .partial_cmp(&a.record.reward)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.record.name.cmp(&b.record.name))
+        });
+        let mut seen = std::collections::HashSet::new();
+        candidates.retain(|c| seen.insert(c.record.name.clone()));
+
+        Ok(QueryAnswer {
+            best: candidates.first().cloned(),
+            candidates,
+            frontier: merge_frontiers(frontiers),
+            campaigns_consulted: campaigns.len(),
+            scenarios_matched,
+        })
+    }
+
+    /// Regenerates `catalog.json`: a human-readable index keyed by
+    /// artifact id, listing each scenario's device/reward/freezing key.
+    fn write_catalog(&self) -> Result<(), StoreError> {
+        let campaigns = self.campaigns()?;
+        // device → reward → freezing counts, so the catalog doubles as a
+        // coverage summary of the whole store
+        let mut coverage: BTreeMap<String, i64> = BTreeMap::new();
+        let catalog = Json::Obj(vec![
+            (
+                "campaigns".into(),
+                Json::Arr(
+                    campaigns
+                        .iter()
+                        .map(|campaign| {
+                            Json::Obj(vec![
+                                ("id".into(), Json::str(&campaign.id)),
+                                (
+                                    "scenarios".into(),
+                                    Json::Arr(
+                                        campaign
+                                            .report
+                                            .scenarios
+                                            .iter()
+                                            .map(|s| {
+                                                let mode =
+                                                    if s.use_freezing { "frozen" } else { "full" };
+                                                *coverage
+                                                    .entry(format!(
+                                                        "{}/{}/{mode}",
+                                                        s.device_slug, s.reward
+                                                    ))
+                                                    .or_insert(0) += 1;
+                                                Json::Obj(vec![
+                                                    (
+                                                        "device_slug".into(),
+                                                        Json::str(&s.device_slug),
+                                                    ),
+                                                    ("reward".into(), Json::str(&s.reward)),
+                                                    (
+                                                        "use_freezing".into(),
+                                                        Json::Bool(s.use_freezing),
+                                                    ),
+                                                    ("scenario".into(), Json::str(&s.scenario)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "coverage".into(),
+                Json::Obj(
+                    coverage
+                        .into_iter()
+                        .map(|(key, count)| (key, Json::Int(count)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let path = self.root.join("catalog.json");
+        std::fs::write(&path, catalog.render()).map_err(|e| StoreError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CampaignConfig, RewardSetting};
+    use crate::{campaign_json, CampaignEngine};
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        let root = std::env::temp_dir().join(format!("fahana-store-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        ArtifactStore::open(root).unwrap()
+    }
+
+    fn tiny_report(seed: u64) -> String {
+        let outcome = CampaignEngine::new(CampaignConfig {
+            episodes: 4,
+            samples: 120,
+            threads: 2,
+            seed,
+            devices: vec![DeviceKind::RaspberryPi4, DeviceKind::OdroidXu4],
+            rewards: vec![RewardSetting::balanced()],
+            freezing: vec![true],
+            ..CampaignConfig::default()
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        campaign_json(&outcome)
+    }
+
+    #[test]
+    fn ingest_validates_and_persists() {
+        let store = temp_store("ingest");
+        let report = tiny_report(1);
+        let stored = store.ingest("run-1", &report).unwrap();
+        assert_eq!(stored.id, "run-1");
+        assert_eq!(stored.report.scenarios.len(), 2);
+        // artifact is on disk, verbatim
+        let on_disk =
+            std::fs::read_to_string(store.root().join("artifacts").join("run-1.json")).unwrap();
+        assert_eq!(on_disk, report);
+        // catalog was regenerated and is valid JSON
+        let catalog = std::fs::read_to_string(store.root().join("catalog.json")).unwrap();
+        let parsed = Json::parse(&catalog).unwrap();
+        assert_eq!(parsed.get("campaigns").unwrap().as_arr().unwrap().len(), 1);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn bad_reports_and_ids_are_rejected() {
+        let store = temp_store("bad");
+        assert!(matches!(
+            store.ingest("x", "not json"),
+            Err(StoreError::BadArtifact { .. })
+        ));
+        assert!(matches!(
+            store.ingest("../escape", "{}"),
+            Err(StoreError::InvalidId(_))
+        ));
+        let report = tiny_report(2);
+        store.ingest("dup", &report).unwrap();
+        assert_eq!(
+            store.ingest("dup", &report),
+            Err(StoreError::DuplicateId("dup".into()))
+        );
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn ingest_file_derives_and_disambiguates_ids() {
+        let store = temp_store("files");
+        let report = tiny_report(3);
+        let src = store.root().join("incoming.json");
+        std::fs::write(&src, &report).unwrap();
+        assert_eq!(store.ingest_file(&src).unwrap().id, "incoming");
+        assert_eq!(store.ingest_file(&src).unwrap().id, "incoming-2");
+        assert_eq!(store.campaigns().unwrap().len(), 2);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn ingest_files_batches_with_one_catalog_rebuild() {
+        let store = temp_store("batch");
+        let report = tiny_report(4);
+        let a = store.root().join("a.json");
+        let b = store.root().join("b.json");
+        std::fs::write(&a, &report).unwrap();
+        std::fs::write(&b, &report).unwrap();
+        let stored = store.ingest_files(&[&a, &b]).unwrap();
+        assert_eq!(
+            stored.iter().map(|s| s.id.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        // catalog reflects both
+        let catalog = std::fs::read_to_string(store.root().join("catalog.json")).unwrap();
+        let parsed = Json::parse(&catalog).unwrap();
+        assert_eq!(parsed.get("campaigns").unwrap().as_arr().unwrap().len(), 2);
+        // a failing entry aborts the batch but keeps earlier ingests
+        let bad = store.root().join("bad.json");
+        std::fs::write(&bad, "not json").unwrap();
+        let c = store.root().join("c.json");
+        std::fs::write(&c, &report).unwrap();
+        assert!(matches!(
+            store.ingest_files(&[&c, &bad]),
+            Err(StoreError::BadArtifact { .. })
+        ));
+        assert_eq!(store.campaigns().unwrap().len(), 3);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn query_filters_and_ranks() {
+        let store = temp_store("query");
+        store.ingest("a", &tiny_report(10)).unwrap();
+        store.ingest("b", &tiny_report(11)).unwrap();
+
+        let all = store.query(&StoreQuery::default()).unwrap();
+        assert_eq!(all.campaigns_consulted, 2);
+        assert_eq!(all.scenarios_matched, 4);
+        assert!(!all.candidates.is_empty());
+        // ranked by reward, best is the head
+        assert!(all
+            .candidates
+            .windows(2)
+            .all(|w| w[0].record.reward >= w[1].record.reward));
+        assert_eq!(all.best.as_ref(), all.candidates.first());
+        // frontier is mutually non-dominated
+        for p in &all.frontier {
+            for q in &all.frontier {
+                assert!(!p.dominates(q) || p.maximize == q.maximize);
+            }
+        }
+
+        // device filter restricts the scenarios consulted
+        let pi_only = store
+            .query(&StoreQuery {
+                device: Some(DeviceKind::RaspberryPi4),
+                ..StoreQuery::default()
+            })
+            .unwrap();
+        assert_eq!(pi_only.scenarios_matched, 2);
+
+        // an unsatisfiable constraint yields an empty, well-formed answer
+        let impossible = store
+            .query(&StoreQuery {
+                max_latency_ms: Some(0.0),
+                ..StoreQuery::default()
+            })
+            .unwrap();
+        assert!(impossible.best.is_none());
+        assert!(impossible.candidates.is_empty());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn query_answer_renders_as_json() {
+        let store = temp_store("answer-json");
+        store.ingest("a", &tiny_report(12)).unwrap();
+        let answer = store.query(&StoreQuery::default()).unwrap();
+        let rendered = answer.to_json().render();
+        let parsed = Json::parse(&rendered).unwrap();
+        assert!(parsed.get("best").is_some());
+        assert_eq!(parsed.get("campaigns_consulted").unwrap().as_i64(), Some(1));
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+}

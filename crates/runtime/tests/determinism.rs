@@ -7,7 +7,8 @@ use std::sync::Arc;
 use dermsim::DermatologyConfig;
 use fahana::{FahanaConfig, FahanaSearch};
 use fahana_runtime::{
-    CachedEvaluator, CampaignConfig, CampaignEngine, EvalCache, PooledBatchEvaluator, ThreadPool,
+    CacheSnapshot, CachedEvaluator, CampaignConfig, CampaignEngine, EvalCache,
+    PooledBatchEvaluator, ThreadPool,
 };
 
 fn search_config(episodes: usize, seed: u64) -> FahanaConfig {
@@ -133,6 +134,60 @@ fn campaign_over_eight_scenarios_matches_direct_runs_and_hits_the_cache() {
             scenario_outcome.scenario.name
         );
     }
+}
+
+#[test]
+fn warm_started_campaign_is_bit_identical_to_a_cold_run() {
+    // persist the cache of a cold campaign, reload it from disk, and run
+    // the same campaign warm: outcomes must match bit-for-bit and every
+    // evaluation must be served from the snapshot (zero misses)
+    let config = CampaignConfig {
+        episodes: 8,
+        samples: 150,
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+
+    let cold_cache = Arc::new(EvalCache::new());
+    let cold = CampaignEngine::new(config.clone())
+        .unwrap()
+        .run_with_cache(Arc::clone(&cold_cache))
+        .unwrap();
+    assert!(cold.cache.misses > 0, "cold run must evaluate something");
+
+    let dir = std::env::temp_dir().join(format!("fahana-warm-start-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.fsnap");
+    let persisted = cold_cache.snapshot();
+    assert_eq!(persisted.len(), cold.cache_entries);
+    persisted.save(&path).unwrap();
+
+    let reloaded = CacheSnapshot::load(&path).unwrap();
+    assert_eq!(reloaded, persisted, "disk round-trip must be lossless");
+    let warm_cache = Arc::new(EvalCache::new());
+    assert_eq!(warm_cache.absorb(&reloaded), reloaded.len());
+
+    let warm = CampaignEngine::new(config)
+        .unwrap()
+        .run_with_cache(Arc::clone(&warm_cache))
+        .unwrap();
+
+    assert_eq!(warm.scenarios.len(), cold.scenarios.len());
+    for (cold_scenario, warm_scenario) in cold.scenarios.iter().zip(warm.scenarios.iter()) {
+        assert_eq!(cold_scenario.scenario.name, warm_scenario.scenario.name);
+        assert_eq!(
+            cold_scenario.outcome.history, warm_scenario.outcome.history,
+            "scenario {} must be bit-identical warm vs cold",
+            cold_scenario.scenario.name
+        );
+    }
+    assert_eq!(
+        warm.cache.misses, 0,
+        "a warm-started rerun of the identical grid must never re-evaluate"
+    );
+    assert!(warm.cache.hits > 0);
+    assert_eq!(warm.cache_entries, cold.cache_entries);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,141 @@
+//! Golden-file tests for the campaign/scenario JSON report schema.
+//!
+//! The committed fixtures under `tests/fixtures/` pin the exact bytes the
+//! renderer produces for a deterministic campaign (wall-clock fields are
+//! normalised to constants — they are the only nondeterministic fields).
+//! Any schema change shows up as a fixture diff; regenerate deliberately
+//! with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p fahana-runtime --test report_schema
+//! ```
+//!
+//! and commit the new fixtures.
+
+use std::path::PathBuf;
+
+use fahana_runtime::{
+    CampaignConfig, CampaignEngine, CampaignReport, RewardSetting, ScenarioReport,
+};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// A small, fully deterministic campaign: fixed seed, one worker thread
+/// (so shared-cache hit/miss counters cannot race), wall-clock normalised.
+fn golden_report() -> CampaignReport {
+    let outcome = CampaignEngine::new(CampaignConfig {
+        episodes: 4,
+        samples: 120,
+        threads: 1,
+        seed: 2022,
+        devices: vec![
+            edgehw::DeviceKind::RaspberryPi4,
+            edgehw::DeviceKind::OdroidXu4,
+        ],
+        rewards: vec![RewardSetting::balanced()],
+        freezing: vec![true, false],
+        ..CampaignConfig::default()
+    })
+    .unwrap()
+    .run()
+    .unwrap();
+    let mut report = CampaignReport::from_outcome(&outcome);
+    report.wall_clock_ms = 1234.5;
+    for scenario in &mut report.scenarios {
+        scenario.wall_clock_ms = 250.125;
+    }
+    report
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let fixture = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}) — generate it with UPDATE_GOLDEN=1 cargo test -p \
+             fahana-runtime --test report_schema",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, fixture,
+        "report schema drifted from {name} — if intentional, regenerate with UPDATE_GOLDEN=1",
+    );
+}
+
+#[test]
+fn campaign_report_matches_the_golden_file() {
+    check_golden("campaign_golden.json", &golden_report().to_json().render());
+}
+
+#[test]
+fn scenario_report_matches_the_golden_file() {
+    let report = golden_report();
+    check_golden(
+        "scenario_golden.json",
+        &report.scenarios[0].to_json().render(),
+    );
+}
+
+#[test]
+fn campaign_golden_file_round_trips_byte_identically() {
+    let fixture = std::fs::read_to_string(fixture_path("campaign_golden.json")).unwrap();
+    let parsed = CampaignReport::parse(&fixture).expect("golden file must parse");
+    assert_eq!(
+        parsed.to_json().render(),
+        fixture,
+        "render → parse → re-render must be byte-identical"
+    );
+    // headline structure sanity: 2 devices × 1 reward × 2 freezing modes
+    assert_eq!(parsed.scenarios.len(), 4);
+    assert!(parsed
+        .scenarios
+        .iter()
+        .any(|s| s.device_slug == "odroid_xu4"));
+    assert!(parsed.scenarios.iter().all(|s| s.episodes == 4));
+}
+
+#[test]
+fn scenario_golden_file_round_trips_byte_identically() {
+    let fixture = std::fs::read_to_string(fixture_path("scenario_golden.json")).unwrap();
+    let parsed = ScenarioReport::parse(&fixture).expect("golden file must parse");
+    assert_eq!(parsed.to_json().render(), fixture);
+    assert_eq!(parsed.device_slug, "raspberry_pi_4");
+    assert_eq!(parsed.reward, "balanced");
+    assert!(parsed.use_freezing);
+}
+
+#[test]
+fn freshly_rendered_reports_round_trip_byte_identically() {
+    // independent of the fixtures: whatever the renderer emits right now
+    // must parse back and re-render to the same bytes (wall-clock values
+    // included, no normalisation)
+    let outcome = CampaignEngine::new(CampaignConfig {
+        episodes: 3,
+        samples: 120,
+        threads: 2,
+        devices: vec![edgehw::DeviceKind::RaspberryPi4],
+        rewards: vec![RewardSetting::fairness_heavy()],
+        freezing: vec![true],
+        ..CampaignConfig::default()
+    })
+    .unwrap()
+    .run()
+    .unwrap();
+
+    let campaign_text = fahana_runtime::campaign_json(&outcome);
+    let parsed = CampaignReport::parse(&campaign_text).unwrap();
+    assert_eq!(parsed.to_json().render(), campaign_text);
+
+    let scenario_text = fahana_runtime::scenario_json(&outcome.scenarios[0]);
+    let parsed = ScenarioReport::parse(&scenario_text).unwrap();
+    assert_eq!(parsed.to_json().render(), scenario_text);
+}

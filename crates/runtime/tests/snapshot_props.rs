@@ -1,0 +1,148 @@
+//! Property tests for the cache-snapshot codec: arbitrary entry maps
+//! survive save → load → merge, and corrupted or truncated files are
+//! rejected with a typed [`SnapshotError`], never a panic.
+
+use dermsim::Group;
+use evaluator::{FairnessEvaluation, FairnessReport, GroupAccuracy};
+use fahana_runtime::{CacheSnapshot, SnapshotError};
+use proptest::prelude::*;
+
+type RawEntry = ((u64, u64), (f64, f64, u64), usize);
+
+/// Builds a deterministic evaluation from generated scalars. Group
+/// accuracies are derived from the key so equal keys always imply equal
+/// evaluations (as in a real cache).
+fn evaluation(key: (u64, u64), scalars: (f64, f64, u64), groups: usize) -> FairnessEvaluation {
+    let (accuracy, unfairness, trained_params) = scalars;
+    FairnessEvaluation {
+        architecture: format!("arch-{:x}-{:x}", key.0, key.1),
+        report: FairnessReport {
+            overall_accuracy: accuracy,
+            per_group: (0..groups)
+                .map(|index| GroupAccuracy {
+                    group: Group(index),
+                    accuracy: (accuracy + index as f64 * 0.01).min(1.0),
+                    count: 50 + index * 7,
+                })
+                .collect(),
+            unfairness,
+        },
+        trained_params,
+    }
+}
+
+fn snapshot_from(raw: &[RawEntry]) -> CacheSnapshot {
+    CacheSnapshot::from_entries(
+        raw.iter()
+            .map(|&(key, scalars, groups)| (key, evaluation(key, scalars, groups))),
+    )
+}
+
+fn entry_strategy() -> impl Strategy<Value = Vec<RawEntry>> {
+    proptest::collection::vec(
+        (
+            (0u64..u64::MAX, 0u64..u64::MAX),
+            (0.0f64..1.0, 0.0f64..0.5, 0u64..50_000_000),
+            0usize..5,
+        ),
+        0..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_snapshots_survive_encode_decode(raw in entry_strategy()) {
+        let snapshot = snapshot_from(&raw);
+        let bytes = snapshot.to_bytes();
+        let decoded = CacheSnapshot::from_bytes(&bytes).expect("must decode");
+        prop_assert_eq!(&decoded, &snapshot);
+        // encoding is canonical: decode → re-encode is byte-identical
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn prop_snapshots_survive_save_load_merge(raw in entry_strategy()) {
+        let snapshot = snapshot_from(&raw);
+        let dir = std::env::temp_dir().join(format!("fahana-snap-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prop.fsnap");
+        snapshot.save(&path).unwrap();
+        let loaded = CacheSnapshot::load(&path).unwrap();
+        prop_assert_eq!(&loaded, &snapshot);
+
+        // split into halves: merging them back reconstructs the original,
+        // in either order (all shared keys carry identical evaluations)
+        let left_raw: Vec<RawEntry> =
+            raw.iter().copied().step_by(2).collect();
+        let right_raw: Vec<RawEntry> =
+            raw.iter().copied().skip(1).step_by(2).collect();
+        let mut left_first = snapshot_from(&left_raw);
+        left_first.merge(&snapshot_from(&right_raw));
+        let mut right_first = snapshot_from(&right_raw);
+        right_first.merge(&snapshot_from(&left_raw));
+        prop_assert_eq!(&left_first, &snapshot);
+        prop_assert_eq!(&right_first, &snapshot);
+
+        // merging a snapshot into itself adds nothing
+        let before = loaded.clone();
+        let mut merged = loaded;
+        let outcome = merged.merge(&before);
+        prop_assert_eq!(outcome.added, 0);
+        prop_assert_eq!(outcome.conflicts, 0);
+        prop_assert_eq!(outcome.duplicates, before.len());
+        prop_assert_eq!(&merged, &before);
+    }
+
+    #[test]
+    fn prop_truncations_are_typed_errors(
+        raw in entry_strategy(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = snapshot_from(&raw).to_bytes();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        // any strict prefix must fail without panicking
+        if cut < bytes.len() {
+            let result = CacheSnapshot::from_bytes(&bytes[..cut]);
+            prop_assert!(result.is_err(), "prefix of {} bytes decoded", cut);
+        }
+    }
+
+    #[test]
+    fn prop_corruptions_are_typed_errors(
+        raw in entry_strategy(),
+        position_fraction in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = snapshot_from(&raw).to_bytes();
+        let position = ((bytes.len() as f64) * position_fraction) as usize % bytes.len();
+        bytes[position] ^= flip;
+        match CacheSnapshot::from_bytes(&bytes) {
+            // every corruption must surface as a typed error…
+            Err(
+                SnapshotError::BadMagic
+                | SnapshotError::UnsupportedVersion(_)
+                | SnapshotError::Truncated
+                | SnapshotError::ChecksumMismatch { .. }
+                | SnapshotError::Malformed(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error variant {:?}", other),
+            // …a decode success would mean the checksum missed a flip
+            Ok(_) => prop_assert!(false, "corrupted snapshot decoded at byte {}", position),
+        }
+    }
+}
+
+#[test]
+fn merge_reports_conflicts_without_clobbering() {
+    let key = (42, 43);
+    let mut ours = CacheSnapshot::from_entries([(key, evaluation(key, (0.8, 0.1, 100), 2))]);
+    let theirs = CacheSnapshot::from_entries([(key, evaluation(key, (0.9, 0.2, 200), 2))]);
+    let outcome = ours.merge(&theirs);
+    assert_eq!(outcome.added, 0);
+    assert_eq!(outcome.duplicates, 0);
+    assert_eq!(outcome.conflicts, 1);
+    let (_, kept) = ours.entries().next().unwrap();
+    assert_eq!(kept.report.overall_accuracy, 0.8, "receiver must win");
+}

@@ -1,0 +1,233 @@
+//! End-to-end tests for the persistence + query subsystem, including the
+//! acceptance path: campaign with `--cache-out`, re-run with `--cache-in`
+//! reporting a nonzero hit-rate and bit-identical best architectures, and
+//! `fahana-query` answering a device+constraint query from the store.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use edgehw::DeviceKind;
+use fahana_runtime::{
+    campaign_json, ArtifactStore, CampaignConfig, CampaignEngine, CampaignReport, Json,
+    RewardSetting, StoreQuery,
+};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fahana-e2e-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        episodes: 5,
+        samples: 120,
+        threads: 2,
+        seed,
+        devices: vec![DeviceKind::RaspberryPi4, DeviceKind::OdroidXu4],
+        rewards: vec![RewardSetting::balanced()],
+        freezing: vec![true],
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn store_merges_frontiers_across_campaigns() {
+    let dir = temp_dir("merge");
+    let store = ArtifactStore::open(&dir).unwrap();
+
+    // two campaigns with different seeds explore different children
+    let outcomes: Vec<_> = [21u64, 22]
+        .iter()
+        .map(|&seed| {
+            CampaignEngine::new(tiny_config(seed))
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+        .collect();
+    for (index, outcome) in outcomes.iter().enumerate() {
+        store
+            .ingest(&format!("seed-{index}"), &campaign_json(outcome))
+            .unwrap();
+    }
+
+    let answer = store
+        .query(&StoreQuery {
+            device: Some(DeviceKind::RaspberryPi4),
+            ..StoreQuery::default()
+        })
+        .unwrap();
+    assert_eq!(answer.campaigns_consulted, 2);
+    assert_eq!(answer.scenarios_matched, 2);
+
+    // the merged frontier equals fahana's merge over the per-scenario
+    // frontiers of the matching device
+    let expected = fahana::merge_frontiers(
+        outcomes
+            .iter()
+            .flat_map(|outcome| outcome.scenarios.iter())
+            .filter(|s| s.scenario.device == DeviceKind::RaspberryPi4)
+            .map(|s| s.outcome.accuracy_fairness_frontier()),
+    );
+    assert_eq!(answer.frontier, expected);
+
+    // best candidate answers the constraint question: it must satisfy the
+    // filters and dominate every other candidate on reward
+    if let Some(best) = &answer.best {
+        for candidate in &answer.candidates {
+            assert!(best.record.reward >= candidate.record.reward);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn run_binary(binary: &str, args: &[&str], cwd: &Path) -> (String, String) {
+    let output = Command::new(binary)
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot run {binary}: {e}"));
+    assert!(
+        output.status.success(),
+        "{binary} {args:?} failed with {}\nstderr: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn cli_cache_out_cache_in_and_query_acceptance_path() {
+    let dir = temp_dir("cli");
+    let campaign_bin = env!("CARGO_BIN_EXE_fahana-campaign");
+    let query_bin = env!("CARGO_BIN_EXE_fahana-query");
+
+    // a small single-scenario grid via a config file keeps the smoke fast
+    let config_path = dir.join("campaign.conf");
+    std::fs::write(
+        &config_path,
+        "episodes = 5\nsamples = 120\nthreads = 2\nseed = 77\n\
+         devices = raspberry_pi_4\nfreezing = on\n\
+         [reward balanced]\nalpha = 1.0\nbeta = 1.0\n",
+    )
+    .unwrap();
+    let config = config_path.to_str().unwrap();
+
+    // cold run: persist report, cache snapshot, and store artifact
+    run_binary(
+        campaign_bin,
+        &[
+            "--config",
+            config,
+            "--out",
+            "cold-out",
+            "--cache-out",
+            "cache.fsnap",
+            "--store",
+            "store",
+            "--store-id",
+            "cold",
+        ],
+        &dir,
+    );
+    assert!(dir.join("cache.fsnap").exists());
+    assert!(dir.join("store/artifacts/cold.json").exists());
+    assert!(dir.join("store/catalog.json").exists());
+
+    // warm run: same grid, cache-in, its own report directory
+    let (_, warm_stderr) = run_binary(
+        campaign_bin,
+        &[
+            "--config",
+            config,
+            "--out",
+            "warm-out",
+            "--cache-in",
+            "cache.fsnap",
+            "--store",
+            "store",
+            "--store-id",
+            "warm",
+        ],
+        &dir,
+    );
+    assert!(
+        warm_stderr.contains("warm start: absorbed"),
+        "stderr: {warm_stderr}"
+    );
+
+    let cold_report = CampaignReport::parse(
+        &std::fs::read_to_string(dir.join("cold-out/campaign.json")).unwrap(),
+    )
+    .unwrap();
+    let warm_report = CampaignReport::parse(
+        &std::fs::read_to_string(dir.join("warm-out/campaign.json")).unwrap(),
+    )
+    .unwrap();
+
+    // nonzero hit-rate, zero misses: everything came from the snapshot
+    assert!(warm_report.cache.hits > 0);
+    assert_eq!(warm_report.cache.misses, 0);
+    assert!(cold_report.cache.misses > 0);
+
+    // bit-identical best architectures (and whole summaries)
+    for (cold_scenario, warm_scenario) in cold_report
+        .scenarios
+        .iter()
+        .zip(warm_report.scenarios.iter())
+    {
+        assert_eq!(cold_scenario.best, warm_scenario.best);
+        assert_eq!(cold_scenario.best_small, warm_scenario.best_small);
+        assert_eq!(cold_scenario.fairest, warm_scenario.fairest);
+        assert_eq!(
+            cold_scenario.accuracy_fairness_frontier,
+            warm_scenario.accuracy_fairness_frontier
+        );
+    }
+
+    // fahana-query answers a device+constraint question from the store
+    let (stdout, _) = run_binary(
+        query_bin,
+        &[
+            "--store",
+            "store",
+            "--device",
+            "raspberry_pi_4",
+            "--max-latency-ms",
+            "100000",
+            "--json",
+        ],
+        &dir,
+    );
+    let answer = Json::parse(stdout.trim()).unwrap();
+    assert_eq!(answer.get("campaigns_consulted").unwrap().as_i64(), Some(2));
+    let best = answer.get("best").unwrap();
+    assert!(
+        best.get("name").and_then(Json::as_str).is_some(),
+        "query must name a best architecture, got {}",
+        best.render()
+    );
+    let latency = best.get("latency_ms").unwrap().as_f64().unwrap();
+    assert!(latency <= 100000.0);
+
+    // an unsatisfiable constraint is answered, with null best
+    let (stdout, _) = run_binary(
+        query_bin,
+        &["--store", "store", "--max-latency-ms", "0", "--json"],
+        &dir,
+    );
+    let answer = Json::parse(stdout.trim()).unwrap();
+    assert_eq!(answer.get("best"), Some(&Json::Null));
+
+    // --list sees both ingested campaigns
+    let (stdout, _) = run_binary(query_bin, &["--store", "store", "--list"], &dir);
+    assert!(stdout.contains("cold:"), "list output: {stdout}");
+    assert!(stdout.contains("warm:"), "list output: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
