@@ -19,7 +19,6 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use edgehw::DeviceKind;
 use fahana_runtime::{ArtifactStore, StoreQuery};
 
 struct Cli {
@@ -54,51 +53,17 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 .map(String::as_str)
                 .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
         };
-        let number = |flag: &str, value: &str| -> Result<f64, String> {
-            value
-                .parse()
-                .map_err(|_| format!("{flag} expects a number, got `{value}`"))
-        };
         match arg.as_str() {
             "--store" => cli.store_dir = Some(PathBuf::from(value_of("--store")?)),
             "--ingest" => cli.ingest.push(PathBuf::from(value_of("--ingest")?)),
-            "--device" => {
-                let value = value_of("--device")?;
-                cli.query.device = Some(DeviceKind::from_slug(value).ok_or_else(|| {
-                    let known: Vec<&str> = DeviceKind::all().iter().map(|d| d.slug()).collect();
-                    format!(
-                        "unknown device `{value}` (expected one of {})",
-                        known.join(", ")
-                    )
-                })?);
-            }
-            "--reward" => cli.query.reward = Some(value_of("--reward")?.to_string()),
-            "--freezing" => {
-                cli.query.freezing = Some(match value_of("--freezing")? {
-                    "on" | "true" | "yes" | "1" => true,
-                    "off" | "false" | "no" | "0" => false,
-                    other => return Err(format!("--freezing expects on/off, got `{other}`")),
-                });
-            }
-            "--max-latency-ms" => {
-                let value = value_of("--max-latency-ms")?;
-                cli.query.max_latency_ms = Some(number("--max-latency-ms", value)?);
-            }
-            "--max-unfairness" => {
-                let value = value_of("--max-unfairness")?;
-                cli.query.max_unfairness = Some(number("--max-unfairness", value)?);
-            }
-            "--min-accuracy" => {
-                let value = value_of("--min-accuracy")?;
-                cli.query.min_accuracy = Some(number("--min-accuracy", value)?);
-            }
-            "--max-params" => {
-                let value = value_of("--max-params")?;
-                cli.query.max_params = Some(
-                    value
-                        .parse()
-                        .map_err(|_| format!("--max-params expects an integer, got `{value}`"))?,
-                );
+            // filter flags share one parsing path (`StoreQuery::set`) with
+            // the fahana-serve daemon's URL query parameters: `--max-latency-ms`
+            // is the filter key `max_latency_ms`
+            "--device" | "--reward" | "--freezing" | "--max-latency-ms" | "--max-unfairness"
+            | "--min-accuracy" | "--max-params" => {
+                let key = arg.trim_start_matches("--").replace('-', "_");
+                let value = value_of(arg)?;
+                cli.query.set(&key, value)?;
             }
             "--top" => {
                 let value = value_of("--top")?;

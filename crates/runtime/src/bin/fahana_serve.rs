@@ -1,0 +1,112 @@
+//! `fahana-serve` — serve a campaign artifact store over HTTP.
+//!
+//! ```text
+//! fahana-serve --store DIR [--addr HOST:PORT] [--threads N] [--ingest FILE]...
+//! ```
+//!
+//! A long-lived daemon answering the same questions as `fahana-query`,
+//! without a process spawn or store re-scan per question:
+//!
+//! ```text
+//! curl 'http://127.0.0.1:7878/healthz'
+//! curl 'http://127.0.0.1:7878/query?device=raspberry_pi_4&max_latency_ms=50'
+//! curl 'http://127.0.0.1:7878/leaderboard/raspberry_pi_4?top=5'
+//! curl -X POST --data-binary @campaign.json 'http://127.0.0.1:7878/ingest?id=run-42'
+//! ```
+//!
+//! `--ingest` pre-loads report files at startup (same semantics as
+//! `fahana-query --ingest`); `POST /ingest` adds more while running.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fahana_runtime::{ArtifactStore, Server, StoreView};
+
+struct Cli {
+    store_dir: Option<PathBuf>,
+    addr: String,
+    threads: usize,
+    ingest: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: fahana-serve --store DIR [--addr HOST:PORT] [--threads N] [--ingest FILE]..."
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        store_dir: None,
+        addr: "127.0.0.1:7878".into(),
+        threads: 4,
+        ingest: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--store" => cli.store_dir = Some(PathBuf::from(value_of("--store")?)),
+            "--addr" => cli.addr = value_of("--addr")?.to_string(),
+            "--threads" => {
+                cli.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a number".to_string())?;
+            }
+            "--ingest" => cli.ingest.push(PathBuf::from(value_of("--ingest")?)),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if cli.store_dir.is_none() {
+        return Err(format!("--store is required\n{}", usage()));
+    }
+    Ok(cli)
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    let store = ArtifactStore::open(cli.store_dir.expect("validated in parse_cli"))
+        .map_err(|e| e.to_string())?;
+    if !cli.ingest.is_empty() {
+        let stored = store.ingest_files(&cli.ingest).map_err(|e| e.to_string())?;
+        for (path, campaign) in cli.ingest.iter().zip(stored.iter()) {
+            eprintln!(
+                "ingested {} as `{}` ({} scenarios)",
+                path.display(),
+                campaign.id,
+                campaign.report.scenarios.len()
+            );
+        }
+    }
+
+    let view = StoreView::open(store).map_err(|e| e.to_string())?;
+    let campaigns = view.campaigns().len();
+    let server = Server::bind(cli.addr.as_str(), view, cli.threads)
+        .map_err(|e| format!("cannot bind {}: {e}", cli.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "fahana-serve: listening on http://{addr} ({campaigns} campaigns, {} worker threads)",
+        cli.threads
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fahana-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -28,7 +28,10 @@
 //! * [`store`] — the campaign artifact store: ingested reports indexed by
 //!   device × reward × freezing, answering "best architecture for device
 //!   X under constraint Y" queries (the `fahana-query` binary) with
-//!   cross-campaign Pareto-frontier merging.
+//!   cross-campaign Pareto-frontier merging;
+//! * [`serve`] — the long-lived serving front-end: the `fahana-serve`
+//!   HTTP/1.1 daemon over the artifact store, sharing the exact query core
+//!   with the CLI and handling connections on the same thread pool.
 //!
 //! Determinism is a hard guarantee: a scenario's [`fahana::SearchOutcome`]
 //! is bit-identical whether it runs serially, through the pool, with the
@@ -40,6 +43,7 @@ pub mod campaign;
 pub mod pool;
 pub mod report;
 pub mod scenario;
+pub mod serve;
 pub mod snapshot;
 pub mod store;
 
@@ -48,8 +52,12 @@ pub use campaign::{CampaignEngine, CampaignOutcome, PooledBatchEvaluator, Scenar
 pub use pool::ThreadPool;
 pub use report::{campaign_json, scenario_json, CampaignReport, Json, ReportError, ScenarioReport};
 pub use scenario::{CampaignConfig, RewardSetting, Scenario};
+pub use serve::{Server, ServerHandle, StoreView};
 pub use snapshot::{CacheSnapshot, MergeOutcome, SnapshotError};
-pub use store::{ArtifactStore, Candidate, QueryAnswer, StoreError, StoreQuery, StoredCampaign};
+pub use store::{
+    answer_query, catalog_json, leaderboard, ArtifactStore, Candidate, Leaderboard, QueryAnswer,
+    StoreError, StoreQuery, StoredCampaign,
+};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -11,7 +11,10 @@
 //! and the typed [`ScenarioReport`] / [`CampaignReport`] structs carry the
 //! schema in one place — the renderer and the parser both go through them,
 //! so `render → parse → re-render` is byte-identical (the golden-file
-//! tests in `tests/report_schema.rs` pin this down). The parser is what
+//! tests in `tests/report_schema.rs` pin this down). Because non-finite
+//! numbers render as `null`, the schema parser reads `null` in a numeric
+//! slot back as NaN — the round trip holds even for reports whose metrics
+//! went NaN. The parser is what
 //! lets the campaign artifact store ([`crate::store`]) ingest previously
 //! written reports instead of only producing them.
 
@@ -714,12 +717,19 @@ fn field<'a>(value: &'a Json, path: &str, key: &str) -> Result<&'a Json, ReportE
 }
 
 fn f64_field(value: &Json, path: &str, key: &str) -> Result<f64, ReportError> {
-    field(value, path, key)?
-        .as_f64()
-        .ok_or_else(|| ReportError::Schema {
-            path: join_path(path, key),
-            message: "expected a number".into(),
-        })
+    let field = field(value, path, key)?;
+    // The renderer maps non-finite numbers to `null` (JSON has no NaN/∞),
+    // so `null` in a numeric slot is the round-trip image of a NaN metric.
+    // Parse it back as NaN — render → parse → re-render stays
+    // byte-identical even for reports whose metrics went NaN, and
+    // re-ingesting such a report cannot fail opaquely.
+    if matches!(field, Json::Null) {
+        return Ok(f64::NAN);
+    }
+    field.as_f64().ok_or_else(|| ReportError::Schema {
+        path: join_path(path, key),
+        message: "expected a number or null (NaN)".into(),
+    })
 }
 
 fn u64_field(value: &Json, path: &str, key: &str) -> Result<u64, ReportError> {
@@ -1005,6 +1015,31 @@ mod tests {
         assert_eq!(parsed.to_json().render(), campaign_text);
         assert_eq!(parsed.scenarios.len(), 1);
         assert_eq!(parsed.cache.hits, outcome.cache.hits);
+    }
+
+    #[test]
+    fn nan_metrics_round_trip_through_null() {
+        // a report whose metric went NaN renders the metric as `null`;
+        // parsing must hand back NaN (not an opaque schema error), and
+        // re-rendering must reproduce the document byte-for-byte
+        let outcome = small_outcome();
+        let mut report = ScenarioReport::from_outcome(&outcome.scenarios[0]);
+        report.valid_ratio = f64::NAN;
+        report.wall_clock_ms = f64::INFINITY;
+        let text = report.to_json().render();
+        assert!(text.contains(r#""valid_ratio":null"#), "{text}");
+
+        let parsed = ScenarioReport::parse(&text).unwrap();
+        assert!(parsed.valid_ratio.is_nan());
+        assert!(parsed.wall_clock_ms.is_nan(), "∞ collapses to null → NaN");
+        assert_eq!(parsed.to_json().render(), text);
+
+        // a non-numeric, non-null value in a numeric slot is still an error
+        let err = ScenarioReport::parse(
+            &text.replace(r#""valid_ratio":null"#, r#""valid_ratio":"broken""#),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("valid_ratio"), "{err}");
     }
 
     #[test]

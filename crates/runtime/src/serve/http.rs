@@ -1,0 +1,301 @@
+//! Minimal std-only HTTP/1.1 plumbing for `fahana-serve`.
+//!
+//! The offline build has no hyper/axum (see `vendor/README.md`), so this
+//! module hand-rolls exactly the slice of RFC 9112 the daemon needs: one
+//! request per connection (`Connection: close`), request-line + headers +
+//! `Content-Length` bodies, percent-decoded paths and query strings, and
+//! JSON responses. Bounds are enforced while *reading* (not after), so a
+//! hostile peer cannot balloon memory with an oversized header block or
+//! body.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Reject header blocks larger than this (64 KiB).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Reject bodies larger than this (16 MiB — campaign reports are ~100 KiB).
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path, query string stripped (`/leaderboard/pi4`).
+    pub path: String,
+    /// Percent-decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; maps onto a 4xx response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest(pub String);
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// # Errors
+///
+/// [`BadRequest`] on malformed request lines, oversized heads/bodies, or
+/// an underful body (peer hung up early).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
+    // the whole head is read through a `take`, so a peer streaming an
+    // endless request line (or header block) hits the cap mid-read and
+    // can never make `read_line` buffer more than MAX_HEAD_BYTES
+    let mut reader = BufReader::new((&mut *stream).take(MAX_HEAD_BYTES as u64));
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| BadRequest(format!("cannot read request line: {e}")))?;
+    let request_line = line.trim_end_matches(['\r', '\n']).to_string();
+
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| BadRequest("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| BadRequest(format!("request line `{request_line}` has no target")))?
+        .to_string();
+    match parts.next() {
+        Some(version) if version.starts_with("HTTP/1.") => {}
+        other => {
+            return Err(BadRequest(format!(
+                "unsupported protocol `{}`",
+                other.unwrap_or("<missing>")
+            )))
+        }
+    }
+
+    // headers: only Content-Length matters to this server
+    let mut content_length = 0usize;
+    let mut terminated = false;
+    loop {
+        let mut header = String::new();
+        let read = reader
+            .read_line(&mut header)
+            .map_err(|e| BadRequest(format!("cannot read header: {e}")))?;
+        if read == 0 {
+            break; // EOF or head cap exhausted without a blank line
+        }
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            terminated = true;
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| BadRequest(format!("bad Content-Length `{}`", value.trim())))?;
+            }
+        }
+    }
+    if !terminated {
+        return Err(BadRequest(format!(
+            "header block truncated or larger than {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(BadRequest(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES} byte limit"
+        )));
+    }
+
+    // body: drain what the head reader over-buffered, then go back to the
+    // raw stream for the rest (the head cap must not apply to the body)
+    let mut body = vec![0u8; content_length];
+    let from_buffer = {
+        let buffered = reader.buffer();
+        let n = buffered.len().min(content_length);
+        body[..n].copy_from_slice(&buffered[..n]);
+        n
+    };
+    reader.consume(from_buffer);
+    drop(reader);
+    if from_buffer < content_length {
+        stream
+            .read_exact(&mut body[from_buffer..])
+            .map_err(|e| BadRequest(format!("body shorter than Content-Length: {e}")))?;
+    }
+
+    let (path, query) = split_target(&target)?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Splits a request target into its decoded path and query parameters.
+fn split_target(target: &str) -> Result<(String, Vec<(String, String)>), BadRequest> {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    if !raw_path.starts_with('/') {
+        return Err(BadRequest(format!("target `{target}` is not a path")));
+    }
+    let path = percent_decode(raw_path)?;
+    let mut query = Vec::new();
+    if let Some(raw_query) = raw_query {
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(key)?, percent_decode(value)?));
+        }
+    }
+    Ok((path, query))
+}
+
+/// Decodes `%XX` escapes and `+`-as-space.
+fn percent_decode(text: &str) -> Result<String, BadRequest> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut index = 0;
+    while index < bytes.len() {
+        match bytes[index] {
+            b'+' => {
+                out.push(b' ');
+                index += 1;
+            }
+            b'%' => {
+                let hex = bytes
+                    .get(index + 1..index + 3)
+                    .and_then(|pair| std::str::from_utf8(pair).ok())
+                    .and_then(|pair| u8::from_str_radix(pair, 16).ok())
+                    .ok_or_else(|| BadRequest(format!("bad percent escape in `{text}`")))?;
+                out.push(hex);
+                index += 3;
+            }
+            byte => {
+                out.push(byte);
+                index += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| BadRequest(format!("`{text}` decodes to invalid UTF-8")))
+}
+
+/// A response ready to be serialized onto the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body (always JSON in this server).
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 with a JSON body.
+    pub fn ok(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+        }
+    }
+
+    /// An error response with an `{"error": ...}` JSON body.
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
+        let body = crate::report::Json::Obj(vec![(
+            "error".into(),
+            crate::report::Json::str(message.into()),
+        )])
+        .render();
+        Response { status, body }
+    }
+
+    /// Writes the response (status line, headers, body) to the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error (peer gone, etc.).
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len(),
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_target_decodes_path_and_query() {
+        let (path, query) =
+            split_target("/leaderboard/raspberry_pi_4?top=3&reward=fair%20one").unwrap();
+        assert_eq!(path, "/leaderboard/raspberry_pi_4");
+        assert_eq!(
+            query,
+            vec![
+                ("top".to_string(), "3".to_string()),
+                ("reward".to_string(), "fair one".to_string()),
+            ]
+        );
+        // '+' decodes to space, bare keys get empty values
+        let (_, query) = split_target("/query?reward=a+b&flag").unwrap();
+        assert_eq!(
+            query,
+            vec![
+                ("reward".to_string(), "a b".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn split_target_rejects_garbage() {
+        assert!(split_target("query").is_err());
+        assert!(split_target("/q?x=%zz").is_err());
+        assert!(split_target("/%ff%fe").is_err(), "invalid UTF-8 rejected");
+    }
+
+    #[test]
+    fn responses_have_correct_framing() {
+        let response = Response::error(404, "no such route");
+        assert_eq!(response.status, 404);
+        assert_eq!(response.body, r#"{"error":"no such route"}"#);
+        assert_eq!(status_text(409), "Conflict");
+    }
+}

@@ -1,0 +1,37 @@
+//! `fahana-serve` — a std-only, long-lived HTTP/1.1 daemon over the
+//! campaign [`ArtifactStore`](crate::store::ArtifactStore).
+//!
+//! The paper's end goal is picking fair, small architectures for edge
+//! devices *at query time*; the one-shot `fahana-query` CLI pays a full
+//! process spawn and a whole-store re-parse per question. This module is
+//! the serving front-end the ROADMAP calls for instead:
+//!
+//! * [`view`] — a reload-on-ingest [`StoreView`]: campaigns parsed once,
+//!   shared across handler threads as `Arc` snapshots;
+//! * [`http`] — hand-rolled HTTP/1.1 request parsing and JSON responses
+//!   (no hyper in the offline build);
+//! * [`router`] — the endpoint table (see below);
+//! * [`server`] — the [`Server`] accept loop, fanning connections out on
+//!   the same work-stealing [`ThreadPool`](crate::pool::ThreadPool)
+//!   campaigns use.
+//!
+//! ## Endpoints
+//!
+//! | Route | Answer |
+//! |---|---|
+//! | `GET /healthz` | liveness + campaign/scenario counts |
+//! | `GET /query` | [`StoreQuery`](crate::store::StoreQuery) over URL params — byte-identical to `fahana-query --json` |
+//! | `GET /campaigns` | id/size/wall-clock summary per ingested campaign |
+//! | `GET /catalog` | the coverage catalog (same document as `catalog.json`) |
+//! | `GET /leaderboard/{device_slug}` | per-device best-by-reward ranking (`?top=N`) |
+//! | `POST /ingest?id=ID` | atomic artifact publish + catalog rebuild + view refresh |
+
+pub mod http;
+pub mod router;
+pub mod server;
+pub mod view;
+
+pub use http::{Request, Response};
+pub use router::route;
+pub use server::{Server, ServerHandle};
+pub use view::StoreView;

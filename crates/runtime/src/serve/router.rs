@@ -1,0 +1,270 @@
+//! Request routing: maps a parsed [`Request`] onto the store view.
+//!
+//! Every endpoint answers JSON. `GET /query` goes through the exact same
+//! [`answer_query`] core (and the same [`StoreQuery::set`] filter parsing)
+//! as `fahana-query --json`, so the daemon's answers are byte-identical to
+//! the CLI's — pinned by `tests/serve_http.rs`.
+
+use edgehw::DeviceKind;
+
+use crate::report::Json;
+use crate::serve::http::{Request, Response};
+use crate::serve::view::StoreView;
+use crate::store::{answer_query, catalog_json, leaderboard, StoreError, StoreQuery};
+
+/// Routes one request to its handler.
+pub fn route(request: &Request, view: &StoreView) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(view),
+        ("GET", "/query") => query(request, view),
+        ("GET", "/campaigns") => campaigns(view),
+        ("GET", "/catalog") => catalog(view),
+        ("GET", path) if path.starts_with("/leaderboard/") => {
+            device_leaderboard(request, view, &path["/leaderboard/".len()..])
+        }
+        ("POST", "/ingest") => ingest(request, view),
+        (_, "/healthz" | "/query" | "/campaigns" | "/catalog" | "/ingest") => {
+            Response::error(405, format!("method {} not allowed here", request.method))
+        }
+        (_, path) if path.starts_with("/leaderboard/") => {
+            Response::error(405, format!("method {} not allowed here", request.method))
+        }
+        _ => Response::error(404, format!("no route for {}", request.path)),
+    }
+}
+
+fn healthz(view: &StoreView) -> Response {
+    let campaigns = view.campaigns();
+    Response::ok(
+        Json::Obj(vec![
+            ("status".into(), Json::str("ok")),
+            ("campaigns".into(), Json::Int(campaigns.len() as i64)),
+            (
+                "scenarios".into(),
+                Json::Int(
+                    campaigns
+                        .iter()
+                        .map(|c| c.report.scenarios.len() as i64)
+                        .sum(),
+                ),
+            ),
+        ])
+        .render(),
+    )
+}
+
+fn query(request: &Request, view: &StoreView) -> Response {
+    let mut store_query = StoreQuery::default();
+    for (key, value) in &request.query {
+        if let Err(message) = store_query.set(key, value) {
+            return Response::error(400, message);
+        }
+    }
+    Response::ok(
+        answer_query(&view.campaigns(), &store_query)
+            .to_json()
+            .render(),
+    )
+}
+
+fn campaigns(view: &StoreView) -> Response {
+    Response::ok(
+        Json::Obj(vec![(
+            "campaigns".into(),
+            Json::Arr(
+                view.campaigns()
+                    .iter()
+                    .map(|campaign| {
+                        Json::Obj(vec![
+                            ("id".into(), Json::str(&campaign.id)),
+                            (
+                                "scenarios".into(),
+                                Json::Int(campaign.report.scenarios.len() as i64),
+                            ),
+                            ("threads".into(), Json::Int(campaign.report.threads as i64)),
+                            (
+                                "wall_clock_ms".into(),
+                                Json::Num(campaign.report.wall_clock_ms),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+        .render(),
+    )
+}
+
+fn catalog(view: &StoreView) -> Response {
+    Response::ok(catalog_json(&view.campaigns()).render())
+}
+
+fn device_leaderboard(request: &Request, view: &StoreView, slug: &str) -> Response {
+    let Some(device) = DeviceKind::from_slug(slug) else {
+        let known: Vec<&str> = DeviceKind::all().iter().map(|d| d.slug()).collect();
+        return Response::error(
+            404,
+            format!(
+                "unknown device `{slug}` (expected one of {})",
+                known.join(", ")
+            ),
+        );
+    };
+    let top = match request.param("top") {
+        None => 10,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(top) => top,
+            Err(_) => {
+                return Response::error(400, format!("`top` expects an integer, got `{raw}`"))
+            }
+        },
+    };
+    Response::ok(
+        leaderboard(&view.campaigns(), device, top)
+            .to_json()
+            .render(),
+    )
+}
+
+fn ingest(request: &Request, view: &StoreView) -> Response {
+    let Some(id) = request.param("id") else {
+        return Response::error(400, "POST /ingest requires an `id` query parameter");
+    };
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "request body is not UTF-8");
+    };
+    match view.ingest(id, body) {
+        Ok(stored) => {
+            let mut response = Response::ok(
+                Json::Obj(vec![
+                    ("id".into(), Json::str(&stored.id)),
+                    (
+                        "scenarios".into(),
+                        Json::Int(stored.report.scenarios.len() as i64),
+                    ),
+                ])
+                .render(),
+            );
+            response.status = 201;
+            response
+        }
+        Err(error @ StoreError::DuplicateId(_)) => Response::error(409, error.to_string()),
+        Err(error @ (StoreError::BadArtifact { .. } | StoreError::InvalidId(_))) => {
+            Response::error(400, error.to_string())
+        }
+        Err(error @ StoreError::Io { .. }) => Response::error(500, error.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CampaignConfig, RewardSetting};
+    use crate::store::ArtifactStore;
+    use crate::{campaign_json, CampaignEngine};
+
+    fn get(path_and_query: &str) -> Request {
+        let (path, raw_query) = match path_and_query.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path_and_query, ""),
+        };
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: raw_query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|pair| {
+                    let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                    (k.to_string(), v.to_string())
+                })
+                .collect(),
+            body: Vec::new(),
+        }
+    }
+
+    fn seeded_view(tag: &str) -> StoreView {
+        let root = std::env::temp_dir().join(format!("fahana-router-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let store = ArtifactStore::open(&root).unwrap();
+        let outcome = CampaignEngine::new(CampaignConfig {
+            episodes: 4,
+            samples: 120,
+            threads: 2,
+            seed: 9,
+            devices: vec![DeviceKind::RaspberryPi4],
+            rewards: vec![RewardSetting::balanced()],
+            freezing: vec![true],
+            ..CampaignConfig::default()
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        store.ingest("seeded", &campaign_json(&outcome)).unwrap();
+        StoreView::open(store).unwrap()
+    }
+
+    #[test]
+    fn routes_cover_the_surface() {
+        let view = seeded_view("surface");
+        assert_eq!(route(&get("/healthz"), &view).status, 200);
+        assert_eq!(route(&get("/query"), &view).status, 200);
+        assert_eq!(
+            route(&get("/query?device=raspberry_pi_4"), &view).status,
+            200
+        );
+        assert_eq!(route(&get("/campaigns"), &view).status, 200);
+        assert_eq!(route(&get("/catalog"), &view).status, 200);
+        assert_eq!(
+            route(&get("/leaderboard/raspberry_pi_4"), &view).status,
+            200
+        );
+        assert_eq!(route(&get("/leaderboard/toaster"), &view).status, 404);
+        assert_eq!(
+            route(&get("/leaderboard/raspberry_pi_4?top=x"), &view).status,
+            400
+        );
+        assert_eq!(route(&get("/query?device=toaster"), &view).status, 400);
+        assert_eq!(route(&get("/query?bogus=1"), &view).status, 400);
+        assert_eq!(route(&get("/nope"), &view).status, 404);
+
+        let mut post = get("/query");
+        post.method = "POST".into();
+        assert_eq!(route(&post, &view).status, 405);
+
+        std::fs::remove_dir_all(view.store().root()).ok();
+    }
+
+    #[test]
+    fn ingest_route_maps_store_errors_to_statuses() {
+        let view = seeded_view("ingest");
+        let report =
+            std::fs::read_to_string(view.store().root().join("artifacts").join("seeded.json"))
+                .unwrap();
+
+        let mut request = Request {
+            method: "POST".into(),
+            path: "/ingest".into(),
+            query: vec![("id".into(), "fresh".into())],
+            body: report.clone().into_bytes(),
+        };
+        assert_eq!(route(&request, &view).status, 201);
+        // the view refreshed: /query now consults both campaigns
+        let answer = route(&get("/query"), &view);
+        assert!(
+            answer.body.contains(r#""campaigns_consulted":2"#),
+            "{}",
+            answer.body
+        );
+
+        // duplicate → 409, garbage → 400, missing id → 400
+        assert_eq!(route(&request, &view).status, 409);
+        request.query[0].1 = "other".into();
+        request.body = b"not json".to_vec();
+        assert_eq!(route(&request, &view).status, 400);
+        request.query.clear();
+        assert_eq!(route(&request, &view).status, 400);
+
+        std::fs::remove_dir_all(view.store().root()).ok();
+    }
+}

@@ -1,0 +1,199 @@
+//! The long-lived HTTP server: a `TcpListener` accept loop fanning
+//! connections out on the work-stealing [`ThreadPool`].
+//!
+//! One request per connection (`Connection: close`): the daemon's answers
+//! are store lookups over an in-memory view, so connection reuse would buy
+//! little and cost idle-socket bookkeeping. Each connection is handled as
+//! one pool job — the same pool machinery campaigns use for scenario
+//! fan-out handles request fan-out here.
+
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::pool::ThreadPool;
+use crate::serve::http::{read_request, Response};
+use crate::serve::router::route;
+use crate::serve::view::StoreView;
+
+/// How long a connection may dribble its request in before being dropped.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A bound, ready-to-run `fahana-serve` server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    view: Arc<StoreView>,
+    pool: ThreadPool,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A remote control for a running [`Server`] — cloneable into other
+/// threads to stop the accept loop.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Stops the server's accept loop. Idempotent; in-flight requests
+    /// finish on the pool.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // unblock the accept() the server is parked in
+        TcpStream::connect(self.addr).ok();
+    }
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 to let the OS pick) over an
+    /// already-opened view, with `threads` pool workers handling
+    /// connections.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, if the address is taken or unroutable.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        view: StoreView,
+        threads: usize,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            view: Arc::new(view),
+            pool: ThreadPool::new(threads),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures (never seen in practice).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared store view the server answers from.
+    pub fn view(&self) -> &Arc<StoreView> {
+        &self.view
+    }
+
+    /// A handle that can stop the accept loop from another thread.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::local_addr`].
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+        })
+    }
+
+    /// Accepts connections until [`ServerHandle::shutdown`] is called,
+    /// dispatching each onto the pool. Blocks the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection errors are answered on
+    /// the wire (4xx/5xx) or dropped, never propagated.
+    pub fn run(&self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else {
+                continue; // transient accept failure (EMFILE, reset, …)
+            };
+            let view = Arc::clone(&self.view);
+            self.pool.spawn(move || handle_connection(stream, &view));
+        }
+        Ok(())
+    }
+}
+
+/// Reads one request off the connection, routes it, writes the response.
+fn handle_connection(mut stream: TcpStream, view: &StoreView) {
+    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(&request, view),
+        Err(bad) => Response::error(400, bad.to_string()),
+    };
+    // the peer may already be gone; nothing useful to do about it
+    response.write_to(&mut stream).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ArtifactStore;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn server_binds_answers_and_shuts_down() {
+        let root = std::env::temp_dir().join(format!("fahana-serve-unit-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let view = StoreView::open(ArtifactStore::open(&root).unwrap()).unwrap();
+        let server = Server::bind("127.0.0.1:0", view, 2).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle().unwrap();
+        let runner = std::thread::spawn(move || server.run().unwrap());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+        assert!(raw.contains(r#""status":"ok""#), "{raw}");
+
+        // a malformed request gets a 400, not a dead server
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+        handle.shutdown();
+        runner.join().unwrap();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn oversized_header_blocks_are_rejected_not_buffered() {
+        let root = std::env::temp_dir().join(format!("fahana-serve-flood-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let view = StoreView::open(ArtifactStore::open(&root).unwrap()).unwrap();
+        let server = Server::bind("127.0.0.1:0", view, 2).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle().unwrap();
+        let runner = std::thread::spawn(move || server.run().unwrap());
+
+        // a header block that never terminates: the server must cut it off
+        // at the head cap and answer 400 instead of buffering forever
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+        let junk = vec![b'a'; 8 * 1024];
+        for _ in 0..12 {
+            // the server may close mid-flood; that's the point
+            if stream.write_all(&junk).is_err() {
+                break;
+            }
+        }
+        stream.shutdown(std::net::Shutdown::Write).ok();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).ok();
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+        assert!(raw.contains("truncated or larger"), "{raw}");
+
+        handle.shutdown();
+        runner.join().unwrap();
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

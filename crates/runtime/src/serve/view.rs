@@ -1,0 +1,137 @@
+//! A shared, reload-on-ingest read view over an [`ArtifactStore`].
+//!
+//! The one-shot `fahana-query` CLI re-scans and re-parses every artifact
+//! per invocation — fine for a batch tool, unacceptable per request in a
+//! long-lived daemon. [`StoreView`] parses the store once at startup and
+//! hands out cheap `Arc` snapshots of the campaign set; the set is only
+//! re-read from disk when an ingest goes through the view (or [`reload`]
+//! is called after out-of-band writes).
+//!
+//! [`reload`]: StoreView::reload
+
+use std::sync::{Arc, RwLock};
+
+use crate::store::{ArtifactStore, StoreError, StoredCampaign};
+
+/// An in-memory view of a store's campaigns, shared across request
+/// handler threads.
+#[derive(Debug)]
+pub struct StoreView {
+    store: ArtifactStore,
+    campaigns: RwLock<Arc<Vec<StoredCampaign>>>,
+}
+
+impl StoreView {
+    /// Opens a view over `store`, loading every campaign eagerly so the
+    /// first request pays no parse cost (and a corrupt store fails fast,
+    /// at startup).
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::campaigns`].
+    pub fn open(store: ArtifactStore) -> Result<Self, StoreError> {
+        let campaigns = Arc::new(store.campaigns()?);
+        Ok(StoreView {
+            store,
+            campaigns: RwLock::new(campaigns),
+        })
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// A snapshot of the current campaign set. The `Arc` keeps the
+    /// snapshot alive for as long as the request needs it, even if an
+    /// ingest swaps the view underneath.
+    pub fn campaigns(&self) -> Arc<Vec<StoredCampaign>> {
+        Arc::clone(&self.campaigns.read().expect("store view poisoned"))
+    }
+
+    /// Re-reads the campaign set from disk (after out-of-band store
+    /// writes, e.g. a concurrently running `fahana-campaign --store`).
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::campaigns`]; the previous snapshot stays
+    /// in place on failure.
+    pub fn reload(&self) -> Result<usize, StoreError> {
+        let fresh = Arc::new(self.store.campaigns()?);
+        let count = fresh.len();
+        *self.campaigns.write().expect("store view poisoned") = fresh;
+        Ok(count)
+    }
+
+    /// Ingests a report through the store (atomic artifact publish +
+    /// catalog rebuild) and refreshes the view, so the next query sees the
+    /// new campaign without a daemon restart.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::ingest`]. A *reload* failure after a successful
+    /// ingest is swallowed: the artifact is already durable, so reporting
+    /// an error would tell the client its (accepted) publish failed — and
+    /// a retry would then hit `DuplicateId`. The stale view heals on the
+    /// next successful reload.
+    pub fn ingest(&self, id: &str, report_json: &str) -> Result<StoredCampaign, StoreError> {
+        let stored = self.store.ingest(id, report_json)?;
+        self.reload().ok();
+        Ok(stored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CampaignConfig, RewardSetting};
+    use crate::{campaign_json, CampaignEngine};
+    use edgehw::DeviceKind;
+
+    fn tiny_report(seed: u64) -> String {
+        let outcome = CampaignEngine::new(CampaignConfig {
+            episodes: 4,
+            samples: 120,
+            threads: 2,
+            seed,
+            devices: vec![DeviceKind::RaspberryPi4],
+            rewards: vec![RewardSetting::balanced()],
+            freezing: vec![true],
+            ..CampaignConfig::default()
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        campaign_json(&outcome)
+    }
+
+    #[test]
+    fn view_snapshots_and_reloads_on_ingest() {
+        let root = std::env::temp_dir().join(format!("fahana-view-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let store = ArtifactStore::open(&root).unwrap();
+        store.ingest("first", &tiny_report(1)).unwrap();
+
+        let view = StoreView::open(store.clone()).unwrap();
+        let before = view.campaigns();
+        assert_eq!(before.len(), 1);
+
+        // ingest through the view: new snapshot, old one still readable
+        view.ingest("second", &tiny_report(2)).unwrap();
+        assert_eq!(before.len(), 1, "held snapshot is immutable");
+        assert_eq!(view.campaigns().len(), 2);
+
+        // out-of-band store write is invisible until reload()
+        store.ingest("third", &tiny_report(3)).unwrap();
+        assert_eq!(view.campaigns().len(), 2);
+        assert_eq!(view.reload().unwrap(), 3);
+        assert_eq!(view.campaigns().len(), 3);
+
+        // duplicate ids surface the store's error
+        assert!(matches!(
+            view.ingest("second", &tiny_report(4)),
+            Err(StoreError::DuplicateId(_))
+        ));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

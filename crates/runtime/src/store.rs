@@ -24,6 +24,7 @@
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use edgehw::DeviceKind;
 use fahana::{merge_frontiers, EpisodeRecord, ParetoPoint};
@@ -102,6 +103,68 @@ pub struct StoreQuery {
 }
 
 impl StoreQuery {
+    /// Every filter key [`StoreQuery::set`] understands, in display order.
+    pub const KEYS: [&'static str; 7] = [
+        "device",
+        "reward",
+        "freezing",
+        "max_latency_ms",
+        "max_unfairness",
+        "min_accuracy",
+        "max_params",
+    ];
+
+    /// Sets one filter from a textual key/value pair — the single parsing
+    /// path shared by the `fahana-query` CLI flags and the `fahana-serve`
+    /// daemon's URL query parameters.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown keys or unparsable values.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        let number = |key: &str, value: &str| -> Result<f64, String> {
+            value
+                .parse()
+                .map_err(|_| format!("`{key}` expects a number, got `{value}`"))
+        };
+        match key {
+            "device" => {
+                self.device = Some(DeviceKind::from_slug(value).ok_or_else(|| {
+                    let known: Vec<&str> = DeviceKind::all().iter().map(|d| d.slug()).collect();
+                    format!(
+                        "unknown device `{value}` (expected one of {})",
+                        known.join(", ")
+                    )
+                })?);
+            }
+            "reward" => self.reward = Some(value.to_string()),
+            "freezing" => {
+                self.freezing = Some(match value {
+                    "on" | "true" | "yes" | "1" => true,
+                    "off" | "false" | "no" | "0" => false,
+                    other => return Err(format!("`freezing` expects on/off, got `{other}`")),
+                });
+            }
+            "max_latency_ms" => self.max_latency_ms = Some(number(key, value)?),
+            "max_unfairness" => self.max_unfairness = Some(number(key, value)?),
+            "min_accuracy" => self.min_accuracy = Some(number(key, value)?),
+            "max_params" => {
+                self.max_params = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("`max_params` expects an integer, got `{value}`"))?,
+                );
+            }
+            other => {
+                return Err(format!(
+                    "unknown filter `{other}` (expected one of {})",
+                    Self::KEYS.join(", ")
+                ))
+            }
+        }
+        Ok(())
+    }
+
     fn admits(&self, record: &EpisodeRecord) -> bool {
         record.valid
             && self.max_latency_ms.is_none_or(|tc| record.latency_ms <= tc)
@@ -201,14 +264,242 @@ impl QueryAnswer {
     }
 }
 
+/// Answers a query from an in-memory set of campaigns: filters scenarios
+/// by device/reward/freezing, collects admissible best/best-small/fairest
+/// records, and merges the accuracy/unfairness frontiers of every matching
+/// scenario into one cross-campaign Pareto frontier.
+///
+/// This is the single query/answer core shared by the one-shot
+/// `fahana-query` CLI (via [`ArtifactStore::query`], which re-scans disk)
+/// and the long-lived `fahana-serve` daemon (which holds the campaigns in
+/// a [`crate::serve::StoreView`] and never re-scans per request).
+pub fn answer_query(campaigns: &[StoredCampaign], query: &StoreQuery) -> QueryAnswer {
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut frontiers: Vec<Vec<ParetoPoint>> = Vec::new();
+    let mut scenarios_matched = 0;
+    for campaign in campaigns {
+        for scenario in &campaign.report.scenarios {
+            if !query.admits_scenario(scenario) {
+                continue;
+            }
+            scenarios_matched += 1;
+            frontiers.push(scenario.accuracy_fairness_frontier.clone());
+            for (role, record) in [
+                ("best", &scenario.best),
+                ("best_small", &scenario.best_small),
+                ("fairest", &scenario.fairest),
+            ] {
+                if let Some(record) = record {
+                    if query.admits(record) {
+                        candidates.push(Candidate {
+                            campaign: campaign.id.clone(),
+                            scenario: scenario.scenario.clone(),
+                            role,
+                            record: record.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // dedupe by architecture name, keeping the highest-reward sighting
+    candidates.sort_by(|a, b| {
+        b.record
+            .reward
+            .partial_cmp(&a.record.reward)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.record.name.cmp(&b.record.name))
+    });
+    let mut seen = std::collections::HashSet::new();
+    candidates.retain(|c| seen.insert(c.record.name.clone()));
+
+    QueryAnswer {
+        best: candidates.first().cloned(),
+        candidates,
+        frontier: merge_frontiers(frontiers),
+        campaigns_consulted: campaigns.len(),
+        scenarios_matched,
+    }
+}
+
+/// A per-device leaderboard: the admissible architectures for one device,
+/// deduplicated by name and ranked by reward descending — the store-side
+/// aggregation behind `fahana-serve`'s `GET /leaderboard/{device_slug}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Leaderboard {
+    /// The device the board ranks for.
+    pub device: DeviceKind,
+    /// Ranked entries, best first, truncated to the requested size.
+    pub entries: Vec<Candidate>,
+    /// Campaigns inspected.
+    pub campaigns_consulted: usize,
+    /// Scenarios targeting the device.
+    pub scenarios_matched: usize,
+}
+
+/// Builds the [`Leaderboard`] for `device` over `campaigns`, keeping the
+/// `top` highest-reward architectures.
+pub fn leaderboard(campaigns: &[StoredCampaign], device: DeviceKind, top: usize) -> Leaderboard {
+    let answer = answer_query(
+        campaigns,
+        &StoreQuery {
+            device: Some(device),
+            ..StoreQuery::default()
+        },
+    );
+    let mut entries = answer.candidates;
+    entries.truncate(top);
+    Leaderboard {
+        device,
+        entries,
+        campaigns_consulted: answer.campaigns_consulted,
+        scenarios_matched: answer.scenarios_matched,
+    }
+}
+
+impl Leaderboard {
+    /// Renders the leaderboard as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("device_slug".into(), Json::str(self.device.slug())),
+            ("device".into(), Json::str(self.device.label())),
+            (
+                "entries".into(),
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .enumerate()
+                        .map(|(index, c)| {
+                            Json::Obj(vec![
+                                ("rank".into(), Json::Int(index as i64 + 1)),
+                                ("name".into(), Json::str(&c.record.name)),
+                                ("reward".into(), Json::Num(c.record.reward)),
+                                ("accuracy".into(), Json::Num(c.record.accuracy)),
+                                ("unfairness".into(), Json::Num(c.record.unfairness)),
+                                ("latency_ms".into(), Json::Num(c.record.latency_ms)),
+                                ("params".into(), Json::Int(c.record.params as i64)),
+                                ("campaign".into(), Json::str(&c.campaign)),
+                                ("scenario".into(), Json::str(&c.scenario)),
+                                ("role".into(), Json::str(c.role)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "campaigns_consulted".into(),
+                Json::Int(self.campaigns_consulted as i64),
+            ),
+            (
+                "scenarios_matched".into(),
+                Json::Int(self.scenarios_matched as i64),
+            ),
+        ])
+    }
+}
+
+/// The catalog document: a human-readable index keyed by artifact id
+/// listing each scenario's device/reward/freezing key, plus a coverage
+/// summary of the whole store. This is both what
+/// [`ArtifactStore::write_catalog`] persists as `catalog.json` and what
+/// `fahana-serve` answers on `GET /catalog`.
+pub fn catalog_json(campaigns: &[StoredCampaign]) -> Json {
+    let mut coverage: BTreeMap<String, i64> = BTreeMap::new();
+    Json::Obj(vec![
+        (
+            "campaigns".into(),
+            Json::Arr(
+                campaigns
+                    .iter()
+                    .map(|campaign| {
+                        Json::Obj(vec![
+                            ("id".into(), Json::str(&campaign.id)),
+                            (
+                                "scenarios".into(),
+                                Json::Arr(
+                                    campaign
+                                        .report
+                                        .scenarios
+                                        .iter()
+                                        .map(|s| {
+                                            let mode =
+                                                if s.use_freezing { "frozen" } else { "full" };
+                                            *coverage
+                                                .entry(format!(
+                                                    "{}/{}/{mode}",
+                                                    s.device_slug, s.reward
+                                                ))
+                                                .or_insert(0) += 1;
+                                            Json::Obj(vec![
+                                                ("device_slug".into(), Json::str(&s.device_slug)),
+                                                ("reward".into(), Json::str(&s.reward)),
+                                                ("use_freezing".into(), Json::Bool(s.use_freezing)),
+                                                ("scenario".into(), Json::str(&s.scenario)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "coverage".into(),
+            Json::Obj(
+                coverage
+                    .into_iter()
+                    .map(|(key, count)| (key, Json::Int(count)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Best-effort removal of hidden `.*.tmp` staging files left behind by
+/// writers that crashed between staging and publishing.
+fn sweep_stale_tmp(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') && name.ends_with(".tmp") {
+            std::fs::remove_file(entry.path()).ok();
+        }
+    }
+}
+
 /// A directory of ingested campaign reports with query support.
+///
+/// Clones share one catalog-rebuild lock, so concurrent in-process
+/// ingests serialize their `catalog.json` regeneration: the last rebuild
+/// is guaranteed to have scanned the artifacts directory *after* every
+/// completed ingest, i.e. the settled catalog is complete. (Writers in
+/// *other* processes still interleave safely — the atomic rename means no
+/// reader ever sees a torn catalog — but the settled document then
+/// reflects whichever process rebuilt last; [`rebuild_catalog`] brings it
+/// current.)
+///
+/// [`rebuild_catalog`]: ArtifactStore::rebuild_catalog
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     root: PathBuf,
+    catalog_lock: std::sync::Arc<std::sync::Mutex<()>>,
 }
 
 impl ArtifactStore {
     /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// Stale `.*.tmp` files — the residue of ingests or catalog writes
+    /// that crashed between staging and publishing — are swept here, so a
+    /// crashed writer never leaks hidden files forever. (A store should be
+    /// opened before concurrent writers start; opening mid-ingest from a
+    /// *different* process could sweep that ingest's staging file and fail
+    /// its publish, which is safe but noisy.)
     ///
     /// # Errors
     ///
@@ -220,7 +511,13 @@ impl ArtifactStore {
             path: artifacts.display().to_string(),
             message: e.to_string(),
         })?;
-        Ok(ArtifactStore { root })
+        for dir in [&root, &artifacts] {
+            sweep_stale_tmp(dir);
+        }
+        Ok(ArtifactStore {
+            root,
+            catalog_lock: std::sync::Arc::new(std::sync::Mutex::new(())),
+        })
     }
 
     /// The store's root directory.
@@ -267,8 +564,16 @@ impl ArtifactStore {
         // atomic publish: write a hidden sibling (never listed — campaigns()
         // only reads `*.json`), then hard-link it into place. The link fails
         // if a concurrent ingest won the race, so an artifact can neither be
-        // observed half-written nor silently overwritten.
-        let tmp = self.root.join("artifacts").join(format!(".{id}.tmp"));
+        // observed half-written nor silently overwritten. The staging name
+        // must be unique per writer: after the winner's hard_link, its tmp
+        // shares an inode with the published artifact, so a loser reusing
+        // the same tmp name would truncate the *published* file in place.
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.root.join("artifacts").join(format!(
+            ".{id}.{}.{}.tmp",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, report_json).map_err(|e| StoreError::Io {
             path: tmp.display().to_string(),
             message: e.to_string(),
@@ -410,130 +715,59 @@ impl ArtifactStore {
         Ok(campaigns)
     }
 
-    /// Answers a query from every ingested campaign: filters scenarios by
-    /// device/reward/freezing, collects admissible best/best-small/fairest
-    /// records, and merges the accuracy/unfairness frontiers of every
-    /// matching scenario into one cross-campaign Pareto frontier.
+    /// Answers a query from every ingested campaign — re-scans disk, then
+    /// delegates to [`answer_query`] (the core shared with `fahana-serve`).
     ///
     /// # Errors
     ///
     /// As [`ArtifactStore::campaigns`].
     pub fn query(&self, query: &StoreQuery) -> Result<QueryAnswer, StoreError> {
-        let campaigns = self.campaigns()?;
-        let mut candidates: Vec<Candidate> = Vec::new();
-        let mut frontiers: Vec<Vec<ParetoPoint>> = Vec::new();
-        let mut scenarios_matched = 0;
-        for campaign in &campaigns {
-            for scenario in &campaign.report.scenarios {
-                if !query.admits_scenario(scenario) {
-                    continue;
-                }
-                scenarios_matched += 1;
-                frontiers.push(scenario.accuracy_fairness_frontier.clone());
-                for (role, record) in [
-                    ("best", &scenario.best),
-                    ("best_small", &scenario.best_small),
-                    ("fairest", &scenario.fairest),
-                ] {
-                    if let Some(record) = record {
-                        if query.admits(record) {
-                            candidates.push(Candidate {
-                                campaign: campaign.id.clone(),
-                                scenario: scenario.scenario.clone(),
-                                role,
-                                record: record.clone(),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-
-        // dedupe by architecture name, keeping the highest-reward sighting
-        candidates.sort_by(|a, b| {
-            b.record
-                .reward
-                .partial_cmp(&a.record.reward)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.record.name.cmp(&b.record.name))
-        });
-        let mut seen = std::collections::HashSet::new();
-        candidates.retain(|c| seen.insert(c.record.name.clone()));
-
-        Ok(QueryAnswer {
-            best: candidates.first().cloned(),
-            candidates,
-            frontier: merge_frontiers(frontiers),
-            campaigns_consulted: campaigns.len(),
-            scenarios_matched,
-        })
+        Ok(answer_query(&self.campaigns()?, query))
     }
 
-    /// Regenerates `catalog.json`: a human-readable index keyed by
-    /// artifact id, listing each scenario's device/reward/freezing key.
+    /// Regenerates `catalog.json` from the artifacts on disk — useful
+    /// after out-of-band writes (a second process ingesting into the same
+    /// root, or hand-dropped artifact files).
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::campaigns`], plus [`StoreError::Io`] on write
+    /// failures.
+    pub fn rebuild_catalog(&self) -> Result<(), StoreError> {
+        self.write_catalog()
+    }
+
+    /// Regenerates `catalog.json` (see [`catalog_json`]).
+    ///
+    /// The write is atomic: the document is staged in a hidden uniquely
+    /// named `.catalog.*.tmp` sibling and renamed into place, so a crash
+    /// or a concurrent ingest can never leave a torn catalog — readers
+    /// always observe some complete catalog, matching the artifact publish
+    /// discipline of [`ArtifactStore::ingest`]. Rebuilds are serialized
+    /// across clones (see the type-level docs), so the settled catalog
+    /// covers every in-process ingest.
     fn write_catalog(&self) -> Result<(), StoreError> {
+        let _serialize = self.catalog_lock.lock().expect("catalog lock poisoned");
         let campaigns = self.campaigns()?;
-        // device → reward → freezing counts, so the catalog doubles as a
-        // coverage summary of the whole store
-        let mut coverage: BTreeMap<String, i64> = BTreeMap::new();
-        let catalog = Json::Obj(vec![
-            (
-                "campaigns".into(),
-                Json::Arr(
-                    campaigns
-                        .iter()
-                        .map(|campaign| {
-                            Json::Obj(vec![
-                                ("id".into(), Json::str(&campaign.id)),
-                                (
-                                    "scenarios".into(),
-                                    Json::Arr(
-                                        campaign
-                                            .report
-                                            .scenarios
-                                            .iter()
-                                            .map(|s| {
-                                                let mode =
-                                                    if s.use_freezing { "frozen" } else { "full" };
-                                                *coverage
-                                                    .entry(format!(
-                                                        "{}/{}/{mode}",
-                                                        s.device_slug, s.reward
-                                                    ))
-                                                    .or_insert(0) += 1;
-                                                Json::Obj(vec![
-                                                    (
-                                                        "device_slug".into(),
-                                                        Json::str(&s.device_slug),
-                                                    ),
-                                                    ("reward".into(), Json::str(&s.reward)),
-                                                    (
-                                                        "use_freezing".into(),
-                                                        Json::Bool(s.use_freezing),
-                                                    ),
-                                                    ("scenario".into(), Json::str(&s.scenario)),
-                                                ])
-                                            })
-                                            .collect(),
-                                    ),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "coverage".into(),
-                Json::Obj(
-                    coverage
-                        .into_iter()
-                        .map(|(key, count)| (key, Json::Int(count)))
-                        .collect(),
-                ),
-            ),
-        ]);
+        let catalog = catalog_json(&campaigns);
         let path = self.root.join("catalog.json");
-        std::fs::write(&path, catalog.render()).map_err(|e| StoreError::Io {
+        // unique per process *and* per call, so concurrent catalog writers
+        // never stage into the same tmp file
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.root.join(format!(
+            ".catalog.{}.{}.tmp",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, catalog.render()).map_err(|e| StoreError::Io {
+            path: tmp.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let publish = std::fs::rename(&tmp, &path);
+        if publish.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        publish.map_err(|e| StoreError::Io {
             path: path.display().to_string(),
             message: e.to_string(),
         })
@@ -690,6 +924,125 @@ mod tests {
             .unwrap();
         assert!(impossible.best.is_none());
         assert!(impossible.candidates.is_empty());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files_from_crashed_writers() {
+        let store = temp_store("sweep");
+        store.ingest("keep", &tiny_report(20)).unwrap();
+        // plant the residue of a crashed ingest and a crashed catalog write
+        let stale_artifact = store.root().join("artifacts").join(".crashed.tmp");
+        let stale_catalog = store.root().join(".catalog.1234.0.tmp");
+        std::fs::write(&stale_artifact, "half-written").unwrap();
+        std::fs::write(&stale_catalog, "{\"campai").unwrap();
+
+        let reopened = ArtifactStore::open(store.root()).unwrap();
+        assert!(!stale_artifact.exists(), "stale artifact tmp must be swept");
+        assert!(!stale_catalog.exists(), "stale catalog tmp must be swept");
+        // the published artifact and catalog are untouched
+        assert_eq!(reopened.campaigns().unwrap().len(), 1);
+        let catalog = std::fs::read_to_string(reopened.root().join("catalog.json")).unwrap();
+        Json::parse(&catalog).unwrap();
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn catalog_writes_leave_no_tmp_residue() {
+        let store = temp_store("no-residue");
+        store.ingest("a", &tiny_report(21)).unwrap();
+        store.ingest("b", &tiny_report(22)).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(store.root())
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp residue: {leftovers:?}");
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn query_set_parses_every_key_and_rejects_garbage() {
+        let mut query = StoreQuery::default();
+        for (key, value) in [
+            ("device", "raspberry_pi_4"),
+            ("reward", "balanced"),
+            ("freezing", "on"),
+            ("max_latency_ms", "25.5"),
+            ("max_unfairness", "0.2"),
+            ("min_accuracy", "0.7"),
+            ("max_params", "4000000"),
+        ] {
+            query.set(key, value).unwrap();
+        }
+        assert_eq!(
+            query,
+            StoreQuery {
+                device: Some(DeviceKind::RaspberryPi4),
+                reward: Some("balanced".into()),
+                freezing: Some(true),
+                max_latency_ms: Some(25.5),
+                max_unfairness: Some(0.2),
+                min_accuracy: Some(0.7),
+                max_params: Some(4_000_000),
+            }
+        );
+        assert!(query
+            .set("device", "toaster")
+            .unwrap_err()
+            .contains("unknown device"));
+        assert!(query
+            .set("freezing", "maybe")
+            .unwrap_err()
+            .contains("on/off"));
+        assert!(query
+            .set("max_latency_ms", "fast")
+            .unwrap_err()
+            .contains("number"));
+        assert!(query
+            .set("max_params", "1.5")
+            .unwrap_err()
+            .contains("integer"));
+        assert!(query
+            .set("bogus", "1")
+            .unwrap_err()
+            .contains("unknown filter"));
+    }
+
+    #[test]
+    fn leaderboard_ranks_per_device_and_truncates() {
+        let store = temp_store("leaderboard");
+        store.ingest("a", &tiny_report(30)).unwrap();
+        store.ingest("b", &tiny_report(31)).unwrap();
+        let campaigns = store.campaigns().unwrap();
+
+        let board = leaderboard(&campaigns, DeviceKind::RaspberryPi4, 3);
+        assert_eq!(board.campaigns_consulted, 2);
+        assert_eq!(board.scenarios_matched, 2);
+        assert!(board.entries.len() <= 3);
+        assert!(board
+            .entries
+            .windows(2)
+            .all(|w| w[0].record.reward >= w[1].record.reward));
+        // the board is the device-filtered query answer, truncated
+        let answer = answer_query(
+            &campaigns,
+            &StoreQuery {
+                device: Some(DeviceKind::RaspberryPi4),
+                ..StoreQuery::default()
+            },
+        );
+        assert_eq!(board.entries, answer.candidates[..board.entries.len()]);
+
+        // renders with ranks starting at 1
+        let rendered = board.to_json().render();
+        let parsed = Json::parse(&rendered).unwrap();
+        let entries = parsed.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), board.entries.len());
+        if let Some(first) = entries.first() {
+            assert_eq!(first.get("rank").unwrap().as_i64(), Some(1));
+        }
         std::fs::remove_dir_all(store.root()).ok();
     }
 

@@ -1,0 +1,243 @@
+//! End-to-end tests for the `fahana-serve` daemon: a real TCP server over
+//! a real store, driven by a raw HTTP/1.1 client, pinned byte-for-byte
+//! against the `fahana-query` CLI (the acceptance criterion: both go
+//! through one shared query core, so their answers must be identical).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::Command;
+
+use edgehw::DeviceKind;
+use fahana_runtime::{
+    campaign_json, ArtifactStore, CampaignConfig, CampaignEngine, Json, RewardSetting, Server,
+    ServerHandle, StoreView,
+};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fahana-serve-e2e-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_report(seed: u64) -> String {
+    let outcome = CampaignEngine::new(CampaignConfig {
+        episodes: 5,
+        samples: 120,
+        threads: 2,
+        seed,
+        devices: vec![DeviceKind::RaspberryPi4, DeviceKind::OdroidXu4],
+        rewards: vec![RewardSetting::balanced()],
+        freezing: vec![true],
+        ..CampaignConfig::default()
+    })
+    .unwrap()
+    .run()
+    .unwrap();
+    campaign_json(&outcome)
+}
+
+/// Starts a server over `store_root` on an OS-assigned port.
+fn start_server(store_root: &PathBuf) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let store = ArtifactStore::open(store_root).unwrap();
+    let view = StoreView::open(store).unwrap();
+    let server = Server::bind("127.0.0.1:0", view, 4).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let runner = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle, runner)
+}
+
+/// One raw HTTP exchange; returns (status, body).
+fn http(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: fahana\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let raw = String::from_utf8(raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status line has a code")
+        .parse()
+        .unwrap();
+    (status, body.to_string())
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    http(addr, "GET", target, b"")
+}
+
+#[test]
+fn serve_answers_queries_byte_identically_to_the_cli() {
+    let dir = temp_dir("parity");
+    let store_root = dir.join("store");
+    let store = ArtifactStore::open(&store_root).unwrap();
+    store.ingest("alpha", &tiny_report(41)).unwrap();
+    store.ingest("beta", &tiny_report(42)).unwrap();
+    let (addr, handle, runner) = start_server(&store_root);
+
+    let query_bin = env!("CARGO_BIN_EXE_fahana-query");
+    for (cli_flags, http_target) in [
+        (vec![], "/query".to_string()),
+        (
+            vec!["--device", "raspberry_pi_4"],
+            "/query?device=raspberry_pi_4".into(),
+        ),
+        (
+            vec![
+                "--device",
+                "odroid_xu4",
+                "--freezing",
+                "on",
+                "--max-latency-ms",
+                "100000",
+                "--min-accuracy",
+                "0.1",
+            ],
+            "/query?device=odroid_xu4&freezing=on&max_latency_ms=100000&min_accuracy=0.1".into(),
+        ),
+        (
+            vec!["--max-latency-ms", "0"],
+            "/query?max_latency_ms=0".into(),
+        ),
+    ] {
+        let mut args = vec!["--store", store_root.to_str().unwrap(), "--json"];
+        args.extend(cli_flags.iter());
+        let output = Command::new(query_bin).args(&args).output().unwrap();
+        assert!(output.status.success(), "fahana-query {args:?} failed");
+        let cli_answer = String::from_utf8(output.stdout).unwrap();
+
+        let (status, http_answer) = get(addr, &http_target);
+        assert_eq!(status, 200, "{http_target}: {http_answer}");
+        assert_eq!(
+            http_answer,
+            cli_answer.trim_end_matches('\n'),
+            "daemon and CLI disagree on {http_target}"
+        );
+    }
+
+    handle.shutdown();
+    runner.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_covers_every_endpoint() {
+    let dir = temp_dir("endpoints");
+    let store_root = dir.join("store");
+    let store = ArtifactStore::open(&store_root).unwrap();
+    store.ingest("seeded", &tiny_report(51)).unwrap();
+    let (addr, handle, runner) = start_server(&store_root);
+
+    // healthz: alive, counts right
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let health = Json::parse(&body).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(health.get("campaigns").unwrap().as_i64(), Some(1));
+    assert_eq!(health.get("scenarios").unwrap().as_i64(), Some(2));
+
+    // campaigns: the summary names the ingested id
+    let (status, body) = get(addr, "/campaigns");
+    assert_eq!(status, 200);
+    let campaigns = Json::parse(&body).unwrap();
+    let list = campaigns.get("campaigns").unwrap().as_arr().unwrap();
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].get("id").unwrap().as_str(), Some("seeded"));
+
+    // catalog: byte-identical to the on-disk catalog.json
+    let (status, body) = get(addr, "/catalog");
+    assert_eq!(status, 200);
+    let on_disk = std::fs::read_to_string(store_root.join("catalog.json")).unwrap();
+    assert_eq!(body, on_disk);
+
+    // leaderboard: ranked, truncated, device-checked
+    let (status, body) = get(addr, "/leaderboard/raspberry_pi_4?top=2");
+    assert_eq!(status, 200);
+    let board = Json::parse(&body).unwrap();
+    let entries = board.get("entries").unwrap().as_arr().unwrap();
+    assert!(entries.len() <= 2);
+    let rewards: Vec<f64> = entries
+        .iter()
+        .map(|e| e.get("reward").unwrap().as_f64().unwrap())
+        .collect();
+    assert!(rewards.windows(2).all(|w| w[0] >= w[1]), "{rewards:?}");
+    let (status, _) = get(addr, "/leaderboard/toaster");
+    assert_eq!(status, 404);
+
+    // error surface: unknown route, bad filter, bad method
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert_eq!(get(addr, "/query?device=toaster").0, 400);
+    assert_eq!(http(addr, "DELETE", "/catalog", b"").0, 405);
+
+    handle.shutdown();
+    runner.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_ingests_live_without_restart() {
+    let dir = temp_dir("live-ingest");
+    let store_root = dir.join("store");
+    let store = ArtifactStore::open(&store_root).unwrap();
+    store.ingest("first", &tiny_report(61)).unwrap();
+    let (addr, handle, runner) = start_server(&store_root);
+
+    let (_, before) = get(addr, "/query");
+    let before = Json::parse(&before).unwrap();
+    assert_eq!(before.get("campaigns_consulted").unwrap().as_i64(), Some(1));
+
+    // publish a new campaign over the wire
+    let report = tiny_report(62);
+    let (status, body) = http(addr, "POST", "/ingest?id=second", report.as_bytes());
+    assert_eq!(status, 201, "{body}");
+    let stored = Json::parse(&body).unwrap();
+    assert_eq!(stored.get("id").unwrap().as_str(), Some("second"));
+
+    // no restart: the very next query consults both campaigns
+    let (_, after) = get(addr, "/query");
+    let after = Json::parse(&after).unwrap();
+    assert_eq!(after.get("campaigns_consulted").unwrap().as_i64(), Some(2));
+
+    // the artifact is durable and the catalog was rebuilt atomically
+    assert!(store_root.join("artifacts/second.json").exists());
+    let catalog = std::fs::read_to_string(store_root.join("catalog.json")).unwrap();
+    assert_eq!(
+        Json::parse(&catalog)
+            .unwrap()
+            .get("campaigns")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .len(),
+        2
+    );
+
+    // duplicate id → 409; garbage body → 400; store untouched
+    assert_eq!(
+        http(addr, "POST", "/ingest?id=second", report.as_bytes()).0,
+        409
+    );
+    assert_eq!(http(addr, "POST", "/ingest?id=third", b"not json").0, 400);
+    let (_, health) = get(addr, "/healthz");
+    assert_eq!(
+        Json::parse(&health)
+            .unwrap()
+            .get("campaigns")
+            .unwrap()
+            .as_i64(),
+        Some(2)
+    );
+
+    handle.shutdown();
+    runner.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
