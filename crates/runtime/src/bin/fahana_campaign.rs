@@ -4,9 +4,10 @@
 //! ```text
 //! fahana-campaign [--config FILE] [--out DIR] [--threads N]
 //!                 [--episodes N] [--seed N] [--no-cache]
-//!                 [--cache-in FILE] [--cache-out FILE]
-//!                 [--store DIR] [--store-id ID]
-//!                 [--parallel-episodes] [--json] [--print-example]
+//!                 [--cache-in FILE] [--cache-out FILE] [--cache-compact]
+//!                 [--store DIR] [--store-id ID] [--shard I/N]
+//!                 [--canonical] [--parallel-episodes] [--json]
+//!                 [--print-example]
 //! ```
 //!
 //! Without `--config`, the paper-flavoured default grid runs: 2 devices
@@ -15,16 +16,27 @@
 //!
 //! `--cache-in` warm-starts the evaluation cache from a snapshot written
 //! by a previous `--cache-out`; outcomes stay bit-identical to a cold run,
-//! only cheaper. `--store` ingests the campaign report into an artifact
-//! store that `fahana-query` can answer questions from.
+//! only cheaper. `--cache-compact` additionally GCs the written snapshot:
+//! only entries the configured search space actually consulted survive,
+//! so a shrunken-but-equivalent snapshot replaces one bloated by old
+//! grids. `--store` ingests the campaign report into an artifact store
+//! that `fahana-query` can answer questions from.
+//!
+//! `--shard I/N` runs this process as worker `I` of an `N`-way sharded
+//! campaign: only the grid cells the stable name-hash partition assigns
+//! to shard `I` execute, and the report/cache snapshot written are the
+//! partials the `fahana-shard` coordinator merges. `--canonical` emits
+//! the deterministic projection of reports (wall-clock and cache counters
+//! zeroed), which is what makes single-process and merged sharded reports
+//! diffable byte-for-byte.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use fahana_runtime::{
-    campaign_json, scenario_json, ArtifactStore, CacheSnapshot, CampaignConfig, CampaignEngine,
-    EvalCache,
+    ArtifactStore, CacheSnapshot, CampaignConfig, CampaignEngine, CampaignPlan, CampaignReport,
+    EvalCache, ShardSpec,
 };
 
 struct Cli {
@@ -36,8 +48,11 @@ struct Cli {
     no_cache: bool,
     cache_in: Option<PathBuf>,
     cache_out: Option<PathBuf>,
+    cache_compact: bool,
     store_dir: Option<PathBuf>,
     store_id: Option<String>,
+    shard: Option<ShardSpec>,
+    canonical: bool,
     parallel_episodes: bool,
     json: bool,
     print_example: bool,
@@ -46,8 +61,9 @@ struct Cli {
 fn usage() -> &'static str {
     "usage: fahana-campaign [--config FILE] [--out DIR] [--threads N] \
      [--episodes N] [--seed N] [--no-cache] [--cache-in FILE] \
-     [--cache-out FILE] [--store DIR] [--store-id ID] [--parallel-episodes] \
-     [--json] [--print-example]"
+     [--cache-out FILE] [--cache-compact] [--store DIR] [--store-id ID] \
+     [--shard I/N] [--canonical] [--parallel-episodes] [--json] \
+     [--print-example]"
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -60,8 +76,11 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         no_cache: false,
         cache_in: None,
         cache_out: None,
+        cache_compact: false,
         store_dir: None,
         store_id: None,
+        shard: None,
+        canonical: false,
         parallel_episodes: false,
         json: false,
         print_example: false,
@@ -100,6 +119,15 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--no-cache" => cli.no_cache = true,
             "--cache-in" => cli.cache_in = Some(PathBuf::from(value_of("--cache-in")?)),
             "--cache-out" => cli.cache_out = Some(PathBuf::from(value_of("--cache-out")?)),
+            "--cache-compact" => cli.cache_compact = true,
+            "--shard" => {
+                let value = value_of("--shard")?;
+                cli.shard =
+                    Some(value.parse().map_err(|_| {
+                        format!("--shard expects I/N with 1 <= I <= N, got `{value}`")
+                    })?);
+            }
+            "--canonical" => cli.canonical = true,
             "--store" => cli.store_dir = Some(PathBuf::from(value_of("--store")?)),
             "--store-id" => {
                 // fail now, not after the campaign has run for hours
@@ -170,8 +198,23 @@ fn run(cli: Cli) -> Result<(), String> {
                 .into(),
         );
     }
+    if cli.cache_compact && (cli.cache_in.is_none() || cli.cache_out.is_none()) {
+        return Err(
+            "--cache-compact garbage-collects a snapshot through a run, \
+             so it needs both --cache-in (what to compact) and --cache-out \
+             (where the compacted snapshot goes)"
+                .into(),
+        );
+    }
 
-    let cache = Arc::new(EvalCache::new());
+    // compaction tracks which entries the run consults; that tracking is
+    // what lets the written snapshot drop everything the configured grid
+    // no longer reaches
+    let cache = Arc::new(if cli.cache_compact {
+        EvalCache::with_tracking()
+    } else {
+        EvalCache::new()
+    });
     if let Some(path) = &cli.cache_in {
         let snapshot = CacheSnapshot::load(path)
             .map_err(|e| format!("cannot load {}: {e}", path.display()))?;
@@ -183,10 +226,23 @@ fn run(cli: Cli) -> Result<(), String> {
         );
     }
 
-    let engine = CampaignEngine::new(config).map_err(|e| e.to_string())?;
+    let plan = CampaignPlan::new(config).map_err(|e| e.to_string())?;
+    let scenarios = match cli.shard {
+        Some(shard) => {
+            let slice = plan.slice(shard);
+            eprintln!(
+                "shard {shard}: running {} of {} scenarios",
+                slice.len(),
+                plan.len()
+            );
+            slice
+        }
+        None => plan.scenarios().to_vec(),
+    };
+    let engine = CampaignEngine::new(plan.config().clone()).map_err(|e| e.to_string())?;
     eprintln!(
         "running {} scenarios on {} worker threads (cache {}, episode batching {})",
-        engine.config().scenario_count(),
+        scenarios.len(),
         engine.threads(),
         if engine.config().use_cache {
             "on"
@@ -200,7 +256,7 @@ fn run(cli: Cli) -> Result<(), String> {
         },
     );
     let outcome = engine
-        .run_with_cache(Arc::clone(&cache))
+        .run_scenarios(scenarios, Arc::clone(&cache))
         .map_err(|e| e.to_string())?;
 
     eprintln!(
@@ -232,25 +288,47 @@ fn run(cli: Cli) -> Result<(), String> {
         outcome.cache_entries,
     );
 
+    // one typed report is the source for every emission; --canonical
+    // swaps in its deterministic projection (what sharded smoke jobs diff)
+    let mut report = CampaignReport::from_outcome(&outcome);
+    if cli.canonical {
+        report = report.canonical();
+    }
+
     if let Some(dir) = &cli.out_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
         let campaign_path = dir.join("campaign.json");
-        std::fs::write(&campaign_path, campaign_json(&outcome))
+        std::fs::write(&campaign_path, report.to_json().render())
             .map_err(|e| format!("cannot write {}: {e}", campaign_path.display()))?;
-        for scenario in &outcome.scenarios {
-            let path = dir.join(format!("{}.json", sanitize(&scenario.scenario.name)));
-            std::fs::write(&path, scenario_json(scenario))
+        for scenario in &report.scenarios {
+            let path = dir.join(format!("{}.json", sanitize(&scenario.scenario)));
+            std::fs::write(&path, scenario.to_json().render())
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         }
         eprintln!(
             "wrote campaign.json and {} scenario reports to {}",
-            outcome.scenarios.len(),
+            report.scenarios.len(),
             dir.display()
         );
     }
     if let Some(path) = &cli.cache_out {
-        let snapshot = cache.snapshot();
+        let snapshot = if cli.cache_compact {
+            let compacted = cache
+                .snapshot_touched()
+                .expect("--cache-compact runs over a tracking cache");
+            let total = cache.len();
+            eprintln!(
+                "compacted cache snapshot: kept {} of {} entries \
+                 (dropped {} unreachable from the configured grid)",
+                compacted.len(),
+                total,
+                total - compacted.len(),
+            );
+            compacted
+        } else {
+            cache.snapshot()
+        };
         snapshot
             .save(path)
             .map_err(|e| format!("cannot save cache snapshot: {e}"))?;
@@ -266,22 +344,10 @@ fn run(cli: Cli) -> Result<(), String> {
             .store_id
             .clone()
             .unwrap_or_else(|| format!("campaign-seed{}", engine.config().seed));
-        let report = campaign_json(&outcome);
-        let stored = match store.ingest(&id, &report) {
-            Ok(stored) => stored,
-            // same id already ingested (e.g. repeated smoke runs): suffix it
-            Err(fahana_runtime::StoreError::DuplicateId(_)) => {
-                let mut suffix = 2;
-                loop {
-                    match store.ingest(&format!("{id}-{suffix}"), &report) {
-                        Ok(stored) => break stored,
-                        Err(fahana_runtime::StoreError::DuplicateId(_)) => suffix += 1,
-                        Err(e) => return Err(e.to_string()),
-                    }
-                }
-            }
-            Err(e) => return Err(e.to_string()),
-        };
+        // suffix on collision (e.g. repeated smoke runs with one id)
+        let stored = store
+            .ingest_with_suffix(&id, &report.to_json().render())
+            .map_err(|e| e.to_string())?;
         eprintln!(
             "ingested campaign as `{}` into the artifact store at {}",
             stored.id,
@@ -289,7 +355,7 @@ fn run(cli: Cli) -> Result<(), String> {
         );
     }
     if cli.json {
-        println!("{}", campaign_json(&outcome));
+        println!("{}", report.to_json().render());
     }
     Ok(())
 }

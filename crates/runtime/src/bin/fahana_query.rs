@@ -15,6 +15,12 @@
 //! architectures are ranked by reward, and the accuracy/unfairness Pareto
 //! frontiers of every matching scenario are merged into one cross-campaign
 //! frontier.
+//!
+//! Exit codes are script-friendly: `0` — answered (even if constraints
+//! admit no candidate); `1` — runtime failure; `2` — usage error,
+//! including a device slug this build does not know; `4` — the device is
+//! known but the store holds no scenarios for it (the 404 of the CLI
+//! world: previously indistinguishable from an empty-but-covered answer).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -83,7 +89,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
-fn run(cli: Cli) -> Result<(), String> {
+/// Exit code for a device that is known to the build but absent from the
+/// store — scripts can tell "no data for this device" (4) apart from "no
+/// candidate satisfies the constraints" (0, empty answer) and from a slug
+/// typo (2, usage error).
+const EXIT_DEVICE_NOT_IN_STORE: u8 = 4;
+
+fn run(cli: Cli) -> Result<ExitCode, String> {
     let store = ArtifactStore::open(cli.store_dir.expect("validated in parse_cli"))
         .map_err(|e| e.to_string())?;
 
@@ -104,7 +116,7 @@ fn run(cli: Cli) -> Result<(), String> {
         let campaigns = store.campaigns().map_err(|e| e.to_string())?;
         if campaigns.is_empty() {
             eprintln!("store is empty — ingest reports with --ingest or fahana-campaign --store");
-            return Ok(());
+            return Ok(ExitCode::SUCCESS);
         }
         for campaign in &campaigns {
             println!(
@@ -126,14 +138,40 @@ fn run(cli: Cli) -> Result<(), String> {
                 );
             }
         }
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
 
-    let answer = store.query(&cli.query).map_err(|e| e.to_string())?;
+    let campaigns = store.campaigns().map_err(|e| e.to_string())?;
+    let answer = fahana_runtime::answer_query(&campaigns, &cli.query);
+
+    // a device the store covers in *no* scenario at all means it simply
+    // has no data for that (perfectly valid) device — a different
+    // situation from reward/freezing/constraint filters narrowing a
+    // covered device down to nothing, and one scripts need to detect
+    // without parsing JSON. Coverage is checked against the device alone,
+    // so other filters can never fake a "device missing" signal.
+    let exit = match cli.query.device {
+        Some(device)
+            if !campaigns.iter().any(|campaign| {
+                campaign
+                    .report
+                    .scenarios
+                    .iter()
+                    .any(|scenario| scenario.device_slug == device.slug())
+            }) =>
+        {
+            eprintln!(
+                "device `{}` is known but the store holds no scenarios for it",
+                device.slug()
+            );
+            ExitCode::from(EXIT_DEVICE_NOT_IN_STORE)
+        }
+        _ => ExitCode::SUCCESS,
+    };
 
     if cli.json {
         println!("{}", answer.to_json().render());
-        return Ok(());
+        return Ok(exit);
     }
 
     eprintln!(
@@ -142,7 +180,7 @@ fn run(cli: Cli) -> Result<(), String> {
     );
     if answer.candidates.is_empty() {
         println!("no architecture satisfies the constraints");
-        return Ok(());
+        return Ok(exit);
     }
     println!(
         "{:<28} {:>9} {:>9} {:>9} {:>9} {:>7}  provenance",
@@ -177,7 +215,7 @@ fn run(cli: Cli) -> Result<(), String> {
         "merged accuracy/unfairness frontier: {} points",
         answer.frontier.len()
     );
-    Ok(())
+    Ok(exit)
 }
 
 fn main() -> ExitCode {
@@ -190,7 +228,7 @@ fn main() -> ExitCode {
         }
     };
     match run(cli) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(exit) => exit,
         Err(message) => {
             eprintln!("fahana-query: {message}");
             ExitCode::FAILURE

@@ -1,0 +1,464 @@
+//! `fahana-shard` — fan a campaign out across worker processes and merge
+//! the partials back into one verified whole.
+//!
+//! ```text
+//! fahana-shard --shards N [--config FILE] [--out DIR] [--threads N]
+//!              [--episodes N] [--seed N] [--parallel-episodes]
+//!              [--cache-out FILE] [--store DIR] [--store-id ID]
+//!              [--ingest-url HOST:PORT] [--canonical] [--json]
+//!              [--keep-partials] [--worker-bin PATH]
+//! ```
+//!
+//! The coordinator half of sharded execution (plan → partition → execute
+//! → merge):
+//!
+//! 1. derive the [`CampaignPlan`] from the config — the same plan every
+//!    worker derives, so nothing but the config and `I/N` crosses the
+//!    process boundary;
+//! 2. spawn `N` `fahana-campaign --shard I/N` workers, each writing a
+//!    partial report and cache snapshot into its own directory;
+//! 3. merge: partial cache snapshots union ([`CacheSnapshot::merge`]),
+//!    partial reports fuse in plan order ([`CampaignReport::merge`]);
+//! 4. publish: write the merged `campaign.json` (and `--cache-out`
+//!    snapshot), optionally ingest into an artifact store (`--store`) or
+//!    POST to a running `fahana-serve` (`--ingest-url`, reusing one
+//!    keep-alive connection).
+//!
+//! The merge is verification, not just bookkeeping: scenario overlaps or
+//! gaps between shards abort with a typed error, and the merged canonical
+//! report is byte-identical to a single-process run of the same config
+//! (pinned by `tests/determinism.rs` and the CI sharded smoke job).
+//!
+//! Workers default to the `fahana-campaign` binary sitting next to this
+//! one; `--worker-bin` (or the `FAHANA_CAMPAIGN_BIN` environment
+//! variable) points elsewhere — e.g. at a release build — without moving
+//! files around.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, ExitCode, Stdio};
+
+use fahana_runtime::serve::client_roundtrip;
+use fahana_runtime::{
+    ArtifactStore, CacheSnapshot, CampaignConfig, CampaignPlan, CampaignReport, Json,
+};
+
+struct Cli {
+    shards: usize,
+    config_path: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
+    threads: Option<usize>,
+    episodes: Option<usize>,
+    seed: Option<u64>,
+    parallel_episodes: bool,
+    cache_out: Option<PathBuf>,
+    store_dir: Option<PathBuf>,
+    store_id: Option<String>,
+    ingest_url: Option<String>,
+    canonical: bool,
+    json: bool,
+    keep_partials: bool,
+    worker_bin: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: fahana-shard --shards N [--config FILE] [--out DIR] \
+     [--threads N] [--episodes N] [--seed N] [--parallel-episodes] \
+     [--cache-out FILE] [--store DIR] [--store-id ID] \
+     [--ingest-url HOST:PORT] [--canonical] [--json] [--keep-partials] \
+     [--worker-bin PATH]"
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        shards: 0,
+        config_path: None,
+        out_dir: None,
+        threads: None,
+        episodes: None,
+        seed: None,
+        parallel_episodes: false,
+        cache_out: None,
+        store_dir: None,
+        store_id: None,
+        ingest_url: None,
+        canonical: false,
+        json: false,
+        keep_partials: false,
+        worker_bin: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        let number = |flag: &str, value: &str| -> Result<usize, String> {
+            value
+                .parse()
+                .map_err(|_| format!("{flag} expects a number, got `{value}`"))
+        };
+        match arg.as_str() {
+            "--shards" => {
+                let value = value_of("--shards")?;
+                cli.shards = number("--shards", value)?;
+            }
+            "--config" => cli.config_path = Some(PathBuf::from(value_of("--config")?)),
+            "--out" => cli.out_dir = Some(PathBuf::from(value_of("--out")?)),
+            "--threads" => {
+                let value = value_of("--threads")?;
+                cli.threads = Some(number("--threads", value)?);
+            }
+            "--episodes" => {
+                let value = value_of("--episodes")?;
+                cli.episodes = Some(number("--episodes", value)?);
+            }
+            "--seed" => {
+                let value = value_of("--seed")?;
+                cli.seed = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--seed expects a number, got `{value}`"))?,
+                );
+            }
+            "--parallel-episodes" => cli.parallel_episodes = true,
+            "--cache-out" => cli.cache_out = Some(PathBuf::from(value_of("--cache-out")?)),
+            "--store" => cli.store_dir = Some(PathBuf::from(value_of("--store")?)),
+            "--store-id" => {
+                // fail now, not after N worker campaigns have run — and the
+                // accepted charset is URL-safe, so the id can go into the
+                // `POST /ingest?id=` query string verbatim
+                let value = value_of("--store-id")?;
+                if value.is_empty()
+                    || !value
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+                {
+                    return Err(format!(
+                        "--store-id must use letters, digits, `-`, `_` or `.`, got `{value}`"
+                    ));
+                }
+                cli.store_id = Some(value.to_string());
+            }
+            "--ingest-url" => cli.ingest_url = Some(value_of("--ingest-url")?.to_string()),
+            "--canonical" => cli.canonical = true,
+            "--json" => cli.json = true,
+            "--keep-partials" => cli.keep_partials = true,
+            "--worker-bin" => cli.worker_bin = Some(PathBuf::from(value_of("--worker-bin")?)),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if cli.shards == 0 {
+        return Err(format!("--shards N (N >= 1) is required\n{}", usage()));
+    }
+    Ok(cli)
+}
+
+/// The `fahana-campaign` binary workers run: `--worker-bin`, then the
+/// `FAHANA_CAMPAIGN_BIN` environment variable, then the sibling of this
+/// executable.
+fn worker_binary(cli: &Cli) -> Result<PathBuf, String> {
+    if let Some(path) = &cli.worker_bin {
+        return Ok(path.clone());
+    }
+    if let Some(path) = std::env::var_os("FAHANA_CAMPAIGN_BIN") {
+        return Ok(PathBuf::from(path));
+    }
+    let me = std::env::current_exe().map_err(|e| format!("cannot locate this binary: {e}"))?;
+    let sibling = me.with_file_name(format!("fahana-campaign{}", std::env::consts::EXE_SUFFIX));
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err(format!(
+            "no fahana-campaign next to {} — pass --worker-bin or set FAHANA_CAMPAIGN_BIN",
+            me.display()
+        ))
+    }
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    let config = match &cli.config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let mut config = CampaignConfig::parse(&text).map_err(|e| e.to_string())?;
+            apply_overrides(&mut config, &cli);
+            config
+        }
+        None => {
+            let mut config = CampaignConfig::default();
+            apply_overrides(&mut config, &cli);
+            config
+        }
+    };
+    // the coordinator derives the plan only to know the merge order and
+    // to fail fast on an invalid grid; workers re-derive it themselves
+    let plan = CampaignPlan::new(config).map_err(|e| e.to_string())?;
+    if !plan.config().use_cache {
+        // workers are always asked for --cache-out, which a disabled cache
+        // cannot honor; fail here instead of N times in the workers
+        return Err(
+            "sharded runs need the evaluation cache (`cache = off` in the config \
+                    conflicts with merging per-shard snapshots)"
+                .into(),
+        );
+    }
+    let worker_bin = worker_binary(&cli)?;
+
+    let work_dir = match &cli.out_dir {
+        Some(dir) => dir.clone(),
+        None => std::env::temp_dir().join(format!("fahana-shard-{}", std::process::id())),
+    };
+    let shards_dir = work_dir.join("shards");
+    std::fs::create_dir_all(&shards_dir)
+        .map_err(|e| format!("cannot create {}: {e}", shards_dir.display()))?;
+
+    eprintln!(
+        "fanning {} scenarios out across {} worker processes ({})",
+        plan.len(),
+        cli.shards,
+        worker_bin.display()
+    );
+    let mut workers: Vec<(usize, PathBuf, std::process::Child)> = Vec::with_capacity(cli.shards);
+    for index in 0..cli.shards {
+        let shard_dir = shards_dir.join(format!("shard-{}", index + 1));
+        std::fs::create_dir_all(&shard_dir)
+            .map_err(|e| format!("cannot create {}: {e}", shard_dir.display()))?;
+        let mut command = Command::new(&worker_bin);
+        command
+            .arg("--shard")
+            .arg(format!("{}/{}", index + 1, cli.shards))
+            .arg("--out")
+            .arg(&shard_dir)
+            .arg("--cache-out")
+            .arg(shard_dir.join("cache.fsnap"));
+        if let Some(path) = &cli.config_path {
+            command.arg("--config").arg(path);
+        }
+        if let Some(threads) = cli.threads {
+            command.arg("--threads").arg(threads.to_string());
+        }
+        if let Some(episodes) = cli.episodes {
+            command.arg("--episodes").arg(episodes.to_string());
+        }
+        if let Some(seed) = cli.seed {
+            command.arg("--seed").arg(seed.to_string());
+        }
+        if cli.parallel_episodes {
+            command.arg("--parallel-episodes");
+        }
+        let child = match command.stdout(Stdio::null()).stderr(Stdio::piped()).spawn() {
+            Ok(child) => child,
+            Err(e) => {
+                // do not leave already-spawned workers running as orphans
+                for (_, _, child) in workers.iter_mut() {
+                    child.kill().ok();
+                    child.wait().ok();
+                }
+                return Err(format!("cannot spawn {}: {e}", worker_bin.display()));
+            }
+        };
+        workers.push((index + 1, shard_dir, child));
+    }
+
+    // collect every worker before reporting a failure: the first error is
+    // remembered, the still-running siblings are killed and reaped, and
+    // only then does the coordinator bail — no orphan keeps burning CPU
+    // on a campaign nobody will merge
+    let mut parts = Vec::with_capacity(cli.shards);
+    let mut merged_snapshot = CacheSnapshot::new();
+    let mut failure: Option<String> = None;
+    for (shard, shard_dir, mut child) in workers {
+        if failure.is_some() {
+            child.kill().ok();
+            child.wait().ok();
+            continue;
+        }
+        let collect = |merged_snapshot: &mut CacheSnapshot,
+                       parts: &mut Vec<CampaignReport>|
+         -> Result<(), String> {
+            let output = child
+                .wait_with_output()
+                .map_err(|e| format!("shard {shard}/{}: wait failed: {e}", cli.shards))?;
+            if !output.status.success() {
+                return Err(format!(
+                    "shard {shard}/{} failed with {}\n{}",
+                    cli.shards,
+                    output.status,
+                    String::from_utf8_lossy(&output.stderr)
+                ));
+            }
+            let report_path = shard_dir.join("campaign.json");
+            let text = std::fs::read_to_string(&report_path)
+                .map_err(|e| format!("cannot read {}: {e}", report_path.display()))?;
+            parts.push(
+                CampaignReport::parse(&text)
+                    .map_err(|e| format!("shard {shard} report {}: {e}", report_path.display()))?,
+            );
+            let snapshot_path = shard_dir.join("cache.fsnap");
+            let snapshot = CacheSnapshot::load(&snapshot_path)
+                .map_err(|e| format!("cannot load {}: {e}", snapshot_path.display()))?;
+            let outcome = merged_snapshot.merge(&snapshot);
+            if outcome.conflicts > 0 {
+                // deterministic evaluation means identical keys carry
+                // identical values; a conflict is a fingerprint collision
+                // or build skew
+                eprintln!(
+                    "warning: shard {shard} snapshot had {} conflicting entries (kept first sighting)",
+                    outcome.conflicts
+                );
+            }
+            Ok(())
+        };
+        if let Err(message) = collect(&mut merged_snapshot, &mut parts) {
+            failure = Some(message);
+        }
+    }
+    if let Some(message) = failure {
+        return Err(message);
+    }
+
+    let mut merged =
+        CampaignReport::merge(&parts, &plan.order()).map_err(|e| format!("merge failed: {e}"))?;
+    // the per-part sum double-counts entries shards evaluated in common;
+    // the merged snapshot knows the true distinct count
+    merged.cache_entries = merged_snapshot.len() as u64;
+    if cli.canonical {
+        merged = merged.canonical();
+    }
+    let merged_json = merged.to_json().render();
+
+    // the merged report only lands on disk when the caller asked for an
+    // output directory; publish-only runs keep it in memory (advertising
+    // a temp path that the cleanup below would delete again helps nobody)
+    match &cli.out_dir {
+        Some(_) => {
+            let campaign_path = work_dir.join("campaign.json");
+            std::fs::write(&campaign_path, &merged_json)
+                .map_err(|e| format!("cannot write {}: {e}", campaign_path.display()))?;
+            eprintln!(
+                "merged {} partial reports ({} scenarios) into {}",
+                parts.len(),
+                merged.scenarios.len(),
+                campaign_path.display()
+            );
+        }
+        None => eprintln!(
+            "merged {} partial reports ({} scenarios)",
+            parts.len(),
+            merged.scenarios.len(),
+        ),
+    }
+
+    if let Some(path) = &cli.cache_out {
+        merged_snapshot
+            .save(path)
+            .map_err(|e| format!("cannot save merged cache snapshot: {e}"))?;
+        eprintln!(
+            "merged cache snapshot: {} entries to {}",
+            merged_snapshot.len(),
+            path.display()
+        );
+    }
+
+    let id = cli
+        .store_id
+        .clone()
+        .unwrap_or_else(|| format!("sharded-seed{}", plan.config().seed));
+    if let Some(dir) = &cli.store_dir {
+        let store = ArtifactStore::open(dir).map_err(|e| e.to_string())?;
+        // suffix on collision (repeated nightly runs): never discard a
+        // whole N-worker campaign over a taken id
+        let stored = store
+            .ingest_with_suffix(&id, &merged_json)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "ingested merged campaign as `{}` into the artifact store at {}",
+            stored.id,
+            store.root().display()
+        );
+    }
+    if let Some(url) = &cli.ingest_url {
+        // one keep-alive connection carries the publish (with the same
+        // duplicate-id suffix fallback as the --store path — a repeated
+        // nightly publish must not discard a whole N-worker campaign over
+        // a 409) and its verification read-back
+        let mut stream = TcpStream::connect(url.as_str())
+            .map_err(|e| format!("cannot connect to {url}: {e}"))?;
+        let mut suffix = 1;
+        let published_id = loop {
+            let attempt_id = if suffix == 1 {
+                id.clone()
+            } else {
+                format!("{id}-{suffix}")
+            };
+            let target = format!("/ingest?id={attempt_id}");
+            let (status, body) =
+                client_roundtrip(&mut stream, "POST", &target, merged_json.as_bytes())
+                    .map_err(|e| format!("POST {target} to {url}: {e}"))?;
+            match status {
+                201 => break attempt_id,
+                409 => suffix += 1,
+                _ => return Err(format!("POST {target} to {url} answered {status}: {body}")),
+            }
+        };
+        let (status, body) = client_roundtrip(&mut stream, "GET", "/healthz", b"")
+            .map_err(|e| format!("GET /healthz on {url}: {e}"))?;
+        let campaigns = Json::parse(&body)
+            .ok()
+            .and_then(|health| health.get("campaigns").and_then(Json::as_i64))
+            .unwrap_or(-1);
+        eprintln!(
+            "published merged campaign as `{published_id}` to {url} \
+             (healthz {status}: {campaigns} campaigns served)"
+        );
+    }
+
+    if !cli.keep_partials {
+        std::fs::remove_dir_all(&shards_dir).ok();
+        if cli.out_dir.is_none() {
+            // nobody asked for the merged files on disk; do not leak a
+            // per-pid temp directory on every publish-only invocation
+            std::fs::remove_dir_all(&work_dir).ok();
+        }
+    }
+    if cli.json {
+        println!("{merged_json}");
+    }
+    Ok(())
+}
+
+fn apply_overrides(config: &mut CampaignConfig, cli: &Cli) {
+    if let Some(threads) = cli.threads {
+        config.threads = threads;
+    }
+    if let Some(episodes) = cli.episodes {
+        config.episodes = episodes;
+    }
+    if let Some(seed) = cli.seed {
+        config.seed = seed;
+    }
+    if cli.parallel_episodes {
+        config.parallel_episodes = true;
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fahana-shard: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,9 +15,9 @@
 //! the frozen-block count and the evaluator's configuration, so evaluators
 //! calibrated for different datasets never alias.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use archspace::Architecture;
 use evaluator::{Evaluate, FairnessEvaluation, SurrogateEvaluator};
@@ -126,12 +126,56 @@ pub struct EvalCache {
     entries: RwLock<HashMap<CacheKey, FairnessEvaluation>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// When present, every key a lookup touched (hit or fresh insert) is
+    /// recorded — the reachability set snapshot compaction retains.
+    /// Absorbed-but-never-consulted entries are deliberately *not*
+    /// recorded; they are exactly what compaction drops.
+    touched: Option<Mutex<HashSet<CacheKey>>>,
 }
 
 impl EvalCache {
     /// An empty cache.
     pub fn new() -> Self {
         EvalCache::default()
+    }
+
+    /// An empty cache that records which keys lookups touch, for
+    /// snapshot compaction
+    /// ([`EvalCache::snapshot_touched`](crate::snapshot)). Tracking costs
+    /// one mutex insert per lookup, so it is opt-in.
+    pub fn with_tracking() -> Self {
+        EvalCache {
+            touched: Some(Mutex::new(HashSet::new())),
+            ..EvalCache::default()
+        }
+    }
+
+    /// Whether this cache records touched keys.
+    pub fn is_tracking(&self) -> bool {
+        self.touched.is_some()
+    }
+
+    fn record_touch(&self, key: CacheKey) {
+        if let Some(touched) = &self.touched {
+            touched.lock().expect("touch set poisoned").insert(key);
+        }
+    }
+
+    /// Every touched entry (key + evaluation), or `None` without tracking.
+    pub(crate) fn touched_entries(&self) -> Option<Vec<(CacheKey, FairnessEvaluation)>> {
+        let touched = self.touched.as_ref()?;
+        let touched = touched.lock().expect("touch set poisoned");
+        let entries = self.entries.read().expect("eval cache poisoned");
+        Some(
+            touched
+                .iter()
+                .filter_map(|key| {
+                    entries
+                        .get(key)
+                        .map(|evaluation| (*key, evaluation.clone()))
+                })
+                .collect(),
+        )
     }
 
     /// Number of memoised evaluations.
@@ -153,11 +197,16 @@ impl EvalCache {
     }
 
     fn get(&self, key: &CacheKey) -> Option<FairnessEvaluation> {
-        self.entries
+        let hit = self
+            .entries
             .read()
             .expect("eval cache poisoned")
             .get(key)
-            .cloned()
+            .cloned();
+        if hit.is_some() {
+            self.record_touch(*key);
+        }
+        hit
     }
 
     fn insert(&self, key: CacheKey, evaluation: FairnessEvaluation) {
@@ -165,6 +214,7 @@ impl EvalCache {
             .write()
             .expect("eval cache poisoned")
             .insert(key, evaluation);
+        self.record_touch(key);
     }
 
     /// Copies every entry out, for snapshotting (see [`crate::snapshot`]).
@@ -362,6 +412,22 @@ mod tests {
         cached.evaluate_with_frozen(&b, 0).unwrap();
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn tracking_records_consulted_keys_only_when_enabled() {
+        assert!(!EvalCache::new().is_tracking());
+        assert!(EvalCache::new().touched_entries().is_none());
+
+        let cache = Arc::new(EvalCache::with_tracking());
+        assert!(cache.is_tracking());
+        let mut cached = CachedEvaluator::surrogate(SurrogateEvaluator::default(), cache.clone());
+        let arch = zoo::paper_fahana_small(5, 64);
+        cached.evaluate_with_frozen(&arch, 0).unwrap(); // miss: inserted → touched
+        cached.evaluate_with_frozen(&arch, 0).unwrap(); // hit: same key
+        let touched = cache.touched_entries().unwrap();
+        assert_eq!(touched.len(), 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

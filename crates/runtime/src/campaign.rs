@@ -164,16 +164,61 @@ impl CampaignEngine {
     ///
     /// As [`CampaignEngine::run`].
     pub fn run_with_cache(&self, cache: Arc<EvalCache>) -> Result<CampaignOutcome> {
-        let scenarios = self.config.expand();
+        self.run_scenarios(self.config.expand(), cache)
+    }
+
+    /// Runs one shard's slice of the grid — the worker half of sharded
+    /// execution: the scenarios that [`crate::shard::shard_of`] assigns to
+    /// `shard` run here exactly as they would inside a whole-grid run,
+    /// and everything else is skipped.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignEngine::run`].
+    pub fn run_shard(
+        &self,
+        shard: crate::ShardSpec,
+        cache: Arc<EvalCache>,
+    ) -> Result<CampaignOutcome> {
+        let plan = crate::CampaignPlan::new(self.config.clone())?;
+        self.run_scenarios(plan.slice(shard), cache)
+    }
+
+    /// Runs an explicit scenario list (a plan slice) over a caller-provided
+    /// cache. This is the execution core behind [`CampaignEngine::run`],
+    /// [`CampaignEngine::run_with_cache`] and [`CampaignEngine::run_shard`]:
+    /// each scenario's search is a pure function of (scenario, campaign
+    /// settings), so running a slice produces bit-identical per-scenario
+    /// outcomes to running the whole grid.
+    ///
+    /// An empty slice (a shard that owns no cells of a small grid) is
+    /// valid and yields an outcome with no scenarios.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignEngine::run`].
+    pub fn run_scenarios(
+        &self,
+        scenarios: Vec<Scenario>,
+        cache: Arc<EvalCache>,
+    ) -> Result<CampaignOutcome> {
+        if scenarios.is_empty() {
+            return Ok(CampaignOutcome {
+                scenarios: Vec::new(),
+                cache: cache.stats(),
+                cache_entries: cache.len(),
+                wall_clock: Duration::ZERO,
+                threads: self.pool.threads(),
+            });
+        }
         // every grid cell shares samples/image_size/seed, so the synthetic
         // dataset is generated once and injected into each search
         let dataset =
             Arc::new(dermsim::DermatologyGenerator::new(self.config.dataset_config()).generate());
-        let tables: HashMap<DeviceKind, SharedBlockLatencyTable> = self
-            .config
-            .devices
+        let tables: HashMap<DeviceKind, SharedBlockLatencyTable> = scenarios
             .iter()
-            .map(|&kind| {
+            .map(|scenario| scenario.device)
+            .map(|kind| {
                 (
                     kind,
                     SharedBlockLatencyTable::new(DeviceProfile::for_kind(kind)),

@@ -18,6 +18,13 @@
 //! * [`campaign`] — the engine that expands a grid and runs every scenario
 //!   on the pool, sharing per-device latency tables
 //!   ([`edgehw::SharedBlockLatencyTable`]) and the evaluation cache;
+//! * [`plan`] / [`shard`] — the plan → partition half of sharded
+//!   execution: a [`CampaignPlan`] enumerates grid cells deterministically
+//!   and slices them into `N` shards by stable name hash, so independent
+//!   worker processes (`fahana-campaign --shard I/N`, fanned out by the
+//!   `fahana-shard` coordinator) jointly cover the grid exactly once and
+//!   their partial reports and cache snapshots merge back bit-identically
+//!   to a single-process run;
 //! * [`report`] — hand-rolled JSON reports (best architecture, Pareto
 //!   frontier, wall-clock, cache hit-rate) for each scenario and the
 //!   campaign as a whole, with a parser and typed schema structs so
@@ -40,19 +47,26 @@
 
 pub mod cache;
 pub mod campaign;
+pub mod plan;
 pub mod pool;
 pub mod report;
 pub mod scenario;
 pub mod serve;
+pub mod shard;
 pub mod snapshot;
 pub mod store;
 
 pub use cache::{CacheStats, CachedEvaluator, EvalCache};
 pub use campaign::{CampaignEngine, CampaignOutcome, PooledBatchEvaluator, ScenarioOutcome};
+pub use plan::CampaignPlan;
 pub use pool::ThreadPool;
-pub use report::{campaign_json, scenario_json, CampaignReport, Json, ReportError, ScenarioReport};
+pub use report::{
+    campaign_json, scenario_json, CampaignReport, Json, ReportError, ReportMergeError,
+    ScenarioReport,
+};
 pub use scenario::{CampaignConfig, RewardSetting, Scenario};
 pub use serve::{Server, ServerHandle, StoreView};
+pub use shard::{shard_of, ShardSpec};
 pub use snapshot::{CacheSnapshot, MergeOutcome, SnapshotError};
 pub use store::{
     answer_query, catalog_json, leaderboard, ArtifactStore, Candidate, Leaderboard, QueryAnswer,

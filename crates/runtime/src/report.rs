@@ -506,6 +506,41 @@ pub struct CampaignReport {
     pub scenarios: Vec<ScenarioReport>,
 }
 
+/// Failure to fuse partial (per-shard) campaign reports into one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportMergeError {
+    /// Two partial reports both carry this scenario — the shards
+    /// overlapped, so the fusion would double-count.
+    DuplicateScenario(String),
+    /// A partial report carries a scenario the ordering template does not
+    /// know — it belongs to a different plan.
+    UnexpectedScenario(String),
+    /// The ordering template expects a scenario no partial report
+    /// produced — a shard is missing or failed.
+    MissingScenario(String),
+}
+
+impl std::fmt::Display for ReportMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportMergeError::DuplicateScenario(name) => {
+                write!(
+                    f,
+                    "scenario `{name}` appears in more than one partial report"
+                )
+            }
+            ReportMergeError::UnexpectedScenario(name) => {
+                write!(f, "scenario `{name}` is not part of the campaign plan")
+            }
+            ReportMergeError::MissingScenario(name) => {
+                write!(f, "no partial report covers scenario `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportMergeError {}
+
 impl ScenarioReport {
     /// Projects a live [`ScenarioOutcome`] onto the report schema.
     pub fn from_outcome(outcome: &ScenarioOutcome) -> Self {
@@ -625,6 +660,20 @@ impl ScenarioReport {
             )?,
         })
     }
+
+    /// The deterministic projection of the report: wall-clock and cache
+    /// counters — the only fields that legitimately differ between a
+    /// single-process run and a sharded one (shards do not share a live
+    /// cache, so per-scenario hit counts shift) — are zeroed; everything
+    /// the search actually decided is kept verbatim. Two runs of the same
+    /// scenario agree on their canonical forms byte-for-byte.
+    pub fn canonical(&self) -> ScenarioReport {
+        ScenarioReport {
+            wall_clock_ms: 0.0,
+            cache: CacheStats::default(),
+            ..self.clone()
+        }
+    }
 }
 
 impl CampaignReport {
@@ -698,6 +747,84 @@ impl CampaignReport {
             cache_entries: u64_field(&value, "", "cache_entries")?,
             scenarios,
         })
+    }
+
+    /// Fuses partial (per-shard) reports into one campaign report whose
+    /// scenarios follow `order` — the plan-order name list from
+    /// [`crate::CampaignPlan::order`], so the fused report is ordered
+    /// exactly like a single-process run of the whole grid.
+    ///
+    /// Scenario reports are moved verbatim (NaN metrics and all — they
+    /// re-render byte-identically). The campaign-level aggregates are
+    /// recomputed: `threads` and `wall_clock_ms` take the maximum across
+    /// parts (shards run concurrently), cache hits/misses sum, and
+    /// `cache_entries` sums — an upper bound on distinct entries, since
+    /// shards may have evaluated the same architecture independently;
+    /// coordinators that merge the actual snapshots should overwrite it
+    /// with the merged snapshot's length.
+    ///
+    /// # Errors
+    ///
+    /// [`ReportMergeError`] when shards overlap, cover unknown scenarios,
+    /// or leave plan entries uncovered.
+    pub fn merge(
+        parts: &[CampaignReport],
+        order: &[String],
+    ) -> Result<CampaignReport, ReportMergeError> {
+        let mut by_name: std::collections::HashMap<&str, &ScenarioReport> =
+            std::collections::HashMap::new();
+        for part in parts {
+            for scenario in &part.scenarios {
+                if by_name
+                    .insert(scenario.scenario.as_str(), scenario)
+                    .is_some()
+                {
+                    return Err(ReportMergeError::DuplicateScenario(
+                        scenario.scenario.clone(),
+                    ));
+                }
+            }
+        }
+        let mut scenarios = Vec::with_capacity(order.len());
+        for name in order {
+            match by_name.remove(name.as_str()) {
+                Some(scenario) => scenarios.push(scenario.clone()),
+                None => return Err(ReportMergeError::MissingScenario(name.clone())),
+            }
+        }
+        if let Some(name) = by_name.keys().min() {
+            return Err(ReportMergeError::UnexpectedScenario((*name).to_string()));
+        }
+        Ok(CampaignReport {
+            threads: parts.iter().map(|p| p.threads).max().unwrap_or(0),
+            wall_clock_ms: parts.iter().map(|p| p.wall_clock_ms).fold(0.0f64, f64::max),
+            cache: CacheStats {
+                hits: parts.iter().map(|p| p.cache.hits).sum(),
+                misses: parts.iter().map(|p| p.cache.misses).sum(),
+            },
+            cache_entries: parts.iter().map(|p| p.cache_entries).sum(),
+            scenarios,
+        })
+    }
+
+    /// The deterministic projection of the whole report (see
+    /// [`ScenarioReport::canonical`]): scheduling-dependent aggregates —
+    /// threads, wall-clock, cache counters and entry count — are zeroed,
+    /// scenarios are canonicalized in place. A sharded run's merged
+    /// report and a single-process run of the same grid have
+    /// byte-identical canonical renderings.
+    pub fn canonical(&self) -> CampaignReport {
+        CampaignReport {
+            threads: 0,
+            wall_clock_ms: 0.0,
+            cache: CacheStats::default(),
+            cache_entries: 0,
+            scenarios: self
+                .scenarios
+                .iter()
+                .map(ScenarioReport::canonical)
+                .collect(),
+        }
     }
 }
 
@@ -1040,6 +1167,111 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("valid_ratio"), "{err}");
+    }
+
+    /// A partial report holding exactly the given scenarios of `outcome`.
+    fn partial(outcome: &CampaignOutcome, indices: &[usize]) -> CampaignReport {
+        let mut report = CampaignReport::from_outcome(outcome);
+        report.scenarios = indices
+            .iter()
+            .map(|&index| report.scenarios[index].clone())
+            .collect();
+        report
+    }
+
+    fn two_scenario_outcome() -> CampaignOutcome {
+        use crate::scenario::CampaignConfig;
+        use crate::CampaignEngine;
+
+        CampaignEngine::new(CampaignConfig {
+            episodes: 3,
+            samples: 120,
+            threads: 2,
+            devices: vec![edgehw::DeviceKind::RaspberryPi4],
+            rewards: vec![crate::RewardSetting::balanced()],
+            freezing: vec![true, false],
+            ..CampaignConfig::default()
+        })
+        .unwrap()
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn merge_fuses_partials_in_plan_order() {
+        let outcome = two_scenario_outcome();
+        let whole = CampaignReport::from_outcome(&outcome);
+        let order: Vec<String> = whole.scenarios.iter().map(|s| s.scenario.clone()).collect();
+        // partials arrive out of order; the merge restores plan order
+        let parts = [partial(&outcome, &[1]), partial(&outcome, &[0])];
+        let merged = CampaignReport::merge(&parts, &order).unwrap();
+        assert_eq!(merged.scenarios, whole.scenarios);
+        assert_eq!(merged.cache.hits, parts[0].cache.hits + parts[1].cache.hits);
+        assert_eq!(merged.threads, whole.threads);
+        // scenario payloads moved verbatim
+        assert_eq!(
+            merged.scenarios[0].to_json().render(),
+            whole.scenarios[0].to_json().render()
+        );
+        // canonical forms of merged and whole agree byte-for-byte (the
+        // aggregates differ — each partial recounted the shared cache)
+        assert_eq!(
+            merged.canonical().to_json().render(),
+            whole.canonical().to_json().render()
+        );
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_missing_and_unexpected_scenarios() {
+        let outcome = two_scenario_outcome();
+        let whole = CampaignReport::from_outcome(&outcome);
+        let order: Vec<String> = whole.scenarios.iter().map(|s| s.scenario.clone()).collect();
+
+        // the same scenario in two shards → typed duplicate error
+        let err = CampaignReport::merge(
+            &[partial(&outcome, &[0, 1]), partial(&outcome, &[1])],
+            &order,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ReportMergeError::DuplicateScenario(order[1].clone()),
+            "{err}"
+        );
+
+        // a shard never reported → typed missing error
+        let err = CampaignReport::merge(&[partial(&outcome, &[0])], &order).unwrap_err();
+        assert_eq!(err, ReportMergeError::MissingScenario(order[1].clone()));
+
+        // a scenario outside the plan → typed unexpected error
+        let err = CampaignReport::merge(&[partial(&outcome, &[0, 1])], &order[..1]).unwrap_err();
+        assert_eq!(err, ReportMergeError::UnexpectedScenario(order[1].clone()));
+    }
+
+    #[test]
+    fn nan_metrics_survive_merge_byte_identically() {
+        let outcome = two_scenario_outcome();
+        let whole = CampaignReport::from_outcome(&outcome);
+        let order: Vec<String> = whole.scenarios.iter().map(|s| s.scenario.clone()).collect();
+        let mut left = partial(&outcome, &[0]);
+        left.scenarios[0].valid_ratio = f64::NAN;
+        left.scenarios[0].modelled_search_hours = f64::INFINITY;
+        let before = left.scenarios[0].to_json().render();
+        assert!(before.contains(r#""valid_ratio":null"#), "{before}");
+
+        let merged = CampaignReport::merge(&[left, partial(&outcome, &[1])], &order).unwrap();
+        assert!(merged.scenarios[0].valid_ratio.is_nan());
+        assert_eq!(
+            merged.scenarios[0].to_json().render(),
+            before,
+            "NaN scenario must re-render byte-identically after the merge"
+        );
+        // and the fused document round-trips as a whole
+        let text = merged.to_json().render();
+        assert_eq!(
+            CampaignReport::parse(&text).unwrap().to_json().render(),
+            text
+        );
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Minimal std-only HTTP/1.1 plumbing for `fahana-serve`.
 //!
 //! The offline build has no hyper/axum (see `vendor/README.md`), so this
-//! module hand-rolls exactly the slice of RFC 9112 the daemon needs: one
-//! request per connection (`Connection: close`), request-line + headers +
-//! `Content-Length` bodies, percent-decoded paths and query strings, and
-//! JSON responses. Bounds are enforced while *reading* (not after), so a
-//! hostile peer cannot balloon memory with an oversized header block or
-//! body.
+//! module hand-rolls exactly the slice of RFC 9112 the daemon needs:
+//! request-line + headers + `Content-Length` bodies, percent-decoded paths
+//! and query strings, JSON responses, and HTTP/1.1 keep-alive (sequential
+//! reuse — a client that waits for each response before sending the next
+//! request, like the `fahana-shard` coordinator's ingest bursts; pipelined
+//! requests are not supported and may be dropped). Bounds are enforced
+//! while *reading* (not after), so a hostile peer cannot balloon memory
+//! with an oversized header block or body.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -27,6 +29,11 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the connection should stay open for the next request:
+    /// HTTP/1.1 defaults to `true`, HTTP/1.0 to `false`, and an explicit
+    /// `Connection: keep-alive` / `Connection: close` header overrides
+    /// either way.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -51,19 +58,37 @@ impl std::fmt::Display for BadRequest {
 
 /// Reads one request from the stream.
 ///
+/// `Ok(None)` means the connection ended cleanly before the first byte of
+/// a request — the peer closed a kept-alive connection, or let it idle
+/// past the read timeout. That is the normal end of connection reuse, not
+/// an error, so no 4xx should be written for it.
+///
 /// # Errors
 ///
 /// [`BadRequest`] on malformed request lines, oversized heads/bodies, or
 /// an underful body (peer hung up early).
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadRequest> {
     // the whole head is read through a `take`, so a peer streaming an
     // endless request line (or header block) hits the cap mid-read and
     // can never make `read_line` buffer more than MAX_HEAD_BYTES
     let mut reader = BufReader::new((&mut *stream).take(MAX_HEAD_BYTES as u64));
     let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| BadRequest(format!("cannot read request line: {e}")))?;
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None), // clean EOF between requests
+        Ok(_) => {}
+        // an idle keep-alive connection hitting the read timeout with no
+        // request bytes on the wire is a quiet close, not a bad request
+        Err(e)
+            if line.is_empty()
+                && matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+        {
+            return Ok(None)
+        }
+        Err(e) => return Err(BadRequest(format!("cannot read request line: {e}"))),
+    }
     let request_line = line.trim_end_matches(['\r', '\n']).to_string();
 
     let mut parts = request_line.split(' ');
@@ -76,17 +101,18 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
         .next()
         .ok_or_else(|| BadRequest(format!("request line `{request_line}` has no target")))?
         .to_string();
-    match parts.next() {
-        Some(version) if version.starts_with("HTTP/1.") => {}
+    let mut keep_alive = match parts.next() {
+        // keep-alive is the HTTP/1.1 default; 1.0 defaults to close
+        Some(version) if version.starts_with("HTTP/1.") => version != "HTTP/1.0",
         other => {
             return Err(BadRequest(format!(
                 "unsupported protocol `{}`",
                 other.unwrap_or("<missing>")
             )))
         }
-    }
+    };
 
-    // headers: only Content-Length matters to this server
+    // headers: only Content-Length and Connection matter to this server
     let mut content_length = 0usize;
     let mut terminated = false;
     loop {
@@ -108,6 +134,16 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
                     .trim()
                     .parse()
                     .map_err(|_| BadRequest(format!("bad Content-Length `{}`", value.trim())))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                // token list, case-insensitive (`keep-alive`, `close`)
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        keep_alive = false;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
             }
         }
     }
@@ -140,12 +176,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
     }
 
     let (path, query) = split_target(&target)?;
-    Ok(Request {
+    Ok(Some(Request {
         method,
         path,
         query,
         body,
-    })
+        keep_alive,
+    }))
 }
 
 /// Splits a request target into its decoded path and query parameters.
@@ -225,22 +262,90 @@ impl Response {
         Response { status, body }
     }
 
-    /// Writes the response (status line, headers, body) to the stream.
+    /// Writes the response (status line, headers, body) to the stream,
+    /// advertising whether the server will keep the connection open for
+    /// another request.
     ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error (peer gone, etc.).
-    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             status_text(self.status),
             self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         stream.write_all(head.as_bytes())?;
         stream.write_all(self.body.as_bytes())?;
         stream.flush()
     }
+}
+
+/// One client-side HTTP exchange over an existing connection: sends the
+/// request (with `Connection: keep-alive`, so the same stream can carry
+/// the next exchange) and reads the `Content-Length`-framed response.
+/// Returns `(status, body)`.
+///
+/// This is the minimal client behind the `fahana-shard` coordinator's
+/// `--ingest-url` publishing (and the keep-alive tests): sequential
+/// request/response pairs on one connection, no pipelining.
+///
+/// # Errors
+///
+/// The underlying I/O error, or `InvalidData` when the peer's response is
+/// not parseable HTTP.
+pub fn client_roundtrip(
+    stream: &mut TcpStream,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, String)> {
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: fahana\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let bad = |message: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, message);
+    // read the response head byte-wise up to the blank line (heads are
+    // tiny; byte-wise reads keep the body boundary exact without any
+    // reader-side buffering to hand back)
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(bad("response head too large"));
+        }
+        stream.read_exact(&mut byte)?;
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).map_err(|_| bad("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|line| line.split(' ').nth(1))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("malformed Content-Length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(|body| (status, body))
+        .map_err(|_| bad("response body is not UTF-8"))
 }
 
 /// Reason phrase for the status codes this server emits.

@@ -9,7 +9,10 @@
 //! * [`view`] — a reload-on-ingest [`StoreView`]: campaigns parsed once,
 //!   shared across handler threads as `Arc` snapshots;
 //! * [`http`] — hand-rolled HTTP/1.1 request parsing and JSON responses
-//!   (no hyper in the offline build);
+//!   (no hyper in the offline build), with keep-alive connection reuse
+//!   for sequential clients and a minimal framed client
+//!   ([`client_roundtrip`]) used by the `fahana-shard` coordinator to
+//!   publish merged reports over one connection;
 //! * [`router`] — the endpoint table (see below);
 //! * [`server`] — the [`Server`] accept loop, fanning connections out on
 //!   the same work-stealing [`ThreadPool`](crate::pool::ThreadPool)
@@ -31,7 +34,7 @@ pub mod router;
 pub mod server;
 pub mod view;
 
-pub use http::{Request, Response};
+pub use http::{client_roundtrip, Request, Response};
 pub use router::route;
 pub use server::{Server, ServerHandle};
 pub use view::StoreView;

@@ -180,6 +180,7 @@ mod tests {
                 })
                 .collect(),
             body: Vec::new(),
+            keep_alive: false,
         }
     }
 
@@ -247,6 +248,7 @@ mod tests {
             path: "/ingest".into(),
             query: vec![("id".into(), "fresh".into())],
             body: report.clone().into_bytes(),
+            keep_alive: false,
         };
         assert_eq!(route(&request, &view).status, 201);
         // the view refreshed: /query now consults both campaigns

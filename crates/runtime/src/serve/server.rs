@@ -1,11 +1,14 @@
 //! The long-lived HTTP server: a `TcpListener` accept loop fanning
 //! connections out on the work-stealing [`ThreadPool`].
 //!
-//! One request per connection (`Connection: close`): the daemon's answers
-//! are store lookups over an in-memory view, so connection reuse would buy
-//! little and cost idle-socket bookkeeping. Each connection is handled as
-//! one pool job — the same pool machinery campaigns use for scenario
-//! fan-out handles request fan-out here.
+//! Connections honor HTTP/1.1 keep-alive: a client that sends requests
+//! sequentially (the `fahana-shard` coordinator's ingest bursts, a
+//! monitoring scraper) reuses one connection instead of paying a TCP
+//! handshake per question. A connection is one pool job for its whole
+//! lifetime — the same pool machinery campaigns use for scenario fan-out
+//! handles request fan-out here — so reuse is bounded: an idle connection
+//! is dropped after [`READ_TIMEOUT`], and no connection serves more than
+//! [`MAX_REQUESTS_PER_CONNECTION`] requests before the server closes it.
 
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -17,8 +20,13 @@ use crate::serve::http::{read_request, Response};
 use crate::serve::router::route;
 use crate::serve::view::StoreView;
 
-/// How long a connection may dribble its request in before being dropped.
+/// How long a connection may dribble its request in (or sit idle between
+/// keep-alive requests) before being dropped.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Upper bound on requests served over one kept-alive connection, so a
+/// single peer cannot pin a pool worker forever.
+const MAX_REQUESTS_PER_CONNECTION: usize = 1000;
 
 /// A bound, ready-to-run `fahana-serve` server.
 #[derive(Debug)]
@@ -117,15 +125,33 @@ impl Server {
     }
 }
 
-/// Reads one request off the connection, routes it, writes the response.
+/// Serves requests off one connection until the peer asks to close (or
+/// closes), the idle timeout fires, the per-connection request cap is
+/// reached, or a request fails to parse.
 fn handle_connection(mut stream: TcpStream, view: &StoreView) {
     stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
-    let response = match read_request(&mut stream) {
-        Ok(request) => route(&request, view),
-        Err(bad) => Response::error(400, bad.to_string()),
-    };
-    // the peer may already be gone; nothing useful to do about it
-    response.write_to(&mut stream).ok();
+    for served in 0..MAX_REQUESTS_PER_CONNECTION {
+        match read_request(&mut stream) {
+            Ok(Some(request)) => {
+                // honor the client's wish, but advertise close on the
+                // connection's last allowed request
+                let keep_alive = request.keep_alive && served + 1 < MAX_REQUESTS_PER_CONNECTION;
+                let response = route(&request, view);
+                if response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
+                    return; // peer gone, or an agreed close
+                }
+            }
+            // clean end of a kept-alive connection (EOF or idle timeout)
+            Ok(None) => return,
+            Err(bad) => {
+                // the peer may already be gone; nothing useful to do about it
+                Response::error(400, bad.to_string())
+                    .write_to(&mut stream, false)
+                    .ok();
+                return;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -146,11 +172,12 @@ mod tests {
 
         let mut stream = TcpStream::connect(addr).unwrap();
         stream
-            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
             .unwrap();
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+        assert!(raw.contains("Connection: close"), "{raw}");
         assert!(raw.contains(r#""status":"ok""#), "{raw}");
 
         // a malformed request gets a 400, not a dead server

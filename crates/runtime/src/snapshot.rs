@@ -145,6 +145,21 @@ impl CacheSnapshot {
         self.entries.iter()
     }
 
+    /// The GC policy hook: keeps only the entries `keep` approves and
+    /// returns how many were dropped. Compaction
+    /// (`fahana-campaign --cache-compact`) uses this to drop entries whose
+    /// fingerprints the configured search space no longer reaches (see
+    /// [`EvalCache::snapshot_touched`]); other policies — by architecture
+    /// name, by evaluation contents — are one closure away.
+    pub fn retain(
+        &mut self,
+        mut keep: impl FnMut(&(u64, u64), &FairnessEvaluation) -> bool,
+    ) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|key, evaluation| keep(key, evaluation));
+        before - self.entries.len()
+    }
+
     /// Unions `other` into `self`. Existing entries win on key conflicts;
     /// the outcome reports how many entries were added, how many were
     /// already present, and how many conflicted.
@@ -322,6 +337,25 @@ impl EvalCache {
         )
     }
 
+    /// The compaction half of [`EvalCache::snapshot`]: only the entries a
+    /// tracking cache actually consulted (hit or freshly evaluated) since
+    /// construction — i.e. the entries the configured search space still
+    /// reaches. `None` when the cache was not built with
+    /// [`EvalCache::with_tracking`].
+    ///
+    /// The contract is *shrunken but equivalent*: warm-starting the same
+    /// campaign from the touched-only snapshot serves every lookup
+    /// (zero misses), exactly like the uncompacted snapshot would.
+    pub fn snapshot_touched(&self) -> Option<CacheSnapshot> {
+        self.touched_entries().map(|entries| {
+            CacheSnapshot::from_entries(
+                entries
+                    .into_iter()
+                    .map(|(key, evaluation)| ((key.lo, key.hi), evaluation)),
+            )
+        })
+    }
+
     /// Seeds the cache from a snapshot. Entries already memoised win, so
     /// absorbing can never change what a running campaign would observe.
     /// Returns the number of entries added.
@@ -340,7 +374,12 @@ fn write_str(out: &mut Vec<u8>, value: &str) {
     out.extend_from_slice(value.as_bytes());
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// Plain 64-bit FNV-1a — the snapshot checksum, also reused by
+/// [`crate::shard::shard_of`] for the shard partition. Its output is part
+/// of two durable contracts (on-disk checksums, worker↔coordinator cell
+/// assignment, the latter pinned by literal values in `shard.rs` tests),
+/// so it must never change.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &byte in bytes {
         hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
@@ -528,6 +567,51 @@ mod tests {
         // the receiver's value won the conflict
         let kept = &left.entries[&(1, 1)];
         assert_eq!(kept.architecture, "a");
+    }
+
+    #[test]
+    fn retain_is_a_gc_policy_hook() {
+        let mut snapshot = CacheSnapshot::from_entries([
+            ((1, 1), sample_evaluation("a", 0.8)),
+            ((2, 2), sample_evaluation("b", 0.7)),
+            ((3, 3), sample_evaluation("c", 0.9)),
+        ]);
+        let dropped =
+            snapshot.retain(|&(lo, _), evaluation| lo != 2 && evaluation.architecture != "c");
+        assert_eq!(dropped, 2);
+        assert_eq!(snapshot.len(), 1);
+        assert!(snapshot.entries().all(|(_, e)| e.architecture == "a"));
+        // determinism survives GC
+        assert_eq!(
+            CacheSnapshot::from_bytes(&snapshot.to_bytes()).unwrap(),
+            snapshot
+        );
+    }
+
+    #[test]
+    fn snapshot_touched_keeps_consulted_entries_and_drops_stale_ones() {
+        // absorbed-but-never-consulted entries are what compaction drops
+        let cache = EvalCache::with_tracking();
+        let stale = CacheSnapshot::from_entries([((7, 7), sample_evaluation("stale", 0.5))]);
+        assert_eq!(cache.absorb(&stale), 1);
+        assert_eq!(
+            cache.snapshot_touched().unwrap().len(),
+            0,
+            "nothing consulted yet"
+        );
+
+        let cache = Arc::new(cache);
+        let mut cached = CachedEvaluator::surrogate(SurrogateEvaluator::default(), cache.clone());
+        cached
+            .evaluate_with_frozen(&zoo::paper_fahana_small(5, 64), 1)
+            .unwrap();
+        let touched = cache.snapshot_touched().unwrap();
+        assert_eq!(touched.len(), 1, "only the consulted entry is retained");
+        assert_eq!(cache.snapshot().len(), 2, "the full snapshot keeps both");
+        assert!(touched.entries().all(|(_, e)| e.architecture != "stale"));
+
+        // untracked caches cannot answer
+        assert!(EvalCache::new().snapshot_touched().is_none());
     }
 
     #[test]

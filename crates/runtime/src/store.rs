@@ -596,6 +596,35 @@ impl ArtifactStore {
         })
     }
 
+    /// Like [`ArtifactStore::ingest`], but on [`StoreError::DuplicateId`]
+    /// retries with `-2`, `-3`, … suffixes until an id is free — the one
+    /// collision policy shared by `fahana-campaign --store` and the
+    /// `fahana-shard` coordinator (whose HTTP publish maps the same
+    /// policy onto 409 answers), so repeated runs with a default id never
+    /// discard a finished campaign.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::ingest`], except `DuplicateId` (retried away).
+    pub fn ingest_with_suffix(
+        &self,
+        id: &str,
+        report_json: &str,
+    ) -> Result<StoredCampaign, StoreError> {
+        let mut suffix = 1;
+        loop {
+            let attempt = if suffix == 1 {
+                id.to_string()
+            } else {
+                format!("{id}-{suffix}")
+            };
+            match self.ingest(&attempt, report_json) {
+                Err(StoreError::DuplicateId(_)) => suffix += 1,
+                other => return other,
+            }
+        }
+    }
+
     /// Ingests a report file, deriving the id from its file stem and
     /// suffixing `-2`, `-3`, … if that id is taken.
     ///

@@ -7,8 +7,8 @@ use std::sync::Arc;
 use dermsim::DermatologyConfig;
 use fahana::{FahanaConfig, FahanaSearch};
 use fahana_runtime::{
-    CacheSnapshot, CachedEvaluator, CampaignConfig, CampaignEngine, EvalCache,
-    PooledBatchEvaluator, ThreadPool,
+    CacheSnapshot, CachedEvaluator, CampaignConfig, CampaignEngine, CampaignPlan, CampaignReport,
+    EvalCache, PooledBatchEvaluator, ShardSpec, ThreadPool,
 };
 
 fn search_config(episodes: usize, seed: u64) -> FahanaConfig {
@@ -188,6 +188,136 @@ fn warm_started_campaign_is_bit_identical_to_a_cold_run() {
     assert!(warm.cache.hits > 0);
     assert_eq!(warm.cache_entries, cold.cache_entries);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_runs_merge_bit_identically_to_a_single_process() {
+    // the sharding acceptance gate: for N in {2, 3, 8}, running the
+    // 8-scenario grid as N independent worker slices (each with its own
+    // cache, as separate processes would) and merging the partial reports
+    // and cache snapshots must reproduce the single-process run
+    // bit-for-bit — canonical report rendering and snapshot bytes alike
+    let config = CampaignConfig {
+        episodes: 5,
+        samples: 120,
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+    let plan = CampaignPlan::new(config.clone()).unwrap();
+    assert_eq!(plan.len(), 8);
+
+    let single_cache = Arc::new(EvalCache::new());
+    let single = CampaignEngine::new(config.clone())
+        .unwrap()
+        .run_with_cache(Arc::clone(&single_cache))
+        .unwrap();
+    let single_canonical = CampaignReport::from_outcome(&single).canonical();
+    let single_snapshot_bytes = single_cache.snapshot().to_bytes();
+
+    for total in [2usize, 3, 8] {
+        let mut parts = Vec::new();
+        let mut merged_snapshot = CacheSnapshot::new();
+        let mut nonempty_shards = 0;
+        for index in 0..total {
+            let shard = ShardSpec::new(index, total).unwrap();
+            let shard_cache = Arc::new(EvalCache::new());
+            let outcome = CampaignEngine::new(config.clone())
+                .unwrap()
+                .run_shard(shard, Arc::clone(&shard_cache))
+                .unwrap();
+            nonempty_shards += usize::from(!outcome.scenarios.is_empty());
+            parts.push(CampaignReport::from_outcome(&outcome));
+            let merge = merged_snapshot.merge(&shard_cache.snapshot());
+            assert_eq!(
+                merge.conflicts, 0,
+                "deterministic shards must never disagree on a cache entry (N={total})"
+            );
+        }
+        assert!(
+            nonempty_shards >= 2.min(total),
+            "the hash partition should spread the grid at N={total}"
+        );
+
+        let merged = CampaignReport::merge(&parts, &plan.order()).unwrap();
+        assert_eq!(
+            merged.canonical().to_json().render(),
+            single_canonical.to_json().render(),
+            "merged sharded report (N={total}) must equal the single-process run"
+        );
+        assert_eq!(
+            merged_snapshot.to_bytes(),
+            single_snapshot_bytes,
+            "merged cache snapshot (N={total}) must equal the single-process snapshot"
+        );
+    }
+}
+
+#[test]
+fn compacted_snapshot_is_smaller_but_warm_starts_equivalently() {
+    // a snapshot accumulated under a *wider* configuration (a larger
+    // episode budget explores more children) is compacted against the
+    // narrowed grid that keeps running: entries the narrowed search space
+    // no longer reaches are dropped, and the shrunken snapshot still
+    // serves the narrowed grid with zero misses
+    let wide = CampaignConfig {
+        episodes: 8,
+        samples: 120,
+        threads: 2,
+        devices: vec![edgehw::DeviceKind::RaspberryPi4],
+        rewards: vec![fahana_runtime::RewardSetting::balanced()],
+        freezing: vec![true],
+        ..CampaignConfig::default()
+    };
+    let narrow = CampaignConfig {
+        episodes: 5,
+        ..wide.clone()
+    };
+
+    let wide_cache = Arc::new(EvalCache::new());
+    CampaignEngine::new(wide)
+        .unwrap()
+        .run_with_cache(Arc::clone(&wide_cache))
+        .unwrap();
+    let bloated = wide_cache.snapshot();
+
+    // compact: absorb the bloated snapshot into a tracking cache, replay
+    // the narrowed grid, keep only what the replay consulted
+    let tracking = Arc::new(EvalCache::with_tracking());
+    assert_eq!(tracking.absorb(&bloated), bloated.len());
+    let compact_run = CampaignEngine::new(narrow.clone())
+        .unwrap()
+        .run_with_cache(Arc::clone(&tracking))
+        .unwrap();
+    assert_eq!(
+        compact_run.cache.misses, 0,
+        "the narrowed grid replays a prefix of the wide run, so the replay is fully warm"
+    );
+    let compacted = tracking.snapshot_touched().unwrap();
+    assert!(
+        compacted.len() < bloated.len(),
+        "compaction must shrink the snapshot ({} vs {})",
+        compacted.len(),
+        bloated.len()
+    );
+
+    // equivalence: a campaign warm-started from the compacted snapshot
+    // matches one warm-started from the bloated snapshot, with zero misses
+    let warm_cache = Arc::new(EvalCache::new());
+    assert_eq!(warm_cache.absorb(&compacted), compacted.len());
+    let warm = CampaignEngine::new(narrow.clone())
+        .unwrap()
+        .run_with_cache(Arc::clone(&warm_cache))
+        .unwrap();
+    assert_eq!(warm.cache.misses, 0, "compacted warm start must stay warm");
+
+    let cold = CampaignEngine::new(narrow).unwrap().run().unwrap();
+    for (warm_scenario, cold_scenario) in warm.scenarios.iter().zip(cold.scenarios.iter()) {
+        assert_eq!(
+            warm_scenario.outcome.history, cold_scenario.outcome.history,
+            "scenario {} must be bit-identical from the compacted snapshot",
+            warm_scenario.scenario.name
+        );
+    }
 }
 
 #[test]

@@ -49,11 +49,13 @@ fn start_server(store_root: &PathBuf) -> (SocketAddr, ServerHandle, std::thread:
     (addr, handle, runner)
 }
 
-/// One raw HTTP exchange; returns (status, body).
+/// One raw HTTP exchange on a fresh connection (explicitly `Connection:
+/// close`, so `read_to_end` sees EOF as soon as the answer is written);
+/// returns (status, body).
 fn http(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).unwrap();
     let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: fahana\r\nContent-Length: {}\r\n\r\n",
+        "{method} {target} HTTP/1.1\r\nHost: fahana\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).unwrap();
@@ -62,6 +64,10 @@ fn http(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, Stri
     stream.read_to_end(&mut raw).unwrap();
     let raw = String::from_utf8(raw).unwrap();
     let (head, body) = raw.split_once("\r\n\r\n").expect("response has a head");
+    assert!(
+        head.contains("Connection: close"),
+        "a close request must be answered with close: {head}"
+    );
     let status: u16 = head
         .split(' ')
         .nth(1)
@@ -178,6 +184,118 @@ fn serve_covers_every_endpoint() {
     assert_eq!(get(addr, "/query?device=toaster").0, 400);
     assert_eq!(http(addr, "DELETE", "/catalog", b"").0, 405);
 
+    handle.shutdown();
+    runner.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_for_sequential_requests() {
+    let dir = temp_dir("keep-alive");
+    let store_root = dir.join("store");
+    let store = ArtifactStore::open(&store_root).unwrap();
+    store.ingest("seeded", &tiny_report(71)).unwrap();
+    let (addr, handle, runner) = start_server(&store_root);
+
+    // several GETs and an ingest burst over ONE connection — the exact
+    // pattern a fahana-shard coordinator publishing into a live daemon
+    // produces — using the keep-alive-aware framed client
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let local = stream.local_addr().unwrap();
+
+    let (status, body) =
+        fahana_runtime::serve::client_roundtrip(&mut stream, "GET", "/healthz", b"").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains(r#""campaigns":1"#), "{body}");
+
+    let report = tiny_report(72);
+    let (status, body) = fahana_runtime::serve::client_roundtrip(
+        &mut stream,
+        "POST",
+        "/ingest?id=burst-1",
+        report.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{body}");
+    let report = tiny_report(73);
+    let (status, body) = fahana_runtime::serve::client_roundtrip(
+        &mut stream,
+        "POST",
+        "/ingest?id=burst-2",
+        report.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{body}");
+
+    // still the same TCP connection, and it observed its own publishes
+    let (status, body) =
+        fahana_runtime::serve::client_roundtrip(&mut stream, "GET", "/healthz", b"").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains(r#""campaigns":3"#), "{body}");
+    assert_eq!(stream.local_addr().unwrap(), local);
+
+    // an error answer does not tear the connection down either
+    let (status, _) =
+        fahana_runtime::serve::client_roundtrip(&mut stream, "GET", "/nope", b"").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) =
+        fahana_runtime::serve::client_roundtrip(&mut stream, "GET", "/healthz", b"").unwrap();
+    assert_eq!(status, 200);
+
+    // `Connection: close` ends the reuse: the server answers close and
+    // actually closes (the next read sees EOF)
+    let head = b"GET /healthz HTTP/1.1\r\nHost: fahana\r\nConnection: close\r\n\r\n";
+    stream.write_all(head).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let raw = String::from_utf8(raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(raw.contains("Connection: close"), "{raw}");
+
+    // HTTP/1.0 defaults to close even without the header
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nHost: fahana\r\n\r\n")
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let raw = String::from_utf8(raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(raw.contains("Connection: close"), "{raw}");
+
+    handle.shutdown();
+    runner.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn keep_alive_responses_advertise_it() {
+    let dir = temp_dir("keep-alive-header");
+    let store_root = dir.join("store");
+    ArtifactStore::open(&store_root).unwrap();
+    let (addr, handle, runner) = start_server(&store_root);
+
+    // read exactly one framed response off a kept-alive connection and
+    // check the header — without closing semantics, read_to_end would
+    // block until the idle timeout
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: fahana\r\n\r\n")
+        .unwrap();
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).unwrap();
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).unwrap();
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+
+    // close our end before stopping the server: the pool worker parked in
+    // read_request sees EOF immediately instead of idling out the full
+    // READ_TIMEOUT during shutdown
+    drop(stream);
     handle.shutdown();
     runner.join().unwrap();
     std::fs::remove_dir_all(&dir).ok();

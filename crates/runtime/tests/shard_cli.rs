@@ -1,0 +1,189 @@
+//! End-to-end tests for the `fahana-shard` coordinator: real worker
+//! processes spawned over a real config, partial reports and cache
+//! snapshots merged, the result published into an artifact store and into
+//! a live `fahana-serve` daemon — and the merged artifacts compared
+//! byte-for-byte against a single-process run (what the CI sharded smoke
+//! job re-checks with `diff`).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use fahana_runtime::{ArtifactStore, CampaignReport, Json, Server, StoreView};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fahana-shard-e2e-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A 4-scenario grid (2 devices × 1 reward × freezing on/off) small
+/// enough for several process spawns per test.
+fn write_config(dir: &Path) -> PathBuf {
+    let path = dir.join("campaign.conf");
+    std::fs::write(
+        &path,
+        "episodes = 4\nsamples = 120\nthreads = 2\nseed = 91\n\
+         devices = raspberry_pi_4, odroid_xu4\nfreezing = on, off\n\
+         [reward balanced]\nalpha = 1.0\nbeta = 1.0\n",
+    )
+    .unwrap();
+    path
+}
+
+fn run_ok(binary: &str, args: &[&str], cwd: &Path) -> (String, String) {
+    let output = Command::new(binary)
+        .args(args)
+        .current_dir(cwd)
+        // the coordinator resolves its worker binary relative to itself;
+        // under the test harness the two binaries live in different
+        // target subdirectories, so point it explicitly
+        .env("FAHANA_CAMPAIGN_BIN", env!("CARGO_BIN_EXE_fahana-campaign"))
+        .output()
+        .unwrap_or_else(|e| panic!("cannot run {binary}: {e}"));
+    assert!(
+        output.status.success(),
+        "{binary} {args:?} failed with {}\nstderr: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn coordinator_spawns_workers_and_merges_bit_identically() {
+    let dir = temp_dir("merge");
+    let config = write_config(&dir);
+    let config = config.to_str().unwrap();
+    let campaign_bin = env!("CARGO_BIN_EXE_fahana-campaign");
+    let shard_bin = env!("CARGO_BIN_EXE_fahana-shard");
+
+    // reference: one process runs the whole grid
+    run_ok(
+        campaign_bin,
+        &[
+            "--config",
+            config,
+            "--canonical",
+            "--out",
+            "single",
+            "--cache-out",
+            "single.fsnap",
+        ],
+        &dir,
+    );
+
+    // sharded: 3 worker processes, merged by the coordinator
+    let (stdout, stderr) = run_ok(
+        shard_bin,
+        &[
+            "--config",
+            config,
+            "--shards",
+            "3",
+            "--canonical",
+            "--out",
+            "sharded",
+            "--cache-out",
+            "merged.fsnap",
+            "--store",
+            "store",
+            "--store-id",
+            "merged",
+            "--json",
+        ],
+        &dir,
+    );
+    assert!(stderr.contains("merged 3 partial reports"), "{stderr}");
+
+    // the merged canonical report is byte-identical to the single run's
+    let single = std::fs::read(dir.join("single/campaign.json")).unwrap();
+    let sharded = std::fs::read(dir.join("sharded/campaign.json")).unwrap();
+    assert_eq!(
+        single, sharded,
+        "sharded(3) canonical report must equal the single-process one"
+    );
+    // and so is the merged cache snapshot
+    let single_snap = std::fs::read(dir.join("single.fsnap")).unwrap();
+    let merged_snap = std::fs::read(dir.join("merged.fsnap")).unwrap();
+    assert_eq!(
+        single_snap, merged_snap,
+        "merged snapshot must be bit-identical"
+    );
+
+    // --json printed the same merged report
+    assert_eq!(stdout.trim_end_matches('\n').as_bytes(), &sharded[..]);
+    let parsed = CampaignReport::parse(stdout.trim()).unwrap();
+    assert_eq!(parsed.scenarios.len(), 4);
+
+    // the merged report was ingested into the store and answers queries
+    assert!(dir.join("store/artifacts/merged.json").exists());
+    let store = ArtifactStore::open(dir.join("store")).unwrap();
+    let answer = store.query(&fahana_runtime::StoreQuery::default()).unwrap();
+    assert_eq!(answer.campaigns_consulted, 1);
+    assert_eq!(answer.scenarios_matched, 4);
+
+    // partials were cleaned up (no --keep-partials)
+    assert!(!dir.join("sharded/shards").exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn coordinator_publishes_into_a_live_daemon_over_keep_alive() {
+    let dir = temp_dir("ingest-url");
+    let config = write_config(&dir);
+    let config = config.to_str().unwrap();
+    let shard_bin = env!("CARGO_BIN_EXE_fahana-shard");
+
+    // a live fahana-serve over an empty store
+    let store_root = dir.join("serve-store");
+    let view = StoreView::open(ArtifactStore::open(&store_root).unwrap()).unwrap();
+    let server = Server::bind("127.0.0.1:0", view, 2).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let runner = std::thread::spawn(move || server.run().unwrap());
+
+    let (_, stderr) = run_ok(
+        shard_bin,
+        &[
+            "--config",
+            config,
+            "--shards",
+            "2",
+            "--out",
+            "sharded",
+            "--store-id",
+            "over-http",
+            "--ingest-url",
+            &addr.to_string(),
+            "--keep-partials",
+        ],
+        &dir,
+    );
+    assert!(
+        stderr.contains("published merged campaign as `over-http`"),
+        "{stderr}"
+    );
+    // --keep-partials leaves the per-shard working directories behind
+    assert!(dir.join("sharded/shards/shard-1/campaign.json").exists());
+    assert!(dir.join("sharded/shards/shard-2/cache.fsnap").exists());
+
+    // the daemon holds the merged campaign durably
+    assert!(store_root.join("artifacts/over-http.json").exists());
+    let report = CampaignReport::parse(
+        &std::fs::read_to_string(store_root.join("artifacts/over-http.json")).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(report.scenarios.len(), 4);
+    let catalog =
+        Json::parse(&std::fs::read_to_string(store_root.join("catalog.json")).unwrap()).unwrap();
+    assert_eq!(catalog.get("campaigns").unwrap().as_arr().unwrap().len(), 1);
+
+    handle.shutdown();
+    runner.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

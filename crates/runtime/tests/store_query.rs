@@ -231,3 +231,171 @@ fn cli_cache_out_cache_in_and_query_acceptance_path() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn query_exit_codes_distinguish_unknown_empty_and_covered_devices() {
+    let dir = temp_dir("exit-codes");
+    let query_bin = env!("CARGO_BIN_EXE_fahana-query");
+
+    // a store holding Raspberry-Pi-only data
+    let store = ArtifactStore::open(dir.join("store")).unwrap();
+    let outcome = CampaignEngine::new(CampaignConfig {
+        devices: vec![DeviceKind::RaspberryPi4],
+        ..tiny_config(88)
+    })
+    .unwrap()
+    .run()
+    .unwrap();
+    store.ingest("pi-only", &campaign_json(&outcome)).unwrap();
+
+    let status_of = |args: &[&str]| {
+        Command::new(query_bin)
+            .args(args)
+            .current_dir(&dir)
+            .output()
+            .unwrap()
+    };
+
+    // covered device → 0, even when constraints admit nothing
+    let covered = status_of(&["--store", "store", "--device", "raspberry_pi_4", "--json"]);
+    assert_eq!(covered.status.code(), Some(0));
+    let starved = status_of(&[
+        "--store",
+        "store",
+        "--device",
+        "raspberry_pi_4",
+        "--max-latency-ms",
+        "0",
+        "--json",
+    ]);
+    assert_eq!(
+        starved.status.code(),
+        Some(0),
+        "an empty answer for a covered device is still an answer"
+    );
+    // reward/freezing filters narrowing a covered device to zero matching
+    // scenarios must not fake the "device missing" signal either
+    let filtered = status_of(&[
+        "--store",
+        "store",
+        "--device",
+        "raspberry_pi_4",
+        "--freezing",
+        "off",
+        "--json",
+    ]);
+    assert_eq!(
+        filtered.status.code(),
+        Some(0),
+        "a covered device behind excluding filters must exit 0"
+    );
+
+    // known device with no scenarios in the store → the 404-style exit 4,
+    // with the (empty) JSON answer still printed for scripted consumers
+    let absent = status_of(&["--store", "store", "--device", "odroid_xu4", "--json"]);
+    assert_eq!(absent.status.code(), Some(4), "known-but-empty must exit 4");
+    let answer = Json::parse(String::from_utf8(absent.stdout).unwrap().trim()).unwrap();
+    assert_eq!(answer.get("scenarios_matched").unwrap().as_i64(), Some(0));
+    assert!(String::from_utf8(absent.stderr)
+        .unwrap()
+        .contains("no scenarios for it"));
+
+    // a slug this build does not know stays a usage error → 2
+    let unknown = status_of(&["--store", "store", "--device", "toaster", "--json"]);
+    assert_eq!(unknown.status.code(), Some(2), "unknown device must exit 2");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_cache_compact_writes_a_smaller_equivalent_snapshot() {
+    let dir = temp_dir("compact");
+    let campaign_bin = env!("CARGO_BIN_EXE_fahana-campaign");
+
+    // a wide configuration (larger episode budget → more children
+    // explored) bloats the snapshot relative to the narrow grid we keep
+    // running; compaction drops the entries the narrow grid never reaches
+    let wide = dir.join("wide.conf");
+    std::fs::write(
+        &wide,
+        "episodes = 8\nsamples = 120\nthreads = 2\nseed = 78\n\
+         devices = raspberry_pi_4\nfreezing = on\n\
+         [reward balanced]\n",
+    )
+    .unwrap();
+    let narrow = dir.join("narrow.conf");
+    std::fs::write(
+        &narrow,
+        "episodes = 5\nsamples = 120\nthreads = 2\nseed = 78\n\
+         devices = raspberry_pi_4\nfreezing = on\n\
+         [reward balanced]\n",
+    )
+    .unwrap();
+
+    run_binary(
+        campaign_bin,
+        &[
+            "--config",
+            wide.to_str().unwrap(),
+            "--cache-out",
+            "wide.fsnap",
+        ],
+        &dir,
+    );
+    let (_, stderr) = run_binary(
+        campaign_bin,
+        &[
+            "--config",
+            narrow.to_str().unwrap(),
+            "--cache-compact",
+            "--cache-in",
+            "wide.fsnap",
+            "--cache-out",
+            "compact.fsnap",
+        ],
+        &dir,
+    );
+    assert!(stderr.contains("compacted cache snapshot"), "{stderr}");
+
+    let wide_len = std::fs::metadata(dir.join("wide.fsnap")).unwrap().len();
+    let compact_len = std::fs::metadata(dir.join("compact.fsnap")).unwrap().len();
+    assert!(
+        compact_len < wide_len,
+        "compacted snapshot must shrink ({compact_len} vs {wide_len} bytes)"
+    );
+
+    // equivalence: warm-starting the narrow grid from the compacted
+    // snapshot still serves every evaluation
+    run_binary(
+        campaign_bin,
+        &[
+            "--config",
+            narrow.to_str().unwrap(),
+            "--cache-in",
+            "compact.fsnap",
+            "--out",
+            "warm",
+        ],
+        &dir,
+    );
+    let warm = std::fs::read_to_string(dir.join("warm/campaign.json")).unwrap();
+    let report = CampaignReport::parse(&warm).unwrap();
+    assert_eq!(
+        report.cache.misses, 0,
+        "compacted warm start must stay warm"
+    );
+    assert!(report.cache.hits > 0);
+
+    // --cache-compact without both snapshot paths is a usage failure
+    let incomplete = Command::new(campaign_bin)
+        .args(["--config", narrow.to_str().unwrap(), "--cache-compact"])
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert!(!incomplete.status.success());
+    assert!(String::from_utf8(incomplete.stderr)
+        .unwrap()
+        .contains("--cache-compact"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
