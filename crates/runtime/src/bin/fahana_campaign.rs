@@ -6,8 +6,8 @@
 //!                 [--episodes N] [--seed N] [--no-cache]
 //!                 [--cache-in FILE] [--cache-out FILE] [--cache-compact]
 //!                 [--store DIR] [--store-id ID] [--shard I/N]
-//!                 [--canonical] [--parallel-episodes] [--json]
-//!                 [--print-example]
+//!                 [--cells FILE] [--canonical] [--parallel-episodes]
+//!                 [--json] [--print-example]
 //! ```
 //!
 //! Without `--config`, the paper-flavoured default grid runs: 2 devices
@@ -25,18 +25,27 @@
 //! `--shard I/N` runs this process as worker `I` of an `N`-way sharded
 //! campaign: only the grid cells the stable name-hash partition assigns
 //! to shard `I` execute, and the report/cache snapshot written are the
-//! partials the `fahana-shard` coordinator merges. `--canonical` emits
-//! the deterministic projection of reports (wall-clock and cache counters
+//! partials the `fahana-shard` coordinator merges. `--cells FILE` is the
+//! explicit-assignment worker mode behind fault-tolerant rescheduling:
+//! the file names the exact plan cells to run (one per line, `#`
+//! comments allowed), which is how a coordinator hands a dead shard's
+//! unfinished cells to a replacement worker. `--canonical` emits the
+//! deterministic projection of reports (wall-clock and cache counters
 //! zeroed), which is what makes single-process and merged sharded reports
 //! diffable byte-for-byte.
+//!
+//! All report writes are staged to a unique temporary file and renamed
+//! into place, so a worker killed at any instant never leaves a
+//! partially written `campaign.json` for a retrying coordinator to
+//! misread.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use fahana_runtime::{
-    ArtifactStore, CacheSnapshot, CampaignConfig, CampaignEngine, CampaignPlan, CampaignReport,
-    EvalCache, ShardSpec,
+    write_atomic, ArtifactStore, CacheSnapshot, CampaignConfig, CampaignEngine, CampaignPlan,
+    CampaignReport, CellAssignment, EvalCache, ShardAssignment, ShardSpec,
 };
 
 struct Cli {
@@ -52,6 +61,7 @@ struct Cli {
     store_dir: Option<PathBuf>,
     store_id: Option<String>,
     shard: Option<ShardSpec>,
+    cells: Option<PathBuf>,
     canonical: bool,
     parallel_episodes: bool,
     json: bool,
@@ -62,8 +72,8 @@ fn usage() -> &'static str {
     "usage: fahana-campaign [--config FILE] [--out DIR] [--threads N] \
      [--episodes N] [--seed N] [--no-cache] [--cache-in FILE] \
      [--cache-out FILE] [--cache-compact] [--store DIR] [--store-id ID] \
-     [--shard I/N] [--canonical] [--parallel-episodes] [--json] \
-     [--print-example]"
+     [--shard I/N] [--cells FILE] [--canonical] [--parallel-episodes] \
+     [--json] [--print-example]"
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -80,6 +90,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         store_dir: None,
         store_id: None,
         shard: None,
+        cells: None,
         canonical: false,
         parallel_episodes: false,
         json: false,
@@ -127,6 +138,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                         format!("--shard expects I/N with 1 <= I <= N, got `{value}`")
                     })?);
             }
+            "--cells" => cli.cells = Some(PathBuf::from(value_of("--cells")?)),
             "--canonical" => cli.canonical = true,
             "--store" => cli.store_dir = Some(PathBuf::from(value_of("--store")?)),
             "--store-id" => {
@@ -150,6 +162,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
+    if cli.shard.is_some() && cli.cells.is_some() {
+        return Err(format!(
+            "--shard and --cells both assign this worker's cells; pass one\n{}",
+            usage()
+        ));
+    }
     Ok(cli)
 }
 
@@ -157,6 +175,61 @@ fn sanitize(name: &str) -> String {
     name.chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect()
+}
+
+/// Where an injected test crash strikes (see [`injected_fail_point`]).
+enum FailPoint {
+    /// Die before any work — the common "worker never came up" failure.
+    Spawn,
+    /// Finish the run, write every artifact, then exit non-zero — the
+    /// nasty case where a retried shard's first attempt left complete
+    /// artifacts behind and a naive coordinator would merge them twice.
+    AfterWrite,
+    /// Write a truncated `campaign.json` and claim success — what a
+    /// pre-atomic-write worker killed mid-write used to leave behind.
+    TornReport,
+}
+
+/// Test-only crash injection for the fault-tolerance suite (see
+/// `tests/shard_cli.rs` and the CI injected-failure smoke run). Inert
+/// unless `FAHANA_TEST_FAIL_SHARD` is set:
+///
+/// * `FAHANA_TEST_FAIL_SHARD` — comma-separated targets: a 1-based hash
+///   shard index (crashes the matching `--shard I/N` worker) and/or the
+///   word `cells` (crashes any `--cells` worker);
+/// * `FAHANA_TEST_FAIL_MARKER` — fail once: the first matching worker to
+///   create this marker file crashes, later attempts run clean;
+/// * `FAHANA_TEST_FAIL_POINT` — `spawn` (default), `after-write`, or
+///   `torn-report`.
+fn injected_fail_point(cli: &Cli) -> Option<FailPoint> {
+    let targets = std::env::var("FAHANA_TEST_FAIL_SHARD").ok()?;
+    let matched = targets.split(',').map(str::trim).any(|target| match cli {
+        Cli {
+            shard: Some(spec), ..
+        } => target == (spec.index() + 1).to_string(),
+        Cli { cells: Some(_), .. } => target == "cells",
+        _ => false,
+    });
+    if !matched {
+        return None;
+    }
+    if let Ok(marker) = std::env::var("FAHANA_TEST_FAIL_MARKER") {
+        // fail-once semantics: only the attempt that wins the marker file
+        // crashes; create_new makes the claim atomic across racing workers
+        if std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&marker)
+            .is_err()
+        {
+            return None;
+        }
+    }
+    match std::env::var("FAHANA_TEST_FAIL_POINT").as_deref() {
+        Ok("after-write") => Some(FailPoint::AfterWrite),
+        Ok("torn-report") => Some(FailPoint::TornReport),
+        _ => Some(FailPoint::Spawn),
+    }
 }
 
 fn run(cli: Cli) -> Result<(), String> {
@@ -226,12 +299,44 @@ fn run(cli: Cli) -> Result<(), String> {
         );
     }
 
+    let fail_point = injected_fail_point(&cli);
+    if matches!(fail_point, Some(FailPoint::Spawn)) {
+        return Err("injected test failure (FAHANA_TEST_FAIL_SHARD) before any work".into());
+    }
+    if matches!(fail_point, Some(FailPoint::TornReport)) {
+        // simulate a pre-atomic-write worker killed mid-write: a torn
+        // campaign.json on disk and a successful exit code — the
+        // coordinator must treat the unparsable report as a failed
+        // attempt, never as merge input
+        if let Some(dir) = &cli.out_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            std::fs::write(dir.join("campaign.json"), br#"{"threads":2,"wall_cl"#)
+                .map_err(|e| e.to_string())?;
+        }
+        return Ok(());
+    }
+
     let plan = CampaignPlan::new(config).map_err(|e| e.to_string())?;
-    let scenarios = match cli.shard {
-        Some(shard) => {
-            let slice = plan.slice(shard);
+    let assignment = match (cli.shard, &cli.cells) {
+        (Some(shard), None) => Some(ShardAssignment::Hash(shard)),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let cells = CellAssignment::parse(&text)
+                .map_err(|e| format!("cell assignment {}: {e}", path.display()))?;
+            Some(ShardAssignment::Cells(cells))
+        }
+        (None, None) => None,
+        (Some(_), Some(_)) => unreachable!("rejected by parse_cli"),
+    };
+    let scenarios = match &assignment {
+        Some(assignment) => {
+            let slice = plan
+                .slice_assignment(assignment)
+                .map_err(|e| e.to_string())?;
             eprintln!(
-                "shard {shard}: running {} of {} scenarios",
+                "{assignment}: running {} of {} scenarios",
                 slice.len(),
                 plan.len()
             );
@@ -298,12 +403,14 @@ fn run(cli: Cli) -> Result<(), String> {
     if let Some(dir) = &cli.out_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        // staged + renamed, never written in place: a worker killed here
+        // must not leave a torn report a retrying coordinator could read
         let campaign_path = dir.join("campaign.json");
-        std::fs::write(&campaign_path, report.to_json().render())
+        write_atomic(&campaign_path, report.to_json().render())
             .map_err(|e| format!("cannot write {}: {e}", campaign_path.display()))?;
         for scenario in &report.scenarios {
             let path = dir.join(format!("{}.json", sanitize(&scenario.scenario)));
-            std::fs::write(&path, scenario.to_json().render())
+            write_atomic(&path, scenario.to_json().render())
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         }
         eprintln!(
@@ -356,6 +463,12 @@ fn run(cli: Cli) -> Result<(), String> {
     }
     if cli.json {
         println!("{}", report.to_json().render());
+    }
+    if matches!(fail_point, Some(FailPoint::AfterWrite)) {
+        return Err(
+            "injected test failure (FAHANA_TEST_FAIL_SHARD) after all artifacts were written"
+                .into(),
+        );
     }
     Ok(())
 }

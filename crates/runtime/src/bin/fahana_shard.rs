@@ -1,46 +1,61 @@
-//! `fahana-shard` — fan a campaign out across worker processes and merge
-//! the partials back into one verified whole.
+//! `fahana-shard` — fan a campaign out across worker processes, survive
+//! worker failures, and merge the partials back into one verified whole.
 //!
 //! ```text
 //! fahana-shard --shards N [--config FILE] [--out DIR] [--threads N]
 //!              [--episodes N] [--seed N] [--parallel-episodes]
-//!              [--cache-out FILE] [--store DIR] [--store-id ID]
-//!              [--ingest-url HOST:PORT] [--canonical] [--json]
-//!              [--keep-partials] [--worker-bin PATH]
+//!              [--max-attempts N] [--cache-out FILE] [--store DIR]
+//!              [--store-id ID] [--ingest-url HOST:PORT] [--canonical]
+//!              [--json] [--keep-partials] [--worker-bin PATH]
 //! ```
 //!
 //! The coordinator half of sharded execution (plan → partition → execute
-//! → merge):
+//! → merge), built around a fault-tolerant scheduler:
 //!
 //! 1. derive the [`CampaignPlan`] from the config — the same plan every
-//!    worker derives, so nothing but the config and `I/N` crosses the
-//!    process boundary;
+//!    worker derives, so nothing but the config and an assignment crosses
+//!    the process boundary;
 //! 2. spawn `N` `fahana-campaign --shard I/N` workers, each writing a
-//!    partial report and cache snapshot into its own directory;
-//! 3. merge: partial cache snapshots union ([`CacheSnapshot::merge`]),
-//!    partial reports fuse in plan order ([`CampaignReport::merge`]);
-//! 4. publish: write the merged `campaign.json` (and `--cache-out`
+//!    partial report and cache snapshot into its own per-attempt
+//!    directory;
+//! 3. recover: a worker that dies, or exits cleanly with a missing,
+//!    torn or wrong-cells report, is a *failed attempt* — it is retried
+//!    (fresh directory, up to `--max-attempts` attempts per task) while
+//!    shards that already succeeded are salvaged verbatim and never
+//!    re-run. A shard that exhausts its attempts has its unfinished cells
+//!    rebalanced across as many replacement workers as there were
+//!    survivors, respawned as explicit `--cells` assignments
+//!    ([`CellAssignment`]). Only when replacements fail too does the run
+//!    error — naming exactly the cells that never completed;
+//! 4. merge: each completed task's artifacts are merged exactly once —
+//!    cache snapshots union ([`CacheSnapshot::merge`]), reports fuse in
+//!    plan order ([`CampaignReport::merge`]);
+//! 5. publish: write the merged `campaign.json` (and `--cache-out`
 //!    snapshot), optionally ingest into an artifact store (`--store`) or
 //!    POST to a running `fahana-serve` (`--ingest-url`, reusing one
 //!    keep-alive connection).
 //!
-//! The merge is verification, not just bookkeeping: scenario overlaps or
-//! gaps between shards abort with a typed error, and the merged canonical
-//! report is byte-identical to a single-process run of the same config
-//! (pinned by `tests/determinism.rs` and the CI sharded smoke job).
+//! The merge is verification, not just bookkeeping: a worker's report
+//! must cover exactly its assigned cells, scenario overlaps or gaps
+//! between tasks abort with a typed error, and the merged canonical
+//! report is byte-identical to a single-process run of the same config —
+//! including runs that crashed and recovered (pinned by
+//! `tests/shard_cli.rs` and the CI injected-failure smoke job).
 //!
 //! Workers default to the `fahana-campaign` binary sitting next to this
 //! one; `--worker-bin` (or the `FAHANA_CAMPAIGN_BIN` environment
 //! variable) points elsewhere — e.g. at a release build — without moving
 //! files around.
 
+use std::collections::BTreeSet;
 use std::net::TcpStream;
-use std::path::PathBuf;
-use std::process::{Command, ExitCode, Stdio};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
 
 use fahana_runtime::serve::client_roundtrip;
 use fahana_runtime::{
-    ArtifactStore, CacheSnapshot, CampaignConfig, CampaignPlan, CampaignReport, Json,
+    write_atomic, ArtifactStore, CacheSnapshot, CampaignConfig, CampaignPlan, CampaignReport,
+    CellAssignment, Json,
 };
 
 struct Cli {
@@ -51,6 +66,7 @@ struct Cli {
     episodes: Option<usize>,
     seed: Option<u64>,
     parallel_episodes: bool,
+    max_attempts: usize,
     cache_out: Option<PathBuf>,
     store_dir: Option<PathBuf>,
     store_id: Option<String>,
@@ -64,7 +80,7 @@ struct Cli {
 fn usage() -> &'static str {
     "usage: fahana-shard --shards N [--config FILE] [--out DIR] \
      [--threads N] [--episodes N] [--seed N] [--parallel-episodes] \
-     [--cache-out FILE] [--store DIR] [--store-id ID] \
+     [--max-attempts N] [--cache-out FILE] [--store DIR] [--store-id ID] \
      [--ingest-url HOST:PORT] [--canonical] [--json] [--keep-partials] \
      [--worker-bin PATH]"
 }
@@ -78,6 +94,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         episodes: None,
         seed: None,
         parallel_episodes: false,
+        max_attempts: 2,
         cache_out: None,
         store_dir: None,
         store_id: None,
@@ -123,6 +140,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 );
             }
             "--parallel-episodes" => cli.parallel_episodes = true,
+            "--max-attempts" => {
+                let value = value_of("--max-attempts")?;
+                cli.max_attempts = number("--max-attempts", value)?;
+                if cli.max_attempts == 0 {
+                    return Err("--max-attempts must be at least 1".into());
+                }
+            }
             "--cache-out" => cli.cache_out = Some(PathBuf::from(value_of("--cache-out")?)),
             "--store" => cli.store_dir = Some(PathBuf::from(value_of("--store")?)),
             "--store-id" => {
@@ -178,6 +202,251 @@ fn worker_binary(cli: &Cli) -> Result<PathBuf, String> {
     }
 }
 
+/// How a task's share of the plan is expressed on the worker CLI.
+enum TaskMode {
+    /// `--shard I/N`: the worker re-derives the hash slice itself.
+    Hash { index: usize, total: usize },
+    /// `--cells FILE`: an explicit assignment file the coordinator wrote.
+    Cells { path: PathBuf },
+}
+
+/// One schedulable unit of work: a set of plan cells, the CLI form that
+/// expresses it, and how many attempts it has consumed.
+struct Task {
+    /// Directory-safe label (`shard-2`, `rebalance-1`).
+    label: String,
+    mode: TaskMode,
+    /// The plan cells this task must cover, in plan order.
+    cells: Vec<String>,
+    /// Attempts consumed so far (successful or not).
+    attempts: usize,
+}
+
+/// A live worker attempt: the child process, its attempt directory, and
+/// the thread draining its stderr (so a chatty worker can never block on
+/// a full pipe while the coordinator polls other children).
+struct Running {
+    task: Task,
+    dir: PathBuf,
+    child: Child,
+    stderr: std::thread::JoinHandle<String>,
+}
+
+/// Kills and reaps every still-running worker (used when the coordinator
+/// bails hard: no orphan may keep burning CPU on a campaign nobody will
+/// merge).
+fn kill_all(running: &mut [Running]) {
+    for run in running.iter_mut() {
+        run.child.kill().ok();
+        run.child.wait().ok();
+    }
+}
+
+/// Everything a spawn needs that does not vary per task.
+struct Scheduler<'a> {
+    worker_bin: &'a Path,
+    shards_dir: &'a Path,
+    cli: &'a Cli,
+}
+
+impl Scheduler<'_> {
+    /// Spawns one attempt of `task` into a fresh per-attempt directory.
+    /// Fresh directories are what makes "merge exactly once" structural:
+    /// artifacts of a failed attempt — even complete ones — are never in
+    /// the directory a later attempt reports from.
+    fn spawn(&self, task: Task) -> Result<Running, String> {
+        let attempt_dir =
+            self.shards_dir
+                .join(format!("{}.attempt-{}", task.label, task.attempts + 1));
+        std::fs::create_dir_all(&attempt_dir)
+            .map_err(|e| format!("cannot create {}: {e}", attempt_dir.display()))?;
+        let mut command = Command::new(self.worker_bin);
+        match &task.mode {
+            TaskMode::Hash { index, total } => {
+                command
+                    .arg("--shard")
+                    .arg(format!("{}/{}", index + 1, total));
+            }
+            TaskMode::Cells { path } => {
+                command.arg("--cells").arg(path);
+            }
+        }
+        command
+            .arg("--out")
+            .arg(&attempt_dir)
+            .arg("--cache-out")
+            .arg(attempt_dir.join("cache.fsnap"));
+        if let Some(path) = &self.cli.config_path {
+            command.arg("--config").arg(path);
+        }
+        if let Some(threads) = self.cli.threads {
+            command.arg("--threads").arg(threads.to_string());
+        }
+        if let Some(episodes) = self.cli.episodes {
+            command.arg("--episodes").arg(episodes.to_string());
+        }
+        if let Some(seed) = self.cli.seed {
+            command.arg("--seed").arg(seed.to_string());
+        }
+        if self.cli.parallel_episodes {
+            command.arg("--parallel-episodes");
+        }
+        let mut child = command
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("cannot spawn {}: {e}", self.worker_bin.display()))?;
+        let mut pipe = child.stderr.take().expect("stderr is piped");
+        let stderr = std::thread::spawn(move || {
+            let mut text = String::new();
+            std::io::Read::read_to_string(&mut pipe, &mut text).ok();
+            text
+        });
+        Ok(Running {
+            task,
+            dir: attempt_dir,
+            child,
+            stderr,
+        })
+    }
+
+    /// Validates and loads one finished attempt's artifacts. Any failure
+    /// here — missing or unparsable report (a worker killed mid-write, or
+    /// one that lied about succeeding), wrong cell coverage, unreadable
+    /// snapshot — marks the *attempt* failed and retriable; it is never a
+    /// merge error.
+    fn collect(&self, task: &Task, dir: &Path) -> Result<(CampaignReport, CacheSnapshot), String> {
+        let report_path = dir.join("campaign.json");
+        let text = std::fs::read_to_string(&report_path)
+            .map_err(|e| format!("cannot read {}: {e}", report_path.display()))?;
+        let report = CampaignReport::parse(&text)
+            .map_err(|e| format!("report {}: {e}", report_path.display()))?;
+        // sorted lists, not sets: a corrupt report that names the same
+        // scenario twice must fail *this* check (and be retried), not
+        // survive into the final merge as a fatal duplicate-scenario error
+        let mut produced = report.scenario_names();
+        produced.sort_unstable();
+        let mut expected: Vec<&str> = task.cells.iter().map(String::as_str).collect();
+        expected.sort_unstable();
+        if produced != expected {
+            return Err(format!(
+                "report {} covers cells {:?}, expected {:?}",
+                report_path.display(),
+                produced,
+                expected
+            ));
+        }
+        let snapshot_path = dir.join("cache.fsnap");
+        let snapshot = CacheSnapshot::load(&snapshot_path)
+            .map_err(|e| format!("cannot load {}: {e}", snapshot_path.display()))?;
+        Ok((report, snapshot))
+    }
+
+    /// Runs `tasks` to completion: all attempts run in parallel, children
+    /// are reaped in *completion* order, and a failed task is respawned
+    /// the moment it is reaped — its retry runs concurrently with the
+    /// still-running siblings, so one slow shard never delays another
+    /// shard's recovery — until it succeeds or exhausts `--max-attempts`.
+    /// Each task that succeeds has its artifacts merged exactly once,
+    /// right when its winning attempt is collected. Returns the tasks
+    /// that never succeeded.
+    fn drive(
+        &self,
+        tasks: Vec<Task>,
+        parts: &mut Vec<CampaignReport>,
+        merged_snapshot: &mut CacheSnapshot,
+    ) -> Result<Vec<Task>, String> {
+        let mut exhausted = Vec::new();
+        let mut running: Vec<Running> = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            match self.spawn(task) {
+                Ok(run) => running.push(run),
+                Err(message) => {
+                    // a binary that cannot even spawn will not spawn
+                    // better on retry: reap what is running and bail
+                    kill_all(&mut running);
+                    return Err(message);
+                }
+            }
+        }
+        while !running.is_empty() {
+            // poll for any finished child (a wait on one specific child
+            // would block recovery behind an arbitrary sibling)
+            let finished = running.iter_mut().position(|run| {
+                // a try_wait error means the child is unreachable; reap
+                // it now and let wait() below surface the error
+                !matches!(run.child.try_wait(), Ok(None))
+            });
+            let Some(index) = finished else {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+                continue;
+            };
+            let mut run = running.swap_remove(index);
+            run.task.attempts += 1;
+            let status = run.child.wait();
+            let stderr = run.stderr.join().unwrap_or_default();
+            let failure = match status {
+                Err(e) => Some(format!("wait failed: {e}")),
+                Ok(status) if !status.success() => {
+                    Some(format!("exited with {}\n{}", status, stderr.trim_end()))
+                }
+                Ok(_) => match self.collect(&run.task, &run.dir) {
+                    Ok((report, snapshot)) => {
+                        let outcome = merged_snapshot.merge(&snapshot);
+                        if outcome.conflicts > 0 {
+                            // deterministic evaluation means identical
+                            // keys carry identical values; a conflict
+                            // is a fingerprint collision or build skew
+                            eprintln!(
+                                "warning: {} snapshot had {} conflicting entries \
+                                 (kept first sighting)",
+                                run.task.label, outcome.conflicts
+                            );
+                        }
+                        parts.push(report);
+                        None
+                    }
+                    Err(message) => Some(message),
+                },
+            };
+            let Some(message) = failure else { continue };
+            let task = run.task;
+            if task.attempts < self.cli.max_attempts {
+                eprintln!(
+                    "warning: {} attempt {} of {} failed, retrying: {message}",
+                    task.label, task.attempts, self.cli.max_attempts
+                );
+                match self.spawn(task) {
+                    Ok(retry) => running.push(retry),
+                    Err(message) => {
+                        kill_all(&mut running);
+                        return Err(message);
+                    }
+                }
+            } else {
+                eprintln!(
+                    "warning: {} failed all {} attempts, giving it up: {message}",
+                    task.label, self.cli.max_attempts
+                );
+                exhausted.push(task);
+            }
+        }
+        Ok(exhausted)
+    }
+}
+
+/// Splits `cells` (plan order) round-robin across `workers` replacement
+/// assignments, dropping empty ones.
+fn rebalance_groups(cells: &[String], workers: usize) -> Vec<Vec<String>> {
+    let workers = workers.max(1);
+    let mut groups: Vec<Vec<String>> = vec![Vec::new(); workers];
+    for (index, cell) in cells.iter().enumerate() {
+        groups[index % workers].push(cell.clone());
+    }
+    groups.retain(|group| !group.is_empty());
+    groups
+}
+
 fn run(cli: Cli) -> Result<(), String> {
     let config = match &cli.config_path {
         Some(path) => {
@@ -193,8 +462,10 @@ fn run(cli: Cli) -> Result<(), String> {
             config
         }
     };
-    // the coordinator derives the plan only to know the merge order and
-    // to fail fast on an invalid grid; workers re-derive it themselves
+    // the coordinator derives the plan to know the merge order, to fail
+    // fast on an invalid grid, and to know every task's cells (what
+    // retry verification and rebalancing schedule over); workers
+    // re-derive the scenarios themselves
     let plan = CampaignPlan::new(config).map_err(|e| e.to_string())?;
     if !plan.config().use_cache {
         // workers are always asked for --cache-out, which a disabled cache
@@ -215,113 +486,97 @@ fn run(cli: Cli) -> Result<(), String> {
     std::fs::create_dir_all(&shards_dir)
         .map_err(|e| format!("cannot create {}: {e}", shards_dir.display()))?;
 
+    let scheduler = Scheduler {
+        worker_bin: &worker_bin,
+        shards_dir: &shards_dir,
+        cli: &cli,
+    };
+    let order = plan.order();
+    let initial: Vec<Task> = (0..cli.shards)
+        .map(|index| {
+            let spec = fahana_runtime::ShardSpec::new(index, cli.shards)
+                .expect("index < shards by construction");
+            Task {
+                label: format!("shard-{}", index + 1),
+                mode: TaskMode::Hash {
+                    index,
+                    total: cli.shards,
+                },
+                cells: plan.slice(spec).into_iter().map(|s| s.name).collect(),
+                attempts: 0,
+            }
+        })
+        .collect();
+
     eprintln!(
-        "fanning {} scenarios out across {} worker processes ({})",
+        "fanning {} scenarios out across {} worker processes ({}, up to {} attempts each)",
         plan.len(),
         cli.shards,
-        worker_bin.display()
+        worker_bin.display(),
+        cli.max_attempts,
     );
-    let mut workers: Vec<(usize, PathBuf, std::process::Child)> = Vec::with_capacity(cli.shards);
-    for index in 0..cli.shards {
-        let shard_dir = shards_dir.join(format!("shard-{}", index + 1));
-        std::fs::create_dir_all(&shard_dir)
-            .map_err(|e| format!("cannot create {}: {e}", shard_dir.display()))?;
-        let mut command = Command::new(&worker_bin);
-        command
-            .arg("--shard")
-            .arg(format!("{}/{}", index + 1, cli.shards))
-            .arg("--out")
-            .arg(&shard_dir)
-            .arg("--cache-out")
-            .arg(shard_dir.join("cache.fsnap"));
-        if let Some(path) = &cli.config_path {
-            command.arg("--config").arg(path);
-        }
-        if let Some(threads) = cli.threads {
-            command.arg("--threads").arg(threads.to_string());
-        }
-        if let Some(episodes) = cli.episodes {
-            command.arg("--episodes").arg(episodes.to_string());
-        }
-        if let Some(seed) = cli.seed {
-            command.arg("--seed").arg(seed.to_string());
-        }
-        if cli.parallel_episodes {
-            command.arg("--parallel-episodes");
-        }
-        let child = match command.stdout(Stdio::null()).stderr(Stdio::piped()).spawn() {
-            Ok(child) => child,
-            Err(e) => {
-                // do not leave already-spawned workers running as orphans
-                for (_, _, child) in workers.iter_mut() {
-                    child.kill().ok();
-                    child.wait().ok();
-                }
-                return Err(format!("cannot spawn {}: {e}", worker_bin.display()));
-            }
-        };
-        workers.push((index + 1, shard_dir, child));
-    }
-
-    // collect every worker before reporting a failure: the first error is
-    // remembered, the still-running siblings are killed and reaped, and
-    // only then does the coordinator bail — no orphan keeps burning CPU
-    // on a campaign nobody will merge
-    let mut parts = Vec::with_capacity(cli.shards);
+    let mut parts: Vec<CampaignReport> = Vec::with_capacity(cli.shards);
     let mut merged_snapshot = CacheSnapshot::new();
-    let mut failure: Option<String> = None;
-    for (shard, shard_dir, mut child) in workers {
-        if failure.is_some() {
-            child.kill().ok();
-            child.wait().ok();
-            continue;
+    let exhausted = scheduler.drive(initial, &mut parts, &mut merged_snapshot)?;
+
+    if !exhausted.is_empty() {
+        // every task that succeeded contributed exactly one part; its
+        // artifacts are salvaged as-is and its cells never re-run
+        let survivors = parts.len();
+        let unfinished: BTreeSet<&str> = exhausted
+            .iter()
+            .flat_map(|task| task.cells.iter().map(String::as_str))
+            .collect();
+        let unfinished: Vec<String> = order
+            .iter()
+            .filter(|name| unfinished.contains(name.as_str()))
+            .cloned()
+            .collect();
+        let groups = rebalance_groups(&unfinished, survivors);
+        eprintln!(
+            "rebalancing {} unfinished cells across {} replacement workers \
+             (salvaged {} completed shards)",
+            unfinished.len(),
+            groups.len(),
+            survivors,
+        );
+        let mut replacements = Vec::new();
+        for (index, group) in groups.into_iter().enumerate() {
+            let label = format!("rebalance-{}", index + 1);
+            let assignment =
+                CellAssignment::new(group.clone()).expect("plan-order groups have no duplicates");
+            let path = shards_dir.join(format!("{label}.cells"));
+            write_atomic(&path, assignment.render())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            replacements.push(Task {
+                label,
+                mode: TaskMode::Cells { path },
+                cells: group,
+                attempts: 0,
+            });
         }
-        let collect = |merged_snapshot: &mut CacheSnapshot,
-                       parts: &mut Vec<CampaignReport>|
-         -> Result<(), String> {
-            let output = child
-                .wait_with_output()
-                .map_err(|e| format!("shard {shard}/{}: wait failed: {e}", cli.shards))?;
-            if !output.status.success() {
-                return Err(format!(
-                    "shard {shard}/{} failed with {}\n{}",
-                    cli.shards,
-                    output.status,
-                    String::from_utf8_lossy(&output.stderr)
-                ));
-            }
-            let report_path = shard_dir.join("campaign.json");
-            let text = std::fs::read_to_string(&report_path)
-                .map_err(|e| format!("cannot read {}: {e}", report_path.display()))?;
-            parts.push(
-                CampaignReport::parse(&text)
-                    .map_err(|e| format!("shard {shard} report {}: {e}", report_path.display()))?,
-            );
-            let snapshot_path = shard_dir.join("cache.fsnap");
-            let snapshot = CacheSnapshot::load(&snapshot_path)
-                .map_err(|e| format!("cannot load {}: {e}", snapshot_path.display()))?;
-            let outcome = merged_snapshot.merge(&snapshot);
-            if outcome.conflicts > 0 {
-                // deterministic evaluation means identical keys carry
-                // identical values; a conflict is a fingerprint collision
-                // or build skew
-                eprintln!(
-                    "warning: shard {shard} snapshot had {} conflicting entries (kept first sighting)",
-                    outcome.conflicts
-                );
-            }
-            Ok(())
-        };
-        if let Err(message) = collect(&mut merged_snapshot, &mut parts) {
-            failure = Some(message);
+        let failed = scheduler.drive(replacements, &mut parts, &mut merged_snapshot)?;
+        if !failed.is_empty() {
+            let never: BTreeSet<&str> = failed
+                .iter()
+                .flat_map(|task| task.cells.iter().map(String::as_str))
+                .collect();
+            let never: Vec<&str> = order
+                .iter()
+                .map(String::as_str)
+                .filter(|name| never.contains(name))
+                .collect();
+            return Err(format!(
+                "{} cells never completed after {} attempts and rebalancing: {}",
+                never.len(),
+                cli.max_attempts,
+                never.join(", ")
+            ));
         }
-    }
-    if let Some(message) = failure {
-        return Err(message);
     }
 
     let mut merged =
-        CampaignReport::merge(&parts, &plan.order()).map_err(|e| format!("merge failed: {e}"))?;
+        CampaignReport::merge(&parts, &order).map_err(|e| format!("merge failed: {e}"))?;
     // the per-part sum double-counts entries shards evaluated in common;
     // the merged snapshot knows the true distinct count
     merged.cache_entries = merged_snapshot.len() as u64;
@@ -336,7 +591,7 @@ fn run(cli: Cli) -> Result<(), String> {
     match &cli.out_dir {
         Some(_) => {
             let campaign_path = work_dir.join("campaign.json");
-            std::fs::write(&campaign_path, &merged_json)
+            write_atomic(&campaign_path, &merged_json)
                 .map_err(|e| format!("cannot write {}: {e}", campaign_path.display()))?;
             eprintln!(
                 "merged {} partial reports ({} scenarios) into {}",

@@ -184,6 +184,23 @@ impl CampaignEngine {
         self.run_scenarios(plan.slice(shard), cache)
     }
 
+    /// Runs an explicit cell set — the rescheduling counterpart of
+    /// [`CampaignEngine::run_shard`]: a fault-tolerant coordinator hands a
+    /// replacement worker exactly the cells a dead shard never finished
+    /// (`fahana-campaign --cells FILE`), and because every cell is a pure
+    /// function of (scenario, campaign settings), the outcomes are
+    /// bit-identical to the ones the original shard would have produced.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignEngine::run`], plus [`RuntimeError::InvalidConfig`]
+    /// when a name is not a plan cell or repeats
+    /// ([`crate::CampaignPlan::subset`]).
+    pub fn run_cells(&self, cells: &[String], cache: Arc<EvalCache>) -> Result<CampaignOutcome> {
+        let plan = crate::CampaignPlan::new(self.config.clone())?;
+        self.run_scenarios(plan.subset(cells)?, cache)
+    }
+
     /// Runs an explicit scenario list (a plan slice) over a caller-provided
     /// cache. This is the execution core behind [`CampaignEngine::run`],
     /// [`CampaignEngine::run_with_cache`] and [`CampaignEngine::run_shard`]:

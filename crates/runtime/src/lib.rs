@@ -20,11 +20,16 @@
 //!   ([`edgehw::SharedBlockLatencyTable`]) and the evaluation cache;
 //! * [`plan`] / [`shard`] — the plan → partition half of sharded
 //!   execution: a [`CampaignPlan`] enumerates grid cells deterministically
-//!   and slices them into `N` shards by stable name hash, so independent
-//!   worker processes (`fahana-campaign --shard I/N`, fanned out by the
-//!   `fahana-shard` coordinator) jointly cover the grid exactly once and
-//!   their partial reports and cache snapshots merge back bit-identically
-//!   to a single-process run;
+//!   and slices them into `N` shards by stable name hash — or into
+//!   arbitrary explicit cell sets ([`CellAssignment`],
+//!   `fahana-campaign --cells`) — so independent worker processes
+//!   (fanned out by the `fahana-shard` coordinator, which retries failed
+//!   workers and rebalances their unfinished cells) jointly cover the
+//!   grid exactly once and their partial reports and cache snapshots
+//!   merge back bit-identically to a single-process run;
+//! * [`fsutil`] — crash-safe staging writes ([`write_atomic`]) shared by
+//!   every artifact emitter, so a worker killed mid-write never leaves a
+//!   torn report for a retrying coordinator to trip over;
 //! * [`report`] — hand-rolled JSON reports (best architecture, Pareto
 //!   frontier, wall-clock, cache hit-rate) for each scenario and the
 //!   campaign as a whole, with a parser and typed schema structs so
@@ -47,6 +52,7 @@
 
 pub mod cache;
 pub mod campaign;
+pub mod fsutil;
 pub mod plan;
 pub mod pool;
 pub mod report;
@@ -58,6 +64,7 @@ pub mod store;
 
 pub use cache::{CacheStats, CachedEvaluator, EvalCache};
 pub use campaign::{CampaignEngine, CampaignOutcome, PooledBatchEvaluator, ScenarioOutcome};
+pub use fsutil::write_atomic;
 pub use plan::CampaignPlan;
 pub use pool::ThreadPool;
 pub use report::{
@@ -66,7 +73,7 @@ pub use report::{
 };
 pub use scenario::{CampaignConfig, RewardSetting, Scenario};
 pub use serve::{Server, ServerHandle, StoreView};
-pub use shard::{shard_of, ShardSpec};
+pub use shard::{shard_of, CellAssignment, ShardAssignment, ShardSpec};
 pub use snapshot::{CacheSnapshot, MergeOutcome, SnapshotError};
 pub use store::{
     answer_query, catalog_json, leaderboard, ArtifactStore, Candidate, Leaderboard, QueryAnswer,

@@ -19,8 +19,8 @@
 //! its workers need to exchange nothing but the config and `I/N`.
 
 use crate::scenario::{CampaignConfig, Scenario};
-use crate::shard::ShardSpec;
-use crate::Result;
+use crate::shard::{ShardAssignment, ShardSpec};
+use crate::{Result, RuntimeError};
 
 /// A validated grid expansion with a stable scenario order.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,11 +79,97 @@ impl CampaignPlan {
             .cloned()
             .collect()
     }
+
+    /// The scenarios named by an explicit cell set, in plan order
+    /// regardless of the listed order. Unlike hash slices, an arbitrary
+    /// subset can be wrong, so it is validated: every name must be a cell
+    /// of this plan, and no name may repeat.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] naming the first unknown or
+    /// duplicated cell.
+    pub fn subset(&self, names: &[String]) -> Result<Vec<Scenario>> {
+        let known: std::collections::HashSet<&str> =
+            self.scenarios.iter().map(|s| s.name.as_str()).collect();
+        let mut wanted = std::collections::HashSet::with_capacity(names.len());
+        for name in names {
+            if !known.contains(name.as_str()) {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "cell `{name}` is not part of the campaign plan"
+                )));
+            }
+            if !wanted.insert(name.as_str()) {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "cell `{name}` is assigned twice"
+                )));
+            }
+        }
+        Ok(self
+            .scenarios
+            .iter()
+            .filter(|scenario| wanted.contains(scenario.name.as_str()))
+            .cloned()
+            .collect())
+    }
+
+    /// The scenarios a worker's assignment resolves to: a hash slice
+    /// ([`CampaignPlan::slice`]) or a validated explicit subset
+    /// ([`CampaignPlan::subset`]), both in plan order.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignPlan::subset`] (hash slices cannot fail).
+    pub fn slice_assignment(&self, assignment: &ShardAssignment) -> Result<Vec<Scenario>> {
+        match assignment {
+            ShardAssignment::Hash(spec) => Ok(self.slice(*spec)),
+            ShardAssignment::Cells(cells) => self.subset(cells.cells()),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::CellAssignment;
+
+    #[test]
+    fn subsets_are_validated_and_normalized_to_plan_order() {
+        let plan = CampaignPlan::new(CampaignConfig::default()).unwrap();
+        let order = plan.order();
+
+        // listed backwards, resolved in plan order
+        let names = vec![order[5].clone(), order[0].clone(), order[3].clone()];
+        let scenarios = plan.subset(&names).unwrap();
+        let resolved: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(resolved, [&order[0], &order[3], &order[5]]);
+
+        // the empty subset is a valid (idle) assignment
+        assert!(plan.subset(&[]).unwrap().is_empty());
+
+        let err = plan.subset(&["desktop/balanced/full".into()]).unwrap_err();
+        assert!(err.to_string().contains("not part of"), "{err}");
+        let err = plan
+            .subset(&[order[1].clone(), order[1].clone()])
+            .unwrap_err();
+        assert!(err.to_string().contains("assigned twice"), "{err}");
+    }
+
+    #[test]
+    fn assignments_resolve_through_one_entry_point() {
+        let plan = CampaignPlan::new(CampaignConfig::default()).unwrap();
+        let spec = ShardSpec::new(1, 3).unwrap();
+        assert_eq!(
+            plan.slice_assignment(&ShardAssignment::Hash(spec)).unwrap(),
+            plan.slice(spec)
+        );
+        let cells = CellAssignment::new(plan.order()).unwrap();
+        assert_eq!(
+            plan.slice_assignment(&ShardAssignment::Cells(cells))
+                .unwrap(),
+            plan.scenarios()
+        );
+    }
 
     #[test]
     fn plan_preserves_grid_order_and_validates() {

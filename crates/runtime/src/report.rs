@@ -807,6 +807,14 @@ impl CampaignReport {
         })
     }
 
+    /// The names of the scenarios this report covers, in report order —
+    /// what a coordinator checks against a worker's assigned cells before
+    /// merging: a report that covers anything else (or anything missing)
+    /// is a failed attempt, not merge input.
+    pub fn scenario_names(&self) -> Vec<&str> {
+        self.scenarios.iter().map(|s| s.scenario.as_str()).collect()
+    }
+
     /// The deterministic projection of the whole report (see
     /// [`ScenarioReport::canonical`]): scheduling-dependent aggregates —
     /// threads, wall-clock, cache counters and entry count — are zeroed,

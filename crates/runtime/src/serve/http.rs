@@ -113,7 +113,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
     };
 
     // headers: only Content-Length and Connection matter to this server
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut terminated = false;
     loop {
         let mut header = String::new();
@@ -130,10 +130,21 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let parsed: usize = value
                     .trim()
                     .parse()
                     .map_err(|_| BadRequest(format!("bad Content-Length `{}`", value.trim())))?;
+                // duplicate Content-Length headers that disagree are the
+                // classic request-smuggling vector (two parsers, two body
+                // framings): reject instead of letting the last one win;
+                // identical duplicates are harmless and stay accepted
+                if content_length.is_some_and(|existing| existing != parsed) {
+                    return Err(BadRequest(format!(
+                        "conflicting Content-Length headers ({} then {parsed})",
+                        content_length.unwrap_or_default()
+                    )));
+                }
+                content_length = Some(parsed);
             } else if name.eq_ignore_ascii_case("connection") {
                 // token list, case-insensitive (`keep-alive`, `close`)
                 for token in value.split(',') {
@@ -152,6 +163,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
             "header block truncated or larger than {MAX_HEAD_BYTES} bytes"
         )));
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(BadRequest(format!(
             "body of {content_length} bytes exceeds the {MAX_BODY_BYTES} byte limit"

@@ -1,18 +1,28 @@
-//! Stable hash-partitioning of campaign plans into shards.
+//! Partitioning of campaign plans into shards: stable name-hash slices
+//! and explicit cell-set assignments.
 //!
 //! A campaign grid is embarrassingly parallel: every cell is an
 //! independent search, and cache snapshots ([`crate::CacheSnapshot`]) and
 //! campaign reports ([`crate::CampaignReport`]) both merge. This module
 //! supplies the partitioning half of the plan → partition → execute →
-//! merge pipeline: a [`ShardSpec`] names one shard of `N`, and
-//! [`shard_of`] assigns every scenario to exactly one shard by hashing its
-//! *name* — not its position — so adding or removing grid cells never
-//! reshuffles the cells that stayed.
+//! merge pipeline, in two forms unified by [`ShardAssignment`]:
 //!
-//! The assignment must be stable across processes, machines and releases
-//! (a coordinator and its workers may not even share a binary), so it uses
-//! a fixed FNV-1a hash rather than `std::hash`, whose output is
-//! deliberately unstable.
+//! * [`ShardSpec`] names one shard of `N`, and [`shard_of`] assigns every
+//!   scenario to exactly one shard by hashing its *name* — not its
+//!   position — so adding or removing grid cells never reshuffles the
+//!   cells that stayed. This is the default partition: workers need
+//!   nothing but the config and `I/N`.
+//! * [`CellAssignment`] is an explicit set of cell names — any subset of
+//!   the plan, handed to any worker. This is what fault-tolerant
+//!   rescheduling needs: when a shard's worker dies for good, its
+//!   unfinished cells are rebalanced across replacement workers as
+//!   explicit assignments (`fahana-campaign --cells FILE`) that no hash
+//!   could describe.
+//!
+//! The hash assignment must be stable across processes, machines and
+//! releases (a coordinator and its workers may not even share a binary),
+//! so it uses a fixed FNV-1a hash rather than `std::hash`, whose output
+//! is deliberately unstable.
 
 use std::str::FromStr;
 
@@ -93,6 +103,105 @@ impl std::fmt::Display for ShardSpec {
     }
 }
 
+/// An explicit set of plan cells (scenario names) assigned to one
+/// worker.
+///
+/// The text form is one cell name per line; blank lines and `#` comments
+/// are ignored, so assignment files stay hand-editable and
+/// coordinator-annotatable. An empty assignment is valid (a replacement
+/// worker may end up with nothing when there are more survivors than
+/// unfinished cells); duplicate names are rejected — one cell must never
+/// run twice within one assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellAssignment {
+    cells: Vec<String>,
+}
+
+impl CellAssignment {
+    /// An assignment over the given cell names (kept in the given order).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] when a name appears twice.
+    pub fn new(cells: Vec<String>) -> crate::Result<Self> {
+        let mut seen = std::collections::HashSet::new();
+        for cell in &cells {
+            if !seen.insert(cell.as_str()) {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "cell `{cell}` appears twice in the assignment"
+                )));
+            }
+        }
+        Ok(CellAssignment { cells })
+    }
+
+    /// Parses the text form (one name per line, `#` comments, blank lines
+    /// ignored).
+    ///
+    /// # Errors
+    ///
+    /// As [`CellAssignment::new`].
+    pub fn parse(text: &str) -> crate::Result<Self> {
+        CellAssignment::new(
+            text.lines()
+                .map(str::trim)
+                .filter(|line| !line.is_empty() && !line.starts_with('#'))
+                .map(str::to_string)
+                .collect(),
+        )
+    }
+
+    /// Renders the text form [`CellAssignment::parse`] inverts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for cell in &self.cells {
+            out.push_str(cell);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The assigned cell names, in assignment order.
+    pub fn cells(&self) -> &[String] {
+        &self.cells
+    }
+
+    /// Number of assigned cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the assignment holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// How a worker's share of the plan is expressed: the generalization from
+/// pure hash partitions to arbitrary cell sets.
+///
+/// [`crate::CampaignPlan::slice_assignment`] resolves either form to the
+/// concrete scenarios, and `fahana-campaign` accepts either on the CLI
+/// (`--shard I/N` or `--cells FILE`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardAssignment {
+    /// One slice of the stable name-hash partition.
+    Hash(ShardSpec),
+    /// An explicit cell set chosen by a coordinator.
+    Cells(CellAssignment),
+}
+
+impl std::fmt::Display for ShardAssignment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardAssignment::Hash(spec) => write!(f, "shard {spec}"),
+            ShardAssignment::Cells(cells) => {
+                write!(f, "explicit assignment ({} cells)", cells.len())
+            }
+        }
+    }
+}
+
 /// The shard (0-based, `< total`) that owns a scenario name.
 ///
 /// Stable FNV-1a over the name's bytes (the same
@@ -152,6 +261,49 @@ mod tests {
                 assert_eq!(owners[0], shard_of(&scenario.name, total));
             }
         }
+    }
+
+    #[test]
+    fn cell_assignments_round_trip_and_reject_duplicates() {
+        let assignment = CellAssignment::parse(
+            "# rebalanced by fahana-shard\n\
+             raspberry_pi_4/balanced/frozen\n\
+             \n\
+             odroid_xu4/balanced/full\n",
+        )
+        .unwrap();
+        assert_eq!(
+            assignment.cells(),
+            [
+                "raspberry_pi_4/balanced/frozen".to_string(),
+                "odroid_xu4/balanced/full".to_string(),
+            ]
+        );
+        assert_eq!(assignment.len(), 2);
+        assert!(!assignment.is_empty());
+        // render → parse is lossless (comments and blanks aside)
+        assert_eq!(
+            CellAssignment::parse(&assignment.render()).unwrap(),
+            assignment
+        );
+
+        // empty assignments are valid (a replacement worker may get none)
+        let empty = CellAssignment::parse("# nothing left\n").unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.render(), "");
+
+        let err = CellAssignment::parse("a/b/c\na/b/c\n").unwrap_err();
+        assert!(err.to_string().contains("appears twice"), "{err}");
+    }
+
+    #[test]
+    fn shard_assignments_describe_themselves() {
+        let hash = ShardAssignment::Hash("2/3".parse().unwrap());
+        assert_eq!(hash.to_string(), "shard 2/3");
+        let cells = ShardAssignment::Cells(
+            CellAssignment::new(vec!["a/b/c".into(), "d/e/f".into()]).unwrap(),
+        );
+        assert_eq!(cells.to_string(), "explicit assignment (2 cells)");
     }
 
     #[test]

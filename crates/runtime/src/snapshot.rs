@@ -290,25 +290,20 @@ impl CacheSnapshot {
         Ok(CacheSnapshot { entries })
     }
 
-    /// Writes the encoded snapshot to `path` (atomically: a temporary
-    /// sibling file is renamed into place, so readers never observe a
-    /// half-written snapshot).
+    /// Writes the encoded snapshot to `path` (atomically, via
+    /// [`crate::fsutil::write_atomic`]: a uniquely named temporary sibling
+    /// is renamed into place, so readers never observe a half-written
+    /// snapshot and concurrent writers never collide on the staging file).
     ///
     /// # Errors
     ///
     /// [`SnapshotError::Io`] on filesystem failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
         let path = path.as_ref();
-        let io_error = |e: std::io::Error| SnapshotError::Io {
+        crate::fsutil::write_atomic(path, self.to_bytes()).map_err(|e| SnapshotError::Io {
             path: path.display().to_string(),
             message: e.to_string(),
-        };
-        let mut tmp = path.to_path_buf();
-        let mut name = tmp.file_name().unwrap_or_default().to_os_string();
-        name.push(".tmp");
-        tmp.set_file_name(name);
-        std::fs::write(&tmp, self.to_bytes()).map_err(io_error)?;
-        std::fs::rename(&tmp, path).map_err(io_error)
+        })
     }
 
     /// Reads and decodes a snapshot from `path`.

@@ -768,8 +768,8 @@ impl ArtifactStore {
 
     /// Regenerates `catalog.json` (see [`catalog_json`]).
     ///
-    /// The write is atomic: the document is staged in a hidden uniquely
-    /// named `.catalog.*.tmp` sibling and renamed into place, so a crash
+    /// The write is atomic ([`crate::fsutil::write_atomic`]: staged in a
+    /// hidden uniquely named sibling and renamed into place), so a crash
     /// or a concurrent ingest can never leave a torn catalog — readers
     /// always observe some complete catalog, matching the artifact publish
     /// discipline of [`ArtifactStore::ingest`]. Rebuilds are serialized
@@ -780,23 +780,7 @@ impl ArtifactStore {
         let campaigns = self.campaigns()?;
         let catalog = catalog_json(&campaigns);
         let path = self.root.join("catalog.json");
-        // unique per process *and* per call, so concurrent catalog writers
-        // never stage into the same tmp file
-        static SEQ: AtomicU64 = AtomicU64::new(0);
-        let tmp = self.root.join(format!(
-            ".catalog.{}.{}.tmp",
-            std::process::id(),
-            SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        std::fs::write(&tmp, catalog.render()).map_err(|e| StoreError::Io {
-            path: tmp.display().to_string(),
-            message: e.to_string(),
-        })?;
-        let publish = std::fs::rename(&tmp, &path);
-        if publish.is_err() {
-            std::fs::remove_file(&tmp).ok();
-        }
-        publish.map_err(|e| StoreError::Io {
+        crate::fsutil::write_atomic(&path, catalog.render()).map_err(|e| StoreError::Io {
             path: path.display().to_string(),
             message: e.to_string(),
         })

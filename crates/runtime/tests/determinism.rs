@@ -253,6 +253,77 @@ fn sharded_runs_merge_bit_identically_to_a_single_process() {
 }
 
 #[test]
+fn arbitrary_cell_partitions_merge_bit_identically() {
+    // the fault-tolerance gate behind rebalancing: hash slices are just
+    // one partition of the plan — after a worker dies, its cells run as
+    // explicit assignments whose shapes no hash would produce. ANY
+    // partition of the plan's cells (uneven, out of hash order, with an
+    // idle worker thrown in) must merge back to the single-process run
+    // bit-for-bit, reports and snapshots alike
+    let config = CampaignConfig {
+        episodes: 5,
+        samples: 120,
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+    let plan = CampaignPlan::new(config.clone()).unwrap();
+    let order = plan.order();
+    assert_eq!(order.len(), 8);
+
+    let single_cache = Arc::new(EvalCache::new());
+    let single = CampaignEngine::new(config.clone())
+        .unwrap()
+        .run_with_cache(Arc::clone(&single_cache))
+        .unwrap();
+    let single_canonical = CampaignReport::from_outcome(&single).canonical();
+    let single_snapshot_bytes = single_cache.snapshot().to_bytes();
+
+    // three partitions: uneven, reversed round-robin, and one with an
+    // idle (empty) assignment — the shapes retry/rebalance produces
+    let partitions: Vec<Vec<Vec<String>>> = vec![
+        vec![
+            order[..1].to_vec(),
+            order[1..4].to_vec(),
+            order[4..].to_vec(),
+        ],
+        vec![
+            order.iter().rev().step_by(2).cloned().collect(),
+            order.iter().rev().skip(1).step_by(2).cloned().collect(),
+        ],
+        vec![order[..5].to_vec(), Vec::new(), order[5..].to_vec()],
+    ];
+    for partition in partitions {
+        let mut parts = Vec::new();
+        let mut merged_snapshot = CacheSnapshot::new();
+        for cells in &partition {
+            let worker_cache = Arc::new(EvalCache::new());
+            let outcome = CampaignEngine::new(config.clone())
+                .unwrap()
+                .run_cells(cells, Arc::clone(&worker_cache))
+                .unwrap();
+            assert_eq!(outcome.scenarios.len(), cells.len());
+            parts.push(CampaignReport::from_outcome(&outcome));
+            let merge = merged_snapshot.merge(&worker_cache.snapshot());
+            assert_eq!(
+                merge.conflicts, 0,
+                "deterministic workers must never disagree on a cache entry"
+            );
+        }
+        let merged = CampaignReport::merge(&parts, &order).unwrap();
+        assert_eq!(
+            merged.canonical().to_json().render(),
+            single_canonical.to_json().render(),
+            "partition {partition:?} must merge to the single-process report"
+        );
+        assert_eq!(
+            merged_snapshot.to_bytes(),
+            single_snapshot_bytes,
+            "partition {partition:?} must merge to the single-process snapshot"
+        );
+    }
+}
+
+#[test]
 fn compacted_snapshot_is_smaller_but_warm_starts_equivalently() {
     // a snapshot accumulated under a *wider* configuration (a larger
     // episode budget explores more children) is compacted against the

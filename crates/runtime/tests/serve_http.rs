@@ -302,6 +302,59 @@ fn keep_alive_responses_advertise_it() {
 }
 
 #[test]
+fn conflicting_duplicate_content_length_is_rejected() {
+    let dir = temp_dir("dup-content-length");
+    let store_root = dir.join("store");
+    ArtifactStore::open(&store_root).unwrap();
+    let (addr, handle, runner) = start_server(&store_root);
+
+    // one raw exchange with a hand-built head; returns (status, raw text)
+    let raw_exchange = |head: &str, body: &[u8]| -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(body).unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let raw = String::from_utf8(raw).unwrap();
+        let status: u16 = raw.split(' ').nth(1).unwrap().parse().unwrap();
+        (status, raw)
+    };
+
+    // duplicate Content-Length headers that disagree: classic request
+    // smuggling shape (one framing per parser) — must be 400, and the
+    // larger length must not make the server wait for a phantom body
+    let (status, raw) = raw_exchange(
+        "POST /ingest?id=smuggled HTTP/1.1\r\nHost: fahana\r\n\
+         Content-Length: 4\r\nContent-Length: 9999\r\nConnection: close\r\n\r\n",
+        b"{}{}",
+    );
+    assert_eq!(status, 400, "{raw}");
+    assert!(raw.contains("conflicting Content-Length"), "{raw}");
+
+    // order must not matter either
+    let (status, _) = raw_exchange(
+        "GET /healthz HTTP/1.1\r\nHost: fahana\r\n\
+         Content-Length: 9999\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        b"",
+    );
+    assert_eq!(status, 400);
+
+    // identical duplicates are harmless (one unambiguous framing): the
+    // request is served normally
+    let (status, raw) = raw_exchange(
+        "GET /healthz HTTP/1.1\r\nHost: fahana\r\n\
+         Content-Length: 0\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        b"",
+    );
+    assert_eq!(status, 200, "{raw}");
+    assert!(raw.contains(r#""status":"ok""#), "{raw}");
+
+    handle.shutdown();
+    runner.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn serve_ingests_live_without_restart() {
     let dir = temp_dir("live-ingest");
     let store_root = dir.join("store");

@@ -4,9 +4,16 @@
 //! a live `fahana-serve` daemon — and the merged artifacts compared
 //! byte-for-byte against a single-process run (what the CI sharded smoke
 //! job re-checks with `diff`).
+//!
+//! The fault-tolerance half injects real worker crashes through the
+//! `FAHANA_TEST_FAIL_SHARD` / `FAHANA_TEST_FAIL_MARKER` /
+//! `FAHANA_TEST_FAIL_POINT` hooks in `fahana-campaign` (a crashed worker
+//! process, not a mock): retried and rebalanced runs must still be
+//! bit-identical to a clean single-process run, and exhausted retries
+//! must name exactly the cells that never completed.
 
 use std::path::{Path, PathBuf};
-use std::process::Command;
+use std::process::{Command, Output};
 
 use fahana_runtime::{ArtifactStore, CampaignReport, Json, Server, StoreView};
 
@@ -18,7 +25,10 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 /// A 4-scenario grid (2 devices × 1 reward × freezing on/off) small
-/// enough for several process spawns per test.
+/// enough for several process spawns per test. At `--shards 3`, the
+/// stable name-hash partition gives shard 1 two cells, and shards 2 and 3
+/// one each; shard 2's cell is `raspberry_pi_4/balanced/frozen` (pinned
+/// in `shard.rs`), which the crash-injection tests rely on.
 fn write_config(dir: &Path) -> PathBuf {
     let path = dir.join("campaign.conf");
     std::fs::write(
@@ -31,16 +41,30 @@ fn write_config(dir: &Path) -> PathBuf {
     path
 }
 
-fn run_ok(binary: &str, args: &[&str], cwd: &Path) -> (String, String) {
-    let output = Command::new(binary)
+fn run_with_env(binary: &str, args: &[&str], cwd: &Path, envs: &[(&str, &str)]) -> Output {
+    let mut command = Command::new(binary);
+    command
         .args(args)
         .current_dir(cwd)
         // the coordinator resolves its worker binary relative to itself;
         // under the test harness the two binaries live in different
         // target subdirectories, so point it explicitly
-        .env("FAHANA_CAMPAIGN_BIN", env!("CARGO_BIN_EXE_fahana-campaign"))
+        .env("FAHANA_CAMPAIGN_BIN", env!("CARGO_BIN_EXE_fahana-campaign"));
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    command
         .output()
-        .unwrap_or_else(|e| panic!("cannot run {binary}: {e}"));
+        .unwrap_or_else(|e| panic!("cannot run {binary}: {e}"))
+}
+
+fn run_ok_with_env(
+    binary: &str,
+    args: &[&str],
+    cwd: &Path,
+    envs: &[(&str, &str)],
+) -> (String, String) {
+    let output = run_with_env(binary, args, cwd, envs);
     assert!(
         output.status.success(),
         "{binary} {args:?} failed with {}\nstderr: {}",
@@ -51,6 +75,43 @@ fn run_ok(binary: &str, args: &[&str], cwd: &Path) -> (String, String) {
         String::from_utf8_lossy(&output.stdout).into_owned(),
         String::from_utf8_lossy(&output.stderr).into_owned(),
     )
+}
+
+fn run_ok(binary: &str, args: &[&str], cwd: &Path) -> (String, String) {
+    run_ok_with_env(binary, args, cwd, &[])
+}
+
+/// Runs the single-process reference (canonical report + snapshot) the
+/// recovered coordinator runs are diffed against.
+fn run_reference(dir: &Path, config: &str) {
+    run_ok(
+        env!("CARGO_BIN_EXE_fahana-campaign"),
+        &[
+            "--config",
+            config,
+            "--canonical",
+            "--out",
+            "single",
+            "--cache-out",
+            "single.fsnap",
+        ],
+        dir,
+    );
+}
+
+/// Asserts the coordinator's merged artifacts in `dir` are byte-identical
+/// to the single-process reference from [`run_reference`].
+fn assert_recovered_bit_identical(dir: &Path) {
+    assert_eq!(
+        std::fs::read(dir.join("single/campaign.json")).unwrap(),
+        std::fs::read(dir.join("recovered/campaign.json")).unwrap(),
+        "recovered canonical report must equal the single-process one"
+    );
+    assert_eq!(
+        std::fs::read(dir.join("single.fsnap")).unwrap(),
+        std::fs::read(dir.join("recovered.fsnap")).unwrap(),
+        "recovered merged snapshot must be bit-identical"
+    );
 }
 
 #[test]
@@ -168,9 +229,13 @@ fn coordinator_publishes_into_a_live_daemon_over_keep_alive() {
         stderr.contains("published merged campaign as `over-http`"),
         "{stderr}"
     );
-    // --keep-partials leaves the per-shard working directories behind
-    assert!(dir.join("sharded/shards/shard-1/campaign.json").exists());
-    assert!(dir.join("sharded/shards/shard-2/cache.fsnap").exists());
+    // --keep-partials leaves the per-attempt working directories behind
+    assert!(dir
+        .join("sharded/shards/shard-1.attempt-1/campaign.json")
+        .exists());
+    assert!(dir
+        .join("sharded/shards/shard-2.attempt-1/cache.fsnap")
+        .exists());
 
     // the daemon holds the merged campaign durably
     assert!(store_root.join("artifacts/over-http.json").exists());
@@ -185,5 +250,264 @@ fn coordinator_publishes_into_a_live_daemon_over_keep_alive() {
 
     handle.shutdown();
     runner.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The standard recovery-run arguments: 3 workers, canonical output into
+/// `recovered/`, merged snapshot to `recovered.fsnap`.
+fn recovery_args(config: &str) -> Vec<&str> {
+    vec![
+        "--config",
+        config,
+        "--shards",
+        "3",
+        "--canonical",
+        "--out",
+        "recovered",
+        "--cache-out",
+        "recovered.fsnap",
+    ]
+}
+
+#[test]
+fn crashed_worker_is_retried_and_the_merge_is_bit_identical() {
+    let dir = temp_dir("retry");
+    let config = write_config(&dir);
+    let config = config.to_str().unwrap();
+    run_reference(&dir, config);
+
+    // worker 2 crashes at spawn on its first attempt (the marker file
+    // makes the injection fire exactly once); the retry must recover
+    let marker = dir.join("fail-once.marker");
+    let (_, stderr) = run_ok_with_env(
+        env!("CARGO_BIN_EXE_fahana-shard"),
+        &recovery_args(config),
+        &dir,
+        &[
+            ("FAHANA_TEST_FAIL_SHARD", "2"),
+            ("FAHANA_TEST_FAIL_MARKER", marker.to_str().unwrap()),
+        ],
+    );
+    assert!(marker.exists(), "the injected crash never fired");
+    assert!(
+        stderr.contains("shard-2 attempt 1 of 2 failed, retrying"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("merged 3 partial reports"), "{stderr}");
+    assert_recovered_bit_identical(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persistently_failing_shard_is_rebalanced_bit_identically() {
+    let dir = temp_dir("rebalance");
+    let config = write_config(&dir);
+    let config = config.to_str().unwrap();
+    run_reference(&dir, config);
+
+    // no marker: worker 2 crashes on every hash-mode attempt, so its cell
+    // must be rebalanced to an explicit-assignment replacement worker
+    // (which the injection, keyed on the hash index, leaves alone)
+    let (_, stderr) = run_ok_with_env(
+        env!("CARGO_BIN_EXE_fahana-shard"),
+        &recovery_args(config),
+        &dir,
+        &[("FAHANA_TEST_FAIL_SHARD", "2")],
+    );
+    assert!(stderr.contains("shard-2 failed all 2 attempts"), "{stderr}");
+    assert!(
+        stderr.contains("rebalancing 1 unfinished cells across 1 replacement workers"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("merged 3 partial reports"), "{stderr}");
+    assert_recovered_bit_identical(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn complete_artifacts_of_a_failed_attempt_are_merged_exactly_once() {
+    let dir = temp_dir("after-write");
+    let config = write_config(&dir);
+    let config = config.to_str().unwrap();
+    run_reference(&dir, config);
+
+    // the regression from the pre-fault-tolerance coordinator: worker 2's
+    // first attempt writes its full report and snapshot and *then* exits
+    // non-zero — the retry must not merge that shard's artifacts twice
+    // (per-attempt directories make the winning attempt the only merge
+    // input; a double merge would fail with a duplicate-scenario error)
+    let marker = dir.join("fail-after-write.marker");
+    // --keep-partials keeps the attempt directories around so the test
+    // can prove the failed attempt really left complete artifacts behind
+    let mut args = recovery_args(config);
+    args.push("--keep-partials");
+    let (_, stderr) = run_ok_with_env(
+        env!("CARGO_BIN_EXE_fahana-shard"),
+        &args,
+        &dir,
+        &[
+            ("FAHANA_TEST_FAIL_SHARD", "2"),
+            ("FAHANA_TEST_FAIL_MARKER", marker.to_str().unwrap()),
+            ("FAHANA_TEST_FAIL_POINT", "after-write"),
+        ],
+    );
+    assert!(
+        dir.join("recovered/shards/shard-2.attempt-1/campaign.json")
+            .exists(),
+        "the failed attempt should have written a complete report"
+    );
+    assert!(stderr.contains("merged 3 partial reports"), "{stderr}");
+    assert_recovered_bit_identical(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_report_from_a_lying_worker_is_retried_not_a_merge_error() {
+    let dir = temp_dir("torn");
+    let config = write_config(&dir);
+    let config = config.to_str().unwrap();
+    run_reference(&dir, config);
+
+    // worker 2's first attempt exits 0 but leaves a truncated
+    // campaign.json (what a mid-write kill produced before report writes
+    // became atomic): the coordinator must diagnose the torn report as a
+    // failed attempt and retry, never hand it to the merge
+    let marker = dir.join("fail-torn.marker");
+    let (_, stderr) = run_ok_with_env(
+        env!("CARGO_BIN_EXE_fahana-shard"),
+        &recovery_args(config),
+        &dir,
+        &[
+            ("FAHANA_TEST_FAIL_SHARD", "2"),
+            ("FAHANA_TEST_FAIL_MARKER", marker.to_str().unwrap()),
+            ("FAHANA_TEST_FAIL_POINT", "torn-report"),
+        ],
+    );
+    assert!(
+        stderr.contains("shard-2 attempt 1 of 2 failed, retrying"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("merge failed"), "{stderr}");
+    assert_recovered_bit_identical(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exhausted_retries_and_rebalancing_name_the_never_completed_cells() {
+    let dir = temp_dir("exhausted");
+    let config = write_config(&dir);
+    let config = config.to_str().unwrap();
+
+    // worker 2 and every explicit-assignment replacement crash on every
+    // attempt: recovery is impossible, and the coordinator must say
+    // exactly which cells are missing rather than emit partial output
+    let output = run_with_env(
+        env!("CARGO_BIN_EXE_fahana-shard"),
+        &recovery_args(config),
+        &dir,
+        &[("FAHANA_TEST_FAIL_SHARD", "2,cells")],
+    );
+    assert!(
+        !output.status.success(),
+        "an unrecoverable campaign must not exit 0"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("rebalancing 1 unfinished cells"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains(
+            "1 cells never completed after 2 attempts and rebalancing: \
+                         raspberry_pi_4/balanced/frozen"
+        ),
+        "{stderr}"
+    );
+    // no merged artifacts appear on a failed run
+    assert!(!dir.join("recovered/campaign.json").exists());
+    assert!(!dir.join("recovered.fsnap").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explicit_cell_assignments_run_the_named_cells_bit_identically() {
+    let dir = temp_dir("cells");
+    let config = write_config(&dir);
+    let config = config.to_str().unwrap();
+    let campaign_bin = env!("CARGO_BIN_EXE_fahana-campaign");
+
+    // reference: shard 1/3 via the hash partition (two cells)
+    run_ok(
+        campaign_bin,
+        &[
+            "--config",
+            config,
+            "--shard",
+            "1/3",
+            "--canonical",
+            "--out",
+            "hash",
+        ],
+        &dir,
+    );
+    // the same two cells as an explicit assignment file, listed out of
+    // plan order and with comments — the worker must normalize and match
+    std::fs::write(
+        dir.join("assignment.cells"),
+        "# shard 1/3's cells, listed backwards\n\
+         odroid_xu4/balanced/full\n\
+         odroid_xu4/balanced/frozen\n",
+    )
+    .unwrap();
+    let (_, stderr) = run_ok(
+        campaign_bin,
+        &[
+            "--config",
+            config,
+            "--cells",
+            "assignment.cells",
+            "--canonical",
+            "--out",
+            "explicit",
+        ],
+        &dir,
+    );
+    assert!(
+        stderr.contains("explicit assignment (2 cells): running 2 of 4 scenarios"),
+        "{stderr}"
+    );
+    assert_eq!(
+        std::fs::read(dir.join("hash/campaign.json")).unwrap(),
+        std::fs::read(dir.join("explicit/campaign.json")).unwrap(),
+        "explicit assignment must reproduce the hash slice byte-for-byte"
+    );
+
+    // a cell outside the plan is rejected up front
+    std::fs::write(dir.join("bogus.cells"), "desktop/balanced/full\n").unwrap();
+    let output = run_with_env(
+        campaign_bin,
+        &["--config", config, "--cells", "bogus.cells"],
+        &dir,
+        &[],
+    );
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("not part of the campaign plan"), "{stderr}");
+
+    // --shard and --cells are mutually exclusive
+    let output = run_with_env(
+        campaign_bin,
+        &[
+            "--config",
+            config,
+            "--shard",
+            "1/3",
+            "--cells",
+            "assignment.cells",
+        ],
+        &dir,
+        &[],
+    );
+    assert!(!output.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
