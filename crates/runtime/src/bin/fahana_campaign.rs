@@ -7,6 +7,7 @@
 //!                 [--cache-in FILE] [--cache-out FILE] [--cache-compact]
 //!                 [--store DIR] [--store-id ID] [--shard I/N]
 //!                 [--cells FILE] [--canonical] [--parallel-episodes]
+//!                 [--trace-out FILE] [--metrics-out FILE]
 //!                 [--json] [--print-example]
 //! ```
 //!
@@ -45,7 +46,7 @@ use std::sync::Arc;
 
 use fahana_runtime::{
     write_atomic, ArtifactStore, CacheSnapshot, CampaignConfig, CampaignEngine, CampaignPlan,
-    CampaignReport, CellAssignment, EvalCache, ShardAssignment, ShardSpec,
+    CampaignReport, CellAssignment, EvalCache, ShardAssignment, ShardSpec, Telemetry,
 };
 
 struct Cli {
@@ -64,6 +65,8 @@ struct Cli {
     cells: Option<PathBuf>,
     canonical: bool,
     parallel_episodes: bool,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     json: bool,
     print_example: bool,
 }
@@ -73,7 +76,7 @@ fn usage() -> &'static str {
      [--episodes N] [--seed N] [--no-cache] [--cache-in FILE] \
      [--cache-out FILE] [--cache-compact] [--store DIR] [--store-id ID] \
      [--shard I/N] [--cells FILE] [--canonical] [--parallel-episodes] \
-     [--json] [--print-example]"
+     [--trace-out FILE] [--metrics-out FILE] [--json] [--print-example]"
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -93,6 +96,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         cells: None,
         canonical: false,
         parallel_episodes: false,
+        trace_out: None,
+        metrics_out: None,
         json: false,
         print_example: false,
     };
@@ -156,6 +161,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 cli.store_id = Some(value.to_string());
             }
             "--parallel-episodes" => cli.parallel_episodes = true,
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value_of("--trace-out")?)),
+            "--metrics-out" => cli.metrics_out = Some(PathBuf::from(value_of("--metrics-out")?)),
             "--json" => cli.json = true,
             "--print-example" => cli.print_example = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -344,7 +351,15 @@ fn run(cli: Cli) -> Result<(), String> {
         }
         None => plan.scenarios().to_vec(),
     };
-    let engine = CampaignEngine::new(plan.config().clone()).map_err(|e| e.to_string())?;
+    let mut engine = CampaignEngine::new(plan.config().clone()).map_err(|e| e.to_string())?;
+    // telemetry is a pure side channel: with or without it, every report
+    // and snapshot byte below is identical (pinned by tests/determinism.rs)
+    let telemetry = match &cli.trace_out {
+        Some(path) => Telemetry::with_trace(path)
+            .map_err(|e| format!("cannot create trace sink {}: {e}", path.display()))?,
+        None => Telemetry::disabled(),
+    };
+    engine.set_telemetry(telemetry);
     eprintln!(
         "running {} scenarios on {} worker threads (cache {}, episode batching {})",
         scenarios.len(),
@@ -391,6 +406,14 @@ fn run(cli: Cli) -> Result<(), String> {
         outcome.cache.hit_rate() * 100.0,
         outcome.cache.hits + outcome.cache.misses,
         outcome.cache_entries,
+    );
+    eprintln!(
+        "cache: {} hits, {} misses ({:.1}% hit-rate), {} entries, {} absorbed from snapshots",
+        outcome.cache.hits,
+        outcome.cache.misses,
+        outcome.cache.hit_rate() * 100.0,
+        outcome.cache_entries,
+        cache.absorbed(),
     );
 
     // one typed report is the source for every emission; --canonical
@@ -460,6 +483,11 @@ fn run(cli: Cli) -> Result<(), String> {
             stored.id,
             store.root().display()
         );
+    }
+    if let Some(path) = &cli.metrics_out {
+        write_atomic(path, engine.telemetry().metrics().to_json().render())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote final metrics snapshot to {}", path.display());
     }
     if cli.json {
         println!("{}", report.to_json().render());

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! fahana-serve --store DIR [--addr HOST:PORT] [--threads N] [--ingest FILE]...
+//!              [--trace-out FILE]
 //! ```
 //!
 //! A long-lived daemon answering the same questions as `fahana-query`,
@@ -16,21 +17,29 @@
 //!
 //! `--ingest` pre-loads report files at startup (same semantics as
 //! `fahana-query --ingest`); `POST /ingest` adds more while running.
+//!
+//! The daemon self-reports: `GET /metrics` serves the metrics registry in
+//! the Prometheus text format (per-endpoint request counts and latency
+//! histograms, pool counters, store generation) and `GET /statusz` a JSON
+//! status document with per-endpoint latency percentiles. `--trace-out`
+//! additionally appends structured JSONL trace records.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fahana_runtime::{ArtifactStore, Server, StoreView};
+use fahana_runtime::{ArtifactStore, Server, StoreView, Telemetry};
 
 struct Cli {
     store_dir: Option<PathBuf>,
     addr: String,
     threads: usize,
     ingest: Vec<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: fahana-serve --store DIR [--addr HOST:PORT] [--threads N] [--ingest FILE]..."
+    "usage: fahana-serve --store DIR [--addr HOST:PORT] [--threads N] [--ingest FILE]... \
+     [--trace-out FILE]"
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -39,6 +48,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         addr: "127.0.0.1:7878".into(),
         threads: 4,
         ingest: Vec::new(),
+        trace_out: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -56,6 +66,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .map_err(|_| "--threads expects a number".to_string())?;
             }
             "--ingest" => cli.ingest.push(PathBuf::from(value_of("--ingest")?)),
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value_of("--trace-out")?)),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
@@ -83,9 +94,30 @@ fn run(cli: Cli) -> Result<(), String> {
 
     let view = StoreView::open(store).map_err(|e| e.to_string())?;
     let campaigns = view.campaigns().len();
-    let server = Server::bind(cli.addr.as_str(), view, cli.threads)
+    let mut server = Server::bind(cli.addr.as_str(), view, cli.threads)
         .map_err(|e| format!("cannot bind {}: {e}", cli.addr))?;
+    if let Some(path) = &cli.trace_out {
+        let telemetry = Telemetry::with_trace(path)
+            .map_err(|e| format!("cannot create trace sink {}: {e}", path.display()))?;
+        server.set_telemetry(telemetry);
+    }
     let addr = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(trace) = server.obs().telemetry().trace() {
+        trace.event(
+            "serve_start",
+            vec![
+                ("addr".into(), fahana_runtime::Json::str(addr.to_string())),
+                (
+                    "campaigns".into(),
+                    fahana_runtime::Json::Int(campaigns as i64),
+                ),
+                (
+                    "threads".into(),
+                    fahana_runtime::Json::Int(cli.threads as i64),
+                ),
+            ],
+        );
+    }
     eprintln!(
         "fahana-serve: listening on http://{addr} ({campaigns} campaigns, {} worker threads)",
         cli.threads

@@ -7,6 +7,7 @@
 //!              [--max-attempts N] [--cache-out FILE] [--store DIR]
 //!              [--store-id ID] [--ingest-url HOST:PORT] [--canonical]
 //!              [--json] [--keep-partials] [--worker-bin PATH]
+//!              [--trace-out FILE]
 //! ```
 //!
 //! The coordinator half of sharded execution (plan → partition → execute
@@ -46,16 +47,26 @@
 //! one; `--worker-bin` (or the `FAHANA_CAMPAIGN_BIN` environment
 //! variable) points elsewhere — e.g. at a release build — without moving
 //! files around.
+//!
+//! Every attempt the scheduler reaps is reported as one structured
+//! stderr line (`attempt: task=… attempt=…/… outcome=… duration_ms=…`,
+//! outcome `ok`/`retry`/`exhausted`) so retries and rebalances are
+//! visible live, not just inferable from attempt directories afterwards.
+//! `--trace-out FILE` additionally appends JSONL trace records
+//! (`shard_attempt` and `shard_wave` spans, a `rebalance` event) to the
+//! sink — a pure side channel: the merged artifacts are byte-identical
+//! with tracing on or off.
 
 use std::collections::BTreeSet;
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Instant;
 
 use fahana_runtime::serve::client_roundtrip;
 use fahana_runtime::{
     write_atomic, ArtifactStore, CacheSnapshot, CampaignConfig, CampaignPlan, CampaignReport,
-    CellAssignment, Json,
+    CellAssignment, Json, Telemetry,
 };
 
 struct Cli {
@@ -75,6 +86,7 @@ struct Cli {
     json: bool,
     keep_partials: bool,
     worker_bin: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
@@ -82,7 +94,7 @@ fn usage() -> &'static str {
      [--threads N] [--episodes N] [--seed N] [--parallel-episodes] \
      [--max-attempts N] [--cache-out FILE] [--store DIR] [--store-id ID] \
      [--ingest-url HOST:PORT] [--canonical] [--json] [--keep-partials] \
-     [--worker-bin PATH]"
+     [--worker-bin PATH] [--trace-out FILE]"
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -103,6 +115,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         json: false,
         keep_partials: false,
         worker_bin: None,
+        trace_out: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -170,6 +183,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--json" => cli.json = true,
             "--keep-partials" => cli.keep_partials = true,
             "--worker-bin" => cli.worker_bin = Some(PathBuf::from(value_of("--worker-bin")?)),
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value_of("--trace-out")?)),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
@@ -230,6 +244,9 @@ struct Running {
     dir: PathBuf,
     child: Child,
     stderr: std::thread::JoinHandle<String>,
+    /// When this attempt was spawned — the per-attempt duration reported
+    /// on reap is spawn-to-exit, not just child CPU time.
+    started: Instant,
 }
 
 /// Kills and reaps every still-running worker (used when the coordinator
@@ -247,6 +264,7 @@ struct Scheduler<'a> {
     worker_bin: &'a Path,
     shards_dir: &'a Path,
     cli: &'a Cli,
+    telemetry: &'a Telemetry,
 }
 
 impl Scheduler<'_> {
@@ -307,6 +325,7 @@ impl Scheduler<'_> {
             dir: attempt_dir,
             child,
             stderr,
+            started: Instant::now(),
         })
     }
 
@@ -350,12 +369,19 @@ impl Scheduler<'_> {
     /// Each task that succeeds has its artifacts merged exactly once,
     /// right when its winning attempt is collected. Returns the tasks
     /// that never succeeded.
+    ///
+    /// `wave` names this scheduling round (`initial`, `rebalance`) in the
+    /// trace sink's `shard_wave` span.
     fn drive(
         &self,
+        wave: &str,
         tasks: Vec<Task>,
         parts: &mut Vec<CampaignReport>,
         merged_snapshot: &mut CacheSnapshot,
     ) -> Result<Vec<Task>, String> {
+        let wave_started = Instant::now();
+        let wave_tasks = tasks.len();
+        let mut attempts_reaped = 0u64;
         let mut exhausted = Vec::new();
         let mut running: Vec<Running> = Vec::with_capacity(tasks.len());
         for task in tasks {
@@ -383,6 +409,7 @@ impl Scheduler<'_> {
             };
             let mut run = running.swap_remove(index);
             run.task.attempts += 1;
+            let duration = run.started.elapsed();
             let status = run.child.wait();
             let stderr = run.stderr.join().unwrap_or_default();
             let failure = match status {
@@ -409,6 +436,31 @@ impl Scheduler<'_> {
                     Err(message) => Some(message),
                 },
             };
+            attempts_reaped += 1;
+            let outcome = match &failure {
+                None => "ok",
+                Some(_) if run.task.attempts < self.cli.max_attempts => "retry",
+                Some(_) => "exhausted",
+            };
+            let dur_ms = duration.as_secs_f64() * 1e3;
+            // one structured line per attempt, success or not: retries and
+            // rebalances are visible live on stderr, not only in the trace
+            eprintln!(
+                "attempt: task={} attempt={}/{} outcome={outcome} duration_ms={dur_ms:.1}",
+                run.task.label, run.task.attempts, self.cli.max_attempts
+            );
+            if let Some(trace) = self.telemetry.trace() {
+                trace.span(
+                    "shard_attempt",
+                    dur_ms,
+                    vec![
+                        ("task".into(), Json::str(&run.task.label)),
+                        ("attempt".into(), Json::Int(run.task.attempts as i64)),
+                        ("outcome".into(), Json::str(outcome)),
+                        ("cells".into(), Json::Int(run.task.cells.len() as i64)),
+                    ],
+                );
+            }
             let Some(message) = failure else { continue };
             let task = run.task;
             if task.attempts < self.cli.max_attempts {
@@ -430,6 +482,18 @@ impl Scheduler<'_> {
                 );
                 exhausted.push(task);
             }
+        }
+        if let Some(trace) = self.telemetry.trace() {
+            trace.span(
+                "shard_wave",
+                wave_started.elapsed().as_secs_f64() * 1e3,
+                vec![
+                    ("wave".into(), Json::str(wave)),
+                    ("tasks".into(), Json::Int(wave_tasks as i64)),
+                    ("attempts".into(), Json::Int(attempts_reaped as i64)),
+                    ("exhausted".into(), Json::Int(exhausted.len() as i64)),
+                ],
+            );
         }
         Ok(exhausted)
     }
@@ -477,6 +541,13 @@ fn run(cli: Cli) -> Result<(), String> {
         );
     }
     let worker_bin = worker_binary(&cli)?;
+    // the trace sink is a side channel: merged artifacts are byte-identical
+    // with or without it (pinned by tests/determinism.rs)
+    let telemetry = match &cli.trace_out {
+        Some(path) => Telemetry::with_trace(path)
+            .map_err(|e| format!("cannot create trace sink {}: {e}", path.display()))?,
+        None => Telemetry::disabled(),
+    };
 
     let work_dir = match &cli.out_dir {
         Some(dir) => dir.clone(),
@@ -490,6 +561,7 @@ fn run(cli: Cli) -> Result<(), String> {
         worker_bin: &worker_bin,
         shards_dir: &shards_dir,
         cli: &cli,
+        telemetry: &telemetry,
     };
     let order = plan.order();
     let initial: Vec<Task> = (0..cli.shards)
@@ -517,7 +589,7 @@ fn run(cli: Cli) -> Result<(), String> {
     );
     let mut parts: Vec<CampaignReport> = Vec::with_capacity(cli.shards);
     let mut merged_snapshot = CacheSnapshot::new();
-    let exhausted = scheduler.drive(initial, &mut parts, &mut merged_snapshot)?;
+    let exhausted = scheduler.drive("initial", initial, &mut parts, &mut merged_snapshot)?;
 
     if !exhausted.is_empty() {
         // every task that succeeded contributed exactly one part; its
@@ -540,6 +612,19 @@ fn run(cli: Cli) -> Result<(), String> {
             groups.len(),
             survivors,
         );
+        if let Some(trace) = telemetry.trace() {
+            trace.event(
+                "rebalance",
+                vec![
+                    (
+                        "unfinished_cells".into(),
+                        Json::Int(unfinished.len() as i64),
+                    ),
+                    ("replacements".into(), Json::Int(groups.len() as i64)),
+                    ("salvaged".into(), Json::Int(survivors as i64)),
+                ],
+            );
+        }
         let mut replacements = Vec::new();
         for (index, group) in groups.into_iter().enumerate() {
             let label = format!("rebalance-{}", index + 1);
@@ -555,7 +640,8 @@ fn run(cli: Cli) -> Result<(), String> {
                 attempts: 0,
             });
         }
-        let failed = scheduler.drive(replacements, &mut parts, &mut merged_snapshot)?;
+        let failed =
+            scheduler.drive("rebalance", replacements, &mut parts, &mut merged_snapshot)?;
         if !failed.is_empty() {
             let never: BTreeSet<&str> = failed
                 .iter()

@@ -126,6 +126,10 @@ pub struct EvalCache {
     entries: RwLock<HashMap<CacheKey, FairnessEvaluation>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Entries added by snapshot absorption (warm starts / shard merges) —
+    /// kept separate from [`CacheStats`] because those counters are part
+    /// of the serialized report schema and only describe live lookups.
+    absorbed: AtomicU64,
     /// When present, every key a lookup touched (hit or fresh insert) is
     /// recorded — the reachability set snapshot compaction retains.
     /// Absorbed-but-never-consulted entries are deliberately *not*
@@ -194,6 +198,17 @@ impl EvalCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Total entries added through snapshot absorption
+    /// ([`EvalCache::absorb`](crate::snapshot)) — how much of the cache
+    /// came from warm starts rather than this run's evaluations.
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_absorbed(&self, added: usize) {
+        self.absorbed.fetch_add(added as u64, Ordering::Relaxed);
     }
 
     fn get(&self, key: &CacheKey) -> Option<FairnessEvaluation> {

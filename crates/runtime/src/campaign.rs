@@ -10,7 +10,9 @@ use fahana::{FahanaSearch, SearchOutcome};
 
 use crate::cache::{CacheStats, CachedEvaluator, EvalCache};
 use crate::pool::ThreadPool;
+use crate::report::Json;
 use crate::scenario::{CampaignConfig, Scenario};
+use crate::telemetry::Telemetry;
 use crate::{Result, RuntimeError};
 
 /// An [`EvaluateBatch`] stage that fans each batch out across a thread
@@ -108,6 +110,7 @@ pub struct CampaignOutcome {
 pub struct CampaignEngine {
     config: CampaignConfig,
     pool: Arc<ThreadPool>,
+    telemetry: Telemetry,
 }
 
 impl CampaignEngine {
@@ -126,6 +129,7 @@ impl CampaignEngine {
         Ok(CampaignEngine {
             config,
             pool: Arc::new(pool),
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -137,6 +141,19 @@ impl CampaignEngine {
     /// Worker threads in the pool.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// Attaches a telemetry bundle: per-scenario spans and campaign-level
+    /// metrics are recorded through it. Telemetry is a pure side channel —
+    /// attaching it never changes any outcome or artifact byte.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The engine's telemetry bundle (a disabled default unless
+    /// [`CampaignEngine::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Runs every scenario of the grid and collects the results in grid
@@ -220,6 +237,9 @@ impl CampaignEngine {
         cache: Arc<EvalCache>,
     ) -> Result<CampaignOutcome> {
         if scenarios.is_empty() {
+            // still flush, so --metrics-out carries the full catalog even
+            // for a shard that owns no cells
+            self.flush_campaign_telemetry(&cache, Duration::ZERO, 0);
             return Ok(CampaignOutcome {
                 scenarios: Vec::new(),
                 cache: cache.stats(),
@@ -247,6 +267,7 @@ impl CampaignEngine {
         let campaign_config = self.config.clone();
         let pool = Arc::clone(&self.pool);
         let shared_cache = Arc::clone(&cache);
+        let telemetry = self.telemetry.clone();
         let results: Vec<Result<ScenarioOutcome>> = self.pool.map(
             scenarios
                 .into_iter()
@@ -256,25 +277,138 @@ impl CampaignEngine {
                 })
                 .collect(),
             move |_, (scenario, table)| {
-                run_scenario(
+                // time from batch submission to this job starting — the
+                // scenario's wait in the pool queues
+                let queue_wait = started.elapsed();
+                let result = run_scenario(
                     scenario,
                     table,
                     &campaign_config,
                     Arc::clone(&dataset),
                     Arc::clone(&shared_cache),
                     Arc::clone(&pool),
-                )
+                );
+                if let Ok(outcome) = &result {
+                    record_scenario(&telemetry, outcome, queue_wait);
+                }
+                result
             },
         );
         let scenarios = results.into_iter().collect::<Result<Vec<_>>>()?;
+        let wall_clock = started.elapsed();
+        self.flush_campaign_telemetry(&cache, wall_clock, scenarios.len());
 
         Ok(CampaignOutcome {
             scenarios,
             cache: cache.stats(),
             cache_entries: cache.len(),
-            wall_clock: started.elapsed(),
+            wall_clock,
             threads: self.pool.threads(),
         })
+    }
+
+    /// Mirrors the run's aggregate counters (cache, pool) into the metrics
+    /// registry and emits the campaign-level trace event.
+    fn flush_campaign_telemetry(&self, cache: &EvalCache, wall_clock: Duration, scenarios: usize) {
+        let metrics = self.telemetry.metrics();
+        let stats = cache.stats();
+        metrics
+            .counter("fahana_cache_hits_total", "evaluation cache hits")
+            .set(stats.hits);
+        metrics
+            .counter("fahana_cache_misses_total", "evaluation cache misses")
+            .set(stats.misses);
+        metrics
+            .counter(
+                "fahana_cache_absorbed_total",
+                "cache entries absorbed from snapshots (warm starts)",
+            )
+            .set(cache.absorbed());
+        metrics
+            .gauge("fahana_cache_entries", "distinct evaluations memoised")
+            .set(cache.len() as i64);
+
+        let pool = self.pool.stats();
+        for (path, count) in [
+            ("local", pool.local_pops),
+            ("injector", pool.injector_pops),
+            ("steal", pool.steals),
+        ] {
+            metrics
+                .counter_with(
+                    "fahana_pool_jobs_total",
+                    "pool jobs executed, by scheduling path",
+                    &[("path", path)],
+                )
+                .set(count);
+        }
+        metrics
+            .gauge("fahana_pool_threads", "pool worker threads")
+            .set(pool.threads as i64);
+        metrics
+            .gauge("fahana_pool_queue_depth", "jobs queued and not yet started")
+            .set(self.pool.queue_depth() as i64);
+
+        if let Some(trace) = self.telemetry.trace() {
+            trace.span(
+                "campaign",
+                wall_clock.as_secs_f64() * 1e3,
+                vec![
+                    ("scenarios".into(), Json::Int(scenarios as i64)),
+                    ("cache_hits".into(), Json::Int(stats.hits as i64)),
+                    ("cache_misses".into(), Json::Int(stats.misses as i64)),
+                    ("cache_entries".into(), Json::Int(cache.len() as i64)),
+                    ("pool_steals".into(), Json::Int(pool.steals as i64)),
+                    ("threads".into(), Json::Int(pool.threads as i64)),
+                ],
+            );
+        }
+    }
+}
+
+/// Records one finished scenario into the telemetry side channel: three
+/// metric series plus (when tracing) a `scenario` span carrying the cache
+/// ratio and evaluation rate.
+fn record_scenario(telemetry: &Telemetry, outcome: &ScenarioOutcome, queue_wait: Duration) {
+    let metrics = telemetry.metrics();
+    metrics
+        .counter("fahana_scenarios_total", "scenarios completed")
+        .inc();
+    metrics
+        .histogram("fahana_scenario_duration_ms", "per-scenario wall-clock")
+        .observe(outcome.wall_clock);
+    metrics
+        .histogram(
+            "fahana_scenario_queue_wait_ms",
+            "submit-to-start wait per scenario",
+        )
+        .observe(queue_wait);
+    if let Some(trace) = telemetry.trace() {
+        let lookups = outcome.cache.hits + outcome.cache.misses;
+        let secs = outcome.wall_clock.as_secs_f64();
+        let candidates_per_sec = if secs > 0.0 {
+            lookups as f64 / secs
+        } else {
+            0.0
+        };
+        trace.span(
+            "scenario",
+            outcome.wall_clock.as_secs_f64() * 1e3,
+            vec![
+                ("scenario".into(), Json::str(outcome.scenario.name.clone())),
+                (
+                    "queue_wait_ms".into(),
+                    Json::Num(queue_wait.as_secs_f64() * 1e3),
+                ),
+                ("cache_hits".into(), Json::Int(outcome.cache.hits as i64)),
+                (
+                    "cache_misses".into(),
+                    Json::Int(outcome.cache.misses as i64),
+                ),
+                ("cache_hit_rate".into(), Json::Num(outcome.cache.hit_rate())),
+                ("candidates_per_sec".into(), Json::Num(candidates_per_sec)),
+            ],
+        );
     }
 }
 

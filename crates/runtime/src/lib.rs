@@ -43,7 +43,13 @@
 //!   cross-campaign Pareto-frontier merging;
 //! * [`serve`] — the long-lived serving front-end: the `fahana-serve`
 //!   HTTP/1.1 daemon over the artifact store, sharing the exact query core
-//!   with the CLI and handling connections on the same thread pool.
+//!   with the CLI and handling connections on the same thread pool;
+//! * [`telemetry`] — the observability side channel: a lock-cheap
+//!   [`MetricsRegistry`] (counters, gauges, fixed-bucket latency
+//!   histograms; Prometheus text + JSON renderings) and a JSONL
+//!   [`TraceSink`] (`--trace-out`), instrumented through the campaign
+//!   engine, the pool, the shard coordinator and the serve stack —
+//!   guaranteed never to change any artifact byte.
 //!
 //! Determinism is a hard guarantee: a scenario's [`fahana::SearchOutcome`]
 //! is bit-identical whether it runs serially, through the pool, with the
@@ -61,12 +67,13 @@ pub mod serve;
 pub mod shard;
 pub mod snapshot;
 pub mod store;
+pub mod telemetry;
 
 pub use cache::{CacheStats, CachedEvaluator, EvalCache};
 pub use campaign::{CampaignEngine, CampaignOutcome, PooledBatchEvaluator, ScenarioOutcome};
 pub use fsutil::write_atomic;
 pub use plan::CampaignPlan;
-pub use pool::ThreadPool;
+pub use pool::{PoolMonitor, PoolStats, ThreadPool};
 pub use report::{
     campaign_json, scenario_json, CampaignReport, Json, ReportError, ReportMergeError,
     ScenarioReport,
@@ -79,6 +86,7 @@ pub use store::{
     answer_query, catalog_json, leaderboard, ArtifactStore, Candidate, Leaderboard, QueryAnswer,
     StoreError, StoreQuery, StoredCampaign,
 };
+pub use telemetry::{MetricsRegistry, Telemetry, TraceSink};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

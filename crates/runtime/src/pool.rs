@@ -19,7 +19,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -32,6 +32,12 @@ struct PoolState {
     sleep: Mutex<()>,
     wake: Condvar,
     shutdown: AtomicBool,
+    /// Jobs a worker popped off its *own* deque (cache-warm path).
+    local_pops: AtomicU64,
+    /// Jobs taken from the shared injector queue.
+    injector_pops: AtomicU64,
+    /// Jobs stolen from another worker's deque.
+    steals: AtomicU64,
 }
 
 impl PoolState {
@@ -40,10 +46,12 @@ impl PoolState {
     fn pop_any(&self, own: Option<usize>) -> Option<Job> {
         if let Some(me) = own {
             if let Some(job) = self.queues[me].lock().expect("queue poisoned").pop_back() {
+                self.local_pops.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
         if let Some(job) = self.injector.lock().expect("injector poisoned").pop_front() {
+            self.injector_pops.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         let n = self.queues.len();
@@ -58,10 +66,80 @@ impl PoolState {
                 .expect("queue poisoned")
                 .pop_front()
             {
+                self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
         None
+    }
+
+    /// Jobs currently queued (all worker deques plus the injector) —
+    /// the pool's live backlog, exported as a gauge.
+    fn queue_depth(&self) -> usize {
+        let queued: usize = self
+            .queues
+            .iter()
+            .map(|queue| queue.lock().expect("queue poisoned").len())
+            .sum();
+        queued + self.injector.lock().expect("injector poisoned").len()
+    }
+
+    fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.queues.len(),
+            local_pops: self.local_pops.load(Ordering::Relaxed),
+            injector_pops: self.injector_pops.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of the pool's scheduling counters.
+///
+/// `local_pops + injector_pops + steals` is the total number of jobs the
+/// pool has executed; the steal share shows how often work had to migrate
+/// off the deque it was dealt to (high steal ratios mean uneven job
+/// costs — exactly what scenario grids with mixed device profiles
+/// produce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Jobs a worker popped from its own deque.
+    pub local_pops: u64,
+    /// Jobs taken from the shared injector queue.
+    pub injector_pops: u64,
+    /// Jobs stolen from another worker's deque.
+    pub steals: u64,
+}
+
+impl PoolStats {
+    /// Total jobs executed through any path.
+    pub fn executed(&self) -> u64 {
+        self.local_pops + self.injector_pops + self.steals
+    }
+}
+
+/// A cheap, cloneable observer of a pool's counters and live queue depth.
+///
+/// Holds only the shared state (not the worker handles), so a monitor in
+/// a long-lived context — a serve connection, a metrics scrape — never
+/// keeps the pool alive or risks a worker joining itself through an
+/// `Arc<ThreadPool>` drop.
+#[derive(Debug, Clone)]
+pub struct PoolMonitor {
+    state: Arc<PoolState>,
+}
+
+impl PoolMonitor {
+    /// Current scheduling counters.
+    pub fn stats(&self) -> PoolStats {
+        self.state.stats()
+    }
+
+    /// Jobs currently queued and not yet started.
+    pub fn queue_depth(&self) -> usize {
+        self.state.queue_depth()
     }
 }
 
@@ -102,6 +180,9 @@ impl ThreadPool {
             sleep: Mutex::new(()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            local_pops: AtomicU64::new(0),
+            injector_pops: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|me| {
@@ -131,6 +212,24 @@ impl ThreadPool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.state.queues.len()
+    }
+
+    /// A snapshot of the pool's scheduling counters.
+    pub fn stats(&self) -> PoolStats {
+        self.state.stats()
+    }
+
+    /// Jobs currently queued and not yet started.
+    pub fn queue_depth(&self) -> usize {
+        self.state.queue_depth()
+    }
+
+    /// A detached observer of this pool's counters (safe to hold in
+    /// contexts that must not own the pool itself).
+    pub fn monitor(&self) -> PoolMonitor {
+        PoolMonitor {
+            state: Arc::clone(&self.state),
+        }
     }
 
     fn worker_loop(state: &PoolState, me: usize) {
@@ -313,6 +412,50 @@ mod tests {
         while counter.load(Ordering::Relaxed) < 32 {
             assert!(std::time::Instant::now() < deadline, "spawned jobs stalled");
             std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_executed_job() {
+        let pool = ThreadPool::new(3);
+        let monitor = pool.monitor();
+        assert_eq!(monitor.stats(), PoolStats::default().with_threads(3));
+
+        pool.map((0..128u64).collect(), |_, n| {
+            if n % 7 == 0 {
+                std::thread::sleep(Duration::from_micros(200)); // uneven costs invite steals
+            }
+            n
+        });
+        let stats = monitor.stats();
+        assert_eq!(stats.threads, 3);
+        assert_eq!(
+            stats.executed(),
+            128,
+            "every dealt job pops exactly once: {stats:?}"
+        );
+        // with the batch drained, nothing is left queued
+        assert_eq!(monitor.queue_depth(), 0);
+
+        // spawned jobs go through the injector
+        let before = monitor.stats().injector_pops;
+        let done = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&done);
+        pool.spawn(move || {
+            flag.fetch_add(1, Ordering::Relaxed);
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while done.load(Ordering::Relaxed) == 0 {
+            assert!(std::time::Instant::now() < deadline, "spawned job stalled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(monitor.stats().injector_pops > before);
+    }
+
+    impl PoolStats {
+        fn with_threads(mut self, threads: usize) -> PoolStats {
+            self.threads = threads;
+            self
         }
     }
 

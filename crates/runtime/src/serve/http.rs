@@ -251,8 +251,11 @@ fn percent_decode(text: &str) -> Result<String, BadRequest> {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// The body (always JSON in this server).
+    /// The body.
     pub body: String,
+    /// `Content-Type` the body is served as (JSON everywhere except the
+    /// Prometheus `/metrics` rendering).
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -261,6 +264,17 @@ impl Response {
         Response {
             status: 200,
             body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A 200 with a plain-text body (the Prometheus exposition format is
+    /// served as `text/plain; version=0.0.4`).
+    pub fn text(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -271,27 +285,33 @@ impl Response {
             crate::report::Json::str(message.into()),
         )])
         .render();
-        Response { status, body }
+        Response {
+            status,
+            body,
+            content_type: "application/json",
+        }
     }
 
     /// Writes the response (status line, headers, body) to the stream,
     /// advertising whether the server will keep the connection open for
-    /// another request.
+    /// another request. Returns the total bytes written (head + body).
     ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error (peer gone, etc.).
-    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<usize> {
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
         stream.write_all(head.as_bytes())?;
         stream.write_all(self.body.as_bytes())?;
-        stream.flush()
+        stream.flush()?;
+        Ok(head.len() + self.body.len())
     }
 }
 

@@ -16,7 +16,11 @@
 //! * [`router`] — the endpoint table (see below);
 //! * [`server`] — the [`Server`] accept loop, fanning connections out on
 //!   the same work-stealing [`ThreadPool`](crate::pool::ThreadPool)
-//!   campaigns use.
+//!   campaigns use;
+//! * [`obs`] — the serve-side observability context: per-endpoint request
+//!   counters and latency histograms (bounded label vocabulary), body
+//!   byte totals and keep-alive reuse, rendered as Prometheus text
+//!   (`GET /metrics`) and a JSON status document (`GET /statusz`).
 //!
 //! ## Endpoints
 //!
@@ -27,14 +31,18 @@
 //! | `GET /campaigns` | id/size/wall-clock summary per ingested campaign |
 //! | `GET /catalog` | the coverage catalog (same document as `catalog.json`) |
 //! | `GET /leaderboard/{device_slug}` | per-device best-by-reward ranking (`?top=N`) |
+//! | `GET /metrics` | the metrics registry, Prometheus text exposition format |
+//! | `GET /statusz` | JSON status: uptime, store generation, per-endpoint latency percentiles |
 //! | `POST /ingest?id=ID` | atomic artifact publish + catalog rebuild + view refresh |
 
 pub mod http;
+pub mod obs;
 pub mod router;
 pub mod server;
 pub mod view;
 
 pub use http::{client_roundtrip, Request, Response};
+pub use obs::ServeTelemetry;
 pub use router::route;
 pub use server::{Server, ServerHandle};
 pub use view::StoreView;

@@ -1,0 +1,230 @@
+//! Serve-side observability: per-endpoint request accounting behind
+//! `GET /metrics` (Prometheus text) and `GET /statusz` (JSON).
+//!
+//! Endpoint labels are normalized to a fixed vocabulary (every
+//! `/leaderboard/<device>` collapses to one label, unknown paths to
+//! `other`), so a hostile client scanning random paths cannot balloon the
+//! registry's cardinality.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::pool::PoolMonitor;
+use crate::report::Json;
+use crate::serve::view::StoreView;
+use crate::telemetry::{Histogram, Telemetry};
+
+/// The server's telemetry context: the shared bundle plus serve-specific
+/// bookkeeping (uptime epoch, per-endpoint histograms, the pool monitor
+/// polled at scrape time).
+#[derive(Debug)]
+pub struct ServeTelemetry {
+    telemetry: Telemetry,
+    started: Instant,
+    pool: Option<PoolMonitor>,
+    /// Endpoint → its latency histogram, kept here (as well as in the
+    /// registry) so `/statusz` can answer percentiles without re-parsing
+    /// the Prometheus rendering.
+    latencies: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+/// Collapses a request path onto the bounded endpoint vocabulary used as
+/// the `endpoint` label.
+pub fn normalize_endpoint(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/query" => "/query",
+        "/campaigns" => "/campaigns",
+        "/catalog" => "/catalog",
+        "/ingest" => "/ingest",
+        "/metrics" => "/metrics",
+        "/statusz" => "/statusz",
+        path if path.starts_with("/leaderboard/") => "/leaderboard/{device}",
+        _ => "other",
+    }
+}
+
+impl ServeTelemetry {
+    /// Wraps a telemetry bundle for serve-side use. `pool` (when given)
+    /// is polled at scrape time for queue depth and scheduling counters.
+    pub fn new(telemetry: Telemetry, pool: Option<PoolMonitor>) -> ServeTelemetry {
+        ServeTelemetry {
+            telemetry,
+            started: Instant::now(),
+            pool,
+            latencies: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A context with a fresh registry and no trace sink.
+    pub fn disabled() -> ServeTelemetry {
+        ServeTelemetry::new(Telemetry::disabled(), None)
+    }
+
+    /// The underlying bundle (for trace access).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Records one served request: the per-endpoint counter and latency
+    /// histogram, plus body byte totals.
+    pub fn record_request(
+        &self,
+        path: &str,
+        status: u16,
+        duration: Duration,
+        bytes_in: usize,
+        bytes_out: usize,
+    ) {
+        let endpoint = normalize_endpoint(path);
+        let metrics = self.telemetry.metrics();
+        metrics
+            .counter_with(
+                "fahana_http_requests_total",
+                "requests served, by endpoint and status",
+                &[("endpoint", endpoint), ("status", &status.to_string())],
+            )
+            .inc();
+        let latency = metrics.histogram_with(
+            "fahana_http_request_ms",
+            "request handling latency, by endpoint",
+            &[("endpoint", endpoint)],
+        );
+        latency.observe(duration);
+        self.latencies
+            .lock()
+            .expect("latency map poisoned")
+            .entry(endpoint)
+            .or_insert(latency);
+        metrics
+            .counter(
+                "fahana_http_request_body_bytes_total",
+                "request body bytes received",
+            )
+            .add(bytes_in as u64);
+        metrics
+            .counter(
+                "fahana_http_response_bytes_total",
+                "response bytes written (head and body)",
+            )
+            .add(bytes_out as u64);
+    }
+
+    /// Records a finished connection: how many requests it carried and how
+    /// many of those reused the connection (keep-alive).
+    pub fn record_connection(&self, requests_served: usize) {
+        let metrics = self.telemetry.metrics();
+        metrics
+            .counter("fahana_http_connections_total", "connections accepted")
+            .inc();
+        if requests_served > 1 {
+            metrics
+                .counter(
+                    "fahana_http_keepalive_reuse_total",
+                    "requests served over an already-used (kept-alive) connection",
+                )
+                .add(requests_served as u64 - 1);
+        }
+    }
+
+    /// Refreshes the point-in-time gauges (pool, uptime) from their
+    /// sources. Called before either rendering.
+    fn refresh_gauges(&self, view: &StoreView) {
+        let metrics = self.telemetry.metrics();
+        metrics
+            .gauge("fahana_serve_uptime_seconds", "seconds since server start")
+            .set(self.started.elapsed().as_secs() as i64);
+        metrics
+            .gauge(
+                "fahana_store_generation",
+                "store view reload generation (bumps on every reload)",
+            )
+            .set(view.generation() as i64);
+        metrics
+            .gauge("fahana_store_campaigns", "campaigns in the store view")
+            .set(view.campaigns().len() as i64);
+        if let Some(pool) = &self.pool {
+            let stats = pool.stats();
+            for (path, count) in [
+                ("local", stats.local_pops),
+                ("injector", stats.injector_pops),
+                ("steal", stats.steals),
+            ] {
+                metrics
+                    .counter_with(
+                        "fahana_pool_jobs_total",
+                        "pool jobs executed, by scheduling path",
+                        &[("path", path)],
+                    )
+                    .set(count);
+            }
+            metrics
+                .gauge("fahana_pool_threads", "pool worker threads")
+                .set(stats.threads as i64);
+            metrics
+                .gauge("fahana_pool_queue_depth", "jobs queued and not yet started")
+                .set(pool.queue_depth() as i64);
+        }
+    }
+
+    /// The `GET /metrics` body: the registry in Prometheus text format.
+    pub fn render_metrics(&self, view: &StoreView) -> String {
+        self.refresh_gauges(view);
+        self.telemetry.metrics().render_prometheus()
+    }
+
+    /// The `GET /statusz` body: uptime, store generation, and per-endpoint
+    /// request counts with latency percentiles.
+    pub fn statusz_json(&self, view: &StoreView) -> Json {
+        self.refresh_gauges(view);
+        let endpoints = self
+            .latencies
+            .lock()
+            .expect("latency map poisoned")
+            .iter()
+            .map(|(endpoint, latency)| {
+                Json::Obj(vec![
+                    ("endpoint".into(), Json::str(*endpoint)),
+                    ("requests".into(), Json::Int(latency.count() as i64)),
+                    ("p50_ms".into(), Json::Num(latency.quantile(0.5))),
+                    ("p90_ms".into(), Json::Num(latency.quantile(0.9))),
+                    ("p99_ms".into(), Json::Num(latency.quantile(0.99))),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("status".into(), Json::str("ok")),
+            (
+                "uptime_ms".into(),
+                Json::Int(self.started.elapsed().as_millis() as i64),
+            ),
+            (
+                "store_generation".into(),
+                Json::Int(view.generation() as i64),
+            ),
+            ("campaigns".into(), Json::Int(view.campaigns().len() as i64)),
+            ("endpoints".into(), Json::Arr(endpoints)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_labels_are_bounded() {
+        assert_eq!(normalize_endpoint("/healthz"), "/healthz");
+        assert_eq!(
+            normalize_endpoint("/leaderboard/raspberry_pi_4"),
+            "/leaderboard/{device}"
+        );
+        assert_eq!(
+            normalize_endpoint("/leaderboard/../../etc/passwd"),
+            "/leaderboard/{device}"
+        );
+        assert_eq!(normalize_endpoint("/favicon.ico"), "other");
+        assert_eq!(normalize_endpoint("/metrics"), "/metrics");
+    }
+}

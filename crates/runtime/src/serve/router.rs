@@ -9,23 +9,29 @@ use edgehw::DeviceKind;
 
 use crate::report::Json;
 use crate::serve::http::{Request, Response};
+use crate::serve::obs::ServeTelemetry;
 use crate::serve::view::StoreView;
 use crate::store::{answer_query, catalog_json, leaderboard, StoreError, StoreQuery};
 
-/// Routes one request to its handler.
-pub fn route(request: &Request, view: &StoreView) -> Response {
+/// Routes one request to its handler. `obs` answers the observability
+/// endpoints (`/metrics`, `/statusz`) and is otherwise untouched — request
+/// accounting happens in the connection loop, not here.
+pub fn route(request: &Request, view: &StoreView, obs: &ServeTelemetry) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(view),
         ("GET", "/query") => query(request, view),
         ("GET", "/campaigns") => campaigns(view),
         ("GET", "/catalog") => catalog(view),
+        ("GET", "/metrics") => Response::text(obs.render_metrics(view)),
+        ("GET", "/statusz") => Response::ok(obs.statusz_json(view).render()),
         ("GET", path) if path.starts_with("/leaderboard/") => {
             device_leaderboard(request, view, &path["/leaderboard/".len()..])
         }
         ("POST", "/ingest") => ingest(request, view),
-        (_, "/healthz" | "/query" | "/campaigns" | "/catalog" | "/ingest") => {
-            Response::error(405, format!("method {} not allowed here", request.method))
-        }
+        (
+            _,
+            "/healthz" | "/query" | "/campaigns" | "/catalog" | "/ingest" | "/metrics" | "/statusz",
+        ) => Response::error(405, format!("method {} not allowed here", request.method)),
         (_, path) if path.starts_with("/leaderboard/") => {
             Response::error(405, format!("method {} not allowed here", request.method))
         }
@@ -208,30 +214,83 @@ mod tests {
     #[test]
     fn routes_cover_the_surface() {
         let view = seeded_view("surface");
-        assert_eq!(route(&get("/healthz"), &view).status, 200);
-        assert_eq!(route(&get("/query"), &view).status, 200);
+        let obs = ServeTelemetry::disabled();
+        assert_eq!(route(&get("/healthz"), &view, &obs).status, 200);
+        assert_eq!(route(&get("/query"), &view, &obs).status, 200);
         assert_eq!(
-            route(&get("/query?device=raspberry_pi_4"), &view).status,
+            route(&get("/query?device=raspberry_pi_4"), &view, &obs).status,
             200
         );
-        assert_eq!(route(&get("/campaigns"), &view).status, 200);
-        assert_eq!(route(&get("/catalog"), &view).status, 200);
+        assert_eq!(route(&get("/campaigns"), &view, &obs).status, 200);
+        assert_eq!(route(&get("/catalog"), &view, &obs).status, 200);
         assert_eq!(
-            route(&get("/leaderboard/raspberry_pi_4"), &view).status,
+            route(&get("/leaderboard/raspberry_pi_4"), &view, &obs).status,
             200
         );
-        assert_eq!(route(&get("/leaderboard/toaster"), &view).status, 404);
+        assert_eq!(route(&get("/leaderboard/toaster"), &view, &obs).status, 404);
         assert_eq!(
-            route(&get("/leaderboard/raspberry_pi_4?top=x"), &view).status,
+            route(&get("/leaderboard/raspberry_pi_4?top=x"), &view, &obs).status,
             400
         );
-        assert_eq!(route(&get("/query?device=toaster"), &view).status, 400);
-        assert_eq!(route(&get("/query?bogus=1"), &view).status, 400);
-        assert_eq!(route(&get("/nope"), &view).status, 404);
+        assert_eq!(
+            route(&get("/query?device=toaster"), &view, &obs).status,
+            400
+        );
+        assert_eq!(route(&get("/query?bogus=1"), &view, &obs).status, 400);
+        assert_eq!(route(&get("/nope"), &view, &obs).status, 404);
 
         let mut post = get("/query");
         post.method = "POST".into();
-        assert_eq!(route(&post, &view).status, 405);
+        assert_eq!(route(&post, &view, &obs).status, 405);
+
+        std::fs::remove_dir_all(view.store().root()).ok();
+    }
+
+    #[test]
+    fn observability_routes_answer_from_the_context() {
+        let view = seeded_view("obs");
+        let obs = ServeTelemetry::disabled();
+        obs.record_request("/query", 200, std::time::Duration::from_millis(3), 0, 120);
+
+        let metrics = route(&get("/metrics"), &view, &obs);
+        assert_eq!(metrics.status, 200);
+        assert_eq!(metrics.content_type, "text/plain; version=0.0.4");
+        assert!(
+            metrics
+                .body
+                .contains(r#"fahana_http_requests_total{endpoint="/query",status="200"} 1"#),
+            "{}",
+            metrics.body
+        );
+        assert!(metrics.body.contains("fahana_serve_uptime_seconds"));
+        assert!(metrics.body.contains("fahana_store_generation 0"));
+
+        let statusz = route(&get("/statusz"), &view, &obs);
+        assert_eq!(statusz.status, 200);
+        let parsed = Json::parse(&statusz.body).unwrap();
+        assert_eq!(parsed.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(parsed.get("campaigns").unwrap().as_i64(), Some(1));
+        let endpoints = parsed.get("endpoints").unwrap().as_arr().unwrap();
+        assert_eq!(
+            endpoints[0].get("endpoint").unwrap().as_str(),
+            Some("/query")
+        );
+        assert_eq!(endpoints[0].get("requests").unwrap().as_i64(), Some(1));
+        assert!(endpoints[0].get("p99_ms").unwrap().as_f64().unwrap() > 0.0);
+
+        // reload bumps the generation /statusz and /metrics report
+        view.reload().unwrap();
+        let statusz = route(&get("/statusz"), &view, &obs);
+        assert!(
+            statusz.body.contains(r#""store_generation":1"#),
+            "{}",
+            statusz.body
+        );
+
+        // wrong methods on the new routes are 405 like everywhere else
+        let mut post = get("/metrics");
+        post.method = "POST".into();
+        assert_eq!(route(&post, &view, &obs).status, 405);
 
         std::fs::remove_dir_all(view.store().root()).ok();
     }
@@ -239,6 +298,7 @@ mod tests {
     #[test]
     fn ingest_route_maps_store_errors_to_statuses() {
         let view = seeded_view("ingest");
+        let obs = ServeTelemetry::disabled();
         let report =
             std::fs::read_to_string(view.store().root().join("artifacts").join("seeded.json"))
                 .unwrap();
@@ -250,9 +310,9 @@ mod tests {
             body: report.clone().into_bytes(),
             keep_alive: false,
         };
-        assert_eq!(route(&request, &view).status, 201);
+        assert_eq!(route(&request, &view, &obs).status, 201);
         // the view refreshed: /query now consults both campaigns
-        let answer = route(&get("/query"), &view);
+        let answer = route(&get("/query"), &view, &obs);
         assert!(
             answer.body.contains(r#""campaigns_consulted":2"#),
             "{}",
@@ -260,12 +320,12 @@ mod tests {
         );
 
         // duplicate → 409, garbage → 400, missing id → 400
-        assert_eq!(route(&request, &view).status, 409);
+        assert_eq!(route(&request, &view, &obs).status, 409);
         request.query[0].1 = "other".into();
         request.body = b"not json".to_vec();
-        assert_eq!(route(&request, &view).status, 400);
+        assert_eq!(route(&request, &view, &obs).status, 400);
         request.query.clear();
-        assert_eq!(route(&request, &view).status, 400);
+        assert_eq!(route(&request, &view, &obs).status, 400);
 
         std::fs::remove_dir_all(view.store().root()).ok();
     }

@@ -13,12 +13,14 @@
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::pool::ThreadPool;
 use crate::serve::http::{read_request, Response};
+use crate::serve::obs::ServeTelemetry;
 use crate::serve::router::route;
 use crate::serve::view::StoreView;
+use crate::telemetry::Telemetry;
 
 /// How long a connection may dribble its request in (or sit idle between
 /// keep-alive requests) before being dropped.
@@ -35,6 +37,7 @@ pub struct Server {
     view: Arc<StoreView>,
     pool: ThreadPool,
     shutdown: Arc<AtomicBool>,
+    obs: Arc<ServeTelemetry>,
 }
 
 /// A remote control for a running [`Server`] — cloneable into other
@@ -69,12 +72,30 @@ impl Server {
         threads: usize,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let pool = ThreadPool::new(threads);
+        let obs = Arc::new(ServeTelemetry::new(
+            Telemetry::disabled(),
+            Some(pool.monitor()),
+        ));
         Ok(Server {
             listener,
             view: Arc::new(view),
-            pool: ThreadPool::new(threads),
+            pool,
             shutdown: Arc::new(AtomicBool::new(false)),
+            obs,
         })
+    }
+
+    /// Replaces the server's telemetry bundle (e.g. to attach a
+    /// `--trace-out` sink before [`Server::run`]). Request accounting
+    /// accumulated so far is discarded with the old context.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.obs = Arc::new(ServeTelemetry::new(telemetry, Some(self.pool.monitor())));
+    }
+
+    /// The server's observability context (`/metrics`, `/statusz`).
+    pub fn obs(&self) -> &Arc<ServeTelemetry> {
+        &self.obs
     }
 
     /// The address actually bound (resolves port 0).
@@ -119,7 +140,9 @@ impl Server {
                 continue; // transient accept failure (EMFILE, reset, …)
             };
             let view = Arc::clone(&self.view);
-            self.pool.spawn(move || handle_connection(stream, &view));
+            let obs = Arc::clone(&self.obs);
+            self.pool
+                .spawn(move || handle_connection(stream, &view, &obs));
         }
         Ok(())
     }
@@ -127,31 +150,45 @@ impl Server {
 
 /// Serves requests off one connection until the peer asks to close (or
 /// closes), the idle timeout fires, the per-connection request cap is
-/// reached, or a request fails to parse.
-fn handle_connection(mut stream: TcpStream, view: &StoreView) {
+/// reached, or a request fails to parse. Every request is accounted into
+/// `obs` (endpoint counter, latency, byte totals); the connection itself
+/// is accounted on the way out (keep-alive reuse).
+fn handle_connection(mut stream: TcpStream, view: &StoreView, obs: &ServeTelemetry) {
     stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
-    for served in 0..MAX_REQUESTS_PER_CONNECTION {
+    let mut served = 0;
+    while served < MAX_REQUESTS_PER_CONNECTION {
         match read_request(&mut stream) {
             Ok(Some(request)) => {
+                served += 1;
                 // honor the client's wish, but advertise close on the
                 // connection's last allowed request
-                let keep_alive = request.keep_alive && served + 1 < MAX_REQUESTS_PER_CONNECTION;
-                let response = route(&request, view);
-                if response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
-                    return; // peer gone, or an agreed close
+                let keep_alive = request.keep_alive && served < MAX_REQUESTS_PER_CONNECTION;
+                let handling = Instant::now();
+                let response = route(&request, view, obs);
+                let written = response.write_to(&mut stream, keep_alive);
+                obs.record_request(
+                    &request.path,
+                    response.status,
+                    handling.elapsed(),
+                    request.body.len(),
+                    written.as_ref().copied().unwrap_or(0),
+                );
+                if written.is_err() || !keep_alive {
+                    break; // peer gone, or an agreed close
                 }
             }
             // clean end of a kept-alive connection (EOF or idle timeout)
-            Ok(None) => return,
+            Ok(None) => break,
             Err(bad) => {
                 // the peer may already be gone; nothing useful to do about it
                 Response::error(400, bad.to_string())
                     .write_to(&mut stream, false)
                     .ok();
-                return;
+                break;
             }
         }
     }
+    obs.record_connection(served);
 }
 
 #[cfg(test)]

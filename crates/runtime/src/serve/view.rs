@@ -9,6 +9,7 @@
 //!
 //! [`reload`]: StoreView::reload
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::store::{ArtifactStore, StoreError, StoredCampaign};
@@ -19,6 +20,10 @@ use crate::store::{ArtifactStore, StoreError, StoredCampaign};
 pub struct StoreView {
     store: ArtifactStore,
     campaigns: RwLock<Arc<Vec<StoredCampaign>>>,
+    /// Bumped on every successful [`StoreView::reload`]; `/statusz`
+    /// reports it so a scraper can tell "the daemon restarted" from "the
+    /// view refreshed".
+    generation: AtomicU64,
 }
 
 impl StoreView {
@@ -34,7 +39,14 @@ impl StoreView {
         Ok(StoreView {
             store,
             campaigns: RwLock::new(campaigns),
+            generation: AtomicU64::new(0),
         })
+    }
+
+    /// How many times the view has been successfully reloaded since it
+    /// was opened.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// The underlying store.
@@ -60,6 +72,7 @@ impl StoreView {
         let fresh = Arc::new(self.store.campaigns()?);
         let count = fresh.len();
         *self.campaigns.write().expect("store view poisoned") = fresh;
+        self.generation.fetch_add(1, Ordering::Relaxed);
         Ok(count)
     }
 

@@ -355,12 +355,14 @@ impl EvalCache {
     /// absorbing can never change what a running campaign would observe.
     /// Returns the number of entries added.
     pub fn absorb(&self, snapshot: &CacheSnapshot) -> usize {
-        self.import_entries(
+        let added = self.import_entries(
             snapshot
                 .entries
                 .iter()
                 .map(|(&(lo, hi), evaluation)| (CacheKey { lo, hi }, evaluation.clone())),
-        )
+        );
+        self.record_absorbed(added);
+        added
     }
 }
 

@@ -1,6 +1,7 @@
 //! Runtime determinism guarantees: the same seed must produce identical
 //! `SearchOutcome`s whether a search runs serially or through the thread
-//! pool, and with the evaluation cache on or off.
+//! pool, with the evaluation cache on or off, and with telemetry
+//! (`--trace-out` / `--metrics-out`) attached or not.
 
 use std::sync::Arc;
 
@@ -8,7 +9,7 @@ use dermsim::DermatologyConfig;
 use fahana::{FahanaConfig, FahanaSearch};
 use fahana_runtime::{
     CacheSnapshot, CachedEvaluator, CampaignConfig, CampaignEngine, CampaignPlan, CampaignReport,
-    EvalCache, PooledBatchEvaluator, ShardSpec, ThreadPool,
+    EvalCache, Json, PooledBatchEvaluator, ShardSpec, ThreadPool,
 };
 
 fn search_config(episodes: usize, seed: u64) -> FahanaConfig {
@@ -389,6 +390,123 @@ fn compacted_snapshot_is_smaller_but_warm_starts_equivalently() {
             warm_scenario.scenario.name
         );
     }
+}
+
+#[test]
+fn telemetry_is_a_side_channel_for_campaign_artifacts() {
+    // the tentpole contract of the observability layer: running the real
+    // fahana-campaign binary with `--trace-out` and `--metrics-out` must
+    // leave the canonical report and the cache snapshot BYTE-identical to
+    // an uninstrumented run — telemetry observes, never influences
+    let dir = std::env::temp_dir().join(format!("fahana-telemetry-det-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = dir.join("campaign.conf");
+    std::fs::write(
+        &config,
+        "episodes = 4\nsamples = 120\nthreads = 2\nseed = 23\n\
+         devices = raspberry_pi_4\nfreezing = on, off\n\
+         [reward balanced]\nalpha = 1.0\nbeta = 1.0\n",
+    )
+    .unwrap();
+
+    let campaign_bin = env!("CARGO_BIN_EXE_fahana-campaign");
+    let run = |extra: &[&str], out: &str, snap: &str| -> String {
+        let mut args = vec![
+            "--config",
+            config.to_str().unwrap(),
+            "--canonical",
+            "--out",
+            out,
+            "--cache-out",
+            snap,
+        ];
+        args.extend_from_slice(extra);
+        let output = std::process::Command::new(campaign_bin)
+            .args(&args)
+            .current_dir(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "fahana-campaign {args:?} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stderr).into_owned()
+    };
+    run(&[], "plain", "plain.fsnap");
+    let stderr = run(
+        &[
+            "--trace-out",
+            "trace.jsonl",
+            "--metrics-out",
+            "metrics.json",
+        ],
+        "traced",
+        "traced.fsnap",
+    );
+
+    assert_eq!(
+        std::fs::read(dir.join("plain/campaign.json")).unwrap(),
+        std::fs::read(dir.join("traced/campaign.json")).unwrap(),
+        "tracing must not change the canonical report"
+    );
+    assert_eq!(
+        std::fs::read(dir.join("plain.fsnap")).unwrap(),
+        std::fs::read(dir.join("traced.fsnap")).unwrap(),
+        "tracing must not change the cache snapshot"
+    );
+
+    // the end-of-run cache summary reaches stderr
+    assert!(stderr.contains("hit-rate"), "{stderr}");
+    assert!(stderr.contains("absorbed from snapshots"), "{stderr}");
+
+    // every trace line the binary emitted round-trips through the in-repo
+    // parser and carries the fixed envelope
+    let trace = std::fs::read_to_string(dir.join("trace.jsonl")).unwrap();
+    assert!(!trace.is_empty());
+    let mut scenario_spans = 0;
+    let mut campaign_spans = 0;
+    for line in trace.lines() {
+        let record = Json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert!(record.get("ts_ms").unwrap().as_i64().is_some(), "{line}");
+        let kind = record.get("kind").unwrap().as_str().unwrap();
+        assert!(kind == "span" || kind == "event", "{line}");
+        assert!(record.get("fields").is_some(), "{line}");
+        match record.get("name").unwrap().as_str().unwrap() {
+            "scenario" => scenario_spans += 1,
+            "campaign" => campaign_spans += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(scenario_spans, 2, "one span per grid cell:\n{trace}");
+    assert_eq!(campaign_spans, 1, "{trace}");
+
+    // the metrics snapshot parses and names the campaign metric catalog
+    let metrics = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+    let parsed = Json::parse(&metrics).unwrap();
+    let names: Vec<&str> = parsed
+        .get("metrics")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|metric| metric.get("name").unwrap().as_str().unwrap())
+        .collect();
+    for required in [
+        "fahana_scenarios_total",
+        "fahana_scenario_duration_ms",
+        "fahana_scenario_queue_wait_ms",
+        "fahana_cache_hits_total",
+        "fahana_cache_misses_total",
+        "fahana_cache_entries",
+        "fahana_pool_jobs_total",
+        "fahana_pool_threads",
+    ] {
+        assert!(names.contains(&required), "{required} missing: {names:?}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

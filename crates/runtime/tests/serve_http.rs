@@ -301,6 +301,169 @@ fn keep_alive_responses_advertise_it() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Pulls one numeric sample out of a Prometheus text body: the line that
+/// starts with exactly `name_and_labels` followed by a space.
+fn sample(text: &str, name_and_labels: &str) -> Option<f64> {
+    text.lines()
+        .find(|line| {
+            line.strip_prefix(name_and_labels)
+                .is_some_and(|rest| rest.starts_with(' '))
+        })
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|value| value.parse().ok())
+}
+
+#[test]
+fn metrics_and_statusz_reflect_live_traffic() {
+    let dir = temp_dir("observability");
+    let store_root = dir.join("store");
+    let store = ArtifactStore::open(&store_root).unwrap();
+    store.ingest("seeded", &tiny_report(81)).unwrap();
+    let (addr, handle, runner) = start_server(&store_root);
+
+    // traffic: two healthz, one query, one miss
+    assert_eq!(get(addr, "/healthz").0, 200);
+    assert_eq!(get(addr, "/healthz").0, 200);
+    assert_eq!(get(addr, "/query").0, 200);
+    assert_eq!(get(addr, "/nope").0, 404);
+
+    let (status, first) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(
+        sample(
+            &first,
+            r#"fahana_http_requests_total{endpoint="/healthz",status="200"}"#
+        ),
+        Some(2.0),
+        "{first}"
+    );
+    assert_eq!(
+        sample(
+            &first,
+            r#"fahana_http_requests_total{endpoint="/query",status="200"}"#
+        ),
+        Some(1.0)
+    );
+    // unknown paths collapse onto the bounded `other` label
+    assert_eq!(
+        sample(
+            &first,
+            r#"fahana_http_requests_total{endpoint="other",status="404"}"#
+        ),
+        Some(1.0)
+    );
+    // histogram plumbing: the +Inf bucket covers every /healthz request
+    assert_eq!(
+        sample(
+            &first,
+            r#"fahana_http_request_ms_bucket{endpoint="/healthz",le="+Inf"}"#
+        ),
+        Some(2.0),
+        "{first}"
+    );
+    assert_eq!(
+        sample(
+            &first,
+            r#"fahana_http_request_ms_count{endpoint="/healthz"}"#
+        ),
+        Some(2.0)
+    );
+    // each exchange above was its own Connection: close connection
+    assert!(sample(&first, "fahana_http_connections_total").unwrap() >= 4.0);
+    assert!(sample(&first, "fahana_http_response_bytes_total").unwrap() > 0.0);
+    // pool gauges are wired into the scrape
+    assert_eq!(sample(&first, "fahana_pool_threads"), Some(4.0), "{first}");
+
+    // more traffic moves the counters and the buckets
+    assert_eq!(get(addr, "/query").0, 200);
+    let (_, second) = get(addr, "/metrics");
+    assert_eq!(
+        sample(
+            &second,
+            r#"fahana_http_requests_total{endpoint="/query",status="200"}"#
+        ),
+        Some(2.0),
+        "{second}"
+    );
+    assert_eq!(
+        sample(
+            &second,
+            r#"fahana_http_request_ms_bucket{endpoint="/query",le="+Inf"}"#
+        ),
+        Some(2.0)
+    );
+    // a scrape accounts itself once written: the first /metrics request
+    // shows up in the second one
+    assert_eq!(
+        sample(
+            &second,
+            r#"fahana_http_requests_total{endpoint="/metrics",status="200"}"#
+        ),
+        Some(1.0),
+        "{second}"
+    );
+
+    // /statusz: the JSON status document with per-endpoint percentiles
+    let (status, body) = get(addr, "/statusz");
+    assert_eq!(status, 200);
+    let statusz = Json::parse(&body).unwrap();
+    assert_eq!(statusz.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(statusz.get("campaigns").unwrap().as_i64(), Some(1));
+    assert_eq!(statusz.get("store_generation").unwrap().as_i64(), Some(0));
+    assert!(statusz.get("uptime_ms").unwrap().as_i64().unwrap() >= 0);
+    let endpoints = statusz.get("endpoints").unwrap().as_arr().unwrap();
+    let healthz = endpoints
+        .iter()
+        .find(|e| e.get("endpoint").unwrap().as_str() == Some("/healthz"))
+        .expect("/healthz accounted in statusz");
+    assert_eq!(healthz.get("requests").unwrap().as_i64(), Some(2));
+    assert!(healthz.get("p99_ms").unwrap().as_f64().unwrap() >= 0.0);
+
+    // keep-alive reuse is accounted when the connection ends: three
+    // requests over one connection are two reuses
+    let mut stream = TcpStream::connect(addr).unwrap();
+    for _ in 0..3 {
+        let (status, _) =
+            fahana_runtime::serve::client_roundtrip(&mut stream, "GET", "/healthz", b"").unwrap();
+        assert_eq!(status, 200);
+    }
+    drop(stream);
+    // the server reaps the dropped connection asynchronously; poll
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let (_, scrape) = get(addr, "/metrics");
+        if sample(&scrape, "fahana_http_keepalive_reuse_total") == Some(2.0) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "keep-alive reuse never accounted: {scrape}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // an ingest bumps the store generation both renderings report
+    let report = tiny_report(82);
+    assert_eq!(
+        http(addr, "POST", "/ingest?id=bump", report.as_bytes()).0,
+        201
+    );
+    let (_, body) = get(addr, "/statusz");
+    assert_eq!(
+        Json::parse(&body)
+            .unwrap()
+            .get("store_generation")
+            .unwrap()
+            .as_i64(),
+        Some(1),
+        "{body}"
+    );
+
+    handle.shutdown();
+    runner.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn conflicting_duplicate_content_length_is_rejected() {
     let dir = temp_dir("dup-content-length");

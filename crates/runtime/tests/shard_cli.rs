@@ -154,11 +154,50 @@ fn coordinator_spawns_workers_and_merges_bit_identically() {
             "store",
             "--store-id",
             "merged",
+            "--trace-out",
+            "coordinator-trace.jsonl",
             "--json",
         ],
         &dir,
     );
     assert!(stderr.contains("merged 3 partial reports"), "{stderr}");
+    // one structured stderr line per reaped attempt: 3 shards, all ok
+    for shard in 1..=3 {
+        assert!(
+            stderr.contains(&format!(
+                "attempt: task=shard-{shard} attempt=1/2 outcome=ok"
+            )),
+            "{stderr}"
+        );
+    }
+
+    // the trace sink recorded each attempt and the wave, and (since the
+    // merged artifacts below are diffed against an untraced single run)
+    // tracing the coordinator demonstrably stayed a side channel
+    let trace = std::fs::read_to_string(dir.join("coordinator-trace.jsonl")).unwrap();
+    let mut attempts = 0;
+    let mut waves = 0;
+    for line in trace.lines() {
+        let record = Json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        match record.get("name").unwrap().as_str().unwrap() {
+            "shard_attempt" => {
+                attempts += 1;
+                let fields = record.get("fields").unwrap();
+                assert_eq!(fields.get("outcome").unwrap().as_str(), Some("ok"));
+                assert!(record.get("dur_ms").unwrap().as_f64().unwrap() > 0.0);
+            }
+            "shard_wave" => {
+                waves += 1;
+                let fields = record.get("fields").unwrap();
+                assert_eq!(fields.get("wave").unwrap().as_str(), Some("initial"));
+                assert_eq!(fields.get("tasks").unwrap().as_i64(), Some(3));
+                assert_eq!(fields.get("exhausted").unwrap().as_i64(), Some(0));
+            }
+            other => panic!("unexpected trace record `{other}`: {line}"),
+        }
+    }
+    assert_eq!(attempts, 3, "{trace}");
+    assert_eq!(waves, 1, "{trace}");
 
     // the merged canonical report is byte-identical to the single run's
     let single = std::fs::read(dir.join("single/campaign.json")).unwrap();
