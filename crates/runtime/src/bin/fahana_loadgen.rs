@@ -1,0 +1,307 @@
+//! `fahana-loadgen` — a closed-loop load generator for `fahana-serve`.
+//!
+//! ```text
+//! fahana-loadgen --addr HOST:PORT [--duration-secs N] [--workers N]
+//!                [--out FILE] [--seed N]
+//! ```
+//!
+//! Each worker holds one kept-alive connection (reconnecting if the
+//! server drops it) and issues requests back to back — a closed loop, so
+//! offered load tracks what the server can absorb instead of piling up.
+//! Targets are drawn from a weighted mix of the read endpoints; the mix
+//! and the per-worker draw sequence are fixed by `--seed`, so two runs
+//! against the same store offer the same request stream.
+//!
+//! Results land in a JSON report (default `BENCH_serve.json`): request
+//! and error counts, throughput, and exact latency percentiles
+//! (p50/p90/p99/max) computed over every sample — no histogram buckets,
+//! no estimation.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fahana_runtime::serve::http::client_exchange;
+use fahana_runtime::{write_atomic, Json};
+
+/// The weighted endpoint mix, roughly matching a dashboard-plus-planner
+/// read workload. Weights sum to 100.
+const MIX: &[(&str, u32)] = &[
+    ("/query?device=raspberry_pi_4&max_latency_ms=50", 20),
+    ("/query?device=odroid_xu4", 15),
+    ("/catalog", 25),
+    ("/leaderboard/raspberry_pi_4?top=5", 20),
+    ("/campaigns", 10),
+    ("/healthz", 10),
+];
+
+struct Cli {
+    addr: Option<String>,
+    duration: Duration,
+    workers: usize,
+    out: PathBuf,
+    seed: u64,
+}
+
+fn usage() -> &'static str {
+    "usage: fahana-loadgen --addr HOST:PORT [--duration-secs N] [--workers N] [--out FILE] \
+     [--seed N]"
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        addr: None,
+        duration: Duration::from_secs(5),
+        workers: 4,
+        out: PathBuf::from("BENCH_serve.json"),
+        seed: 42,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--addr" => cli.addr = Some(value_of("--addr")?.to_string()),
+            "--duration-secs" => {
+                let secs: u64 = value_of("--duration-secs")?
+                    .parse()
+                    .map_err(|_| "--duration-secs expects a number".to_string())?;
+                if secs == 0 {
+                    return Err("--duration-secs must be positive".into());
+                }
+                cli.duration = Duration::from_secs(secs);
+            }
+            "--workers" => {
+                cli.workers = value_of("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a number".to_string())?;
+                if cli.workers == 0 {
+                    return Err("--workers must be positive".into());
+                }
+            }
+            "--out" => cli.out = PathBuf::from(value_of("--out")?),
+            "--seed" => {
+                cli.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects a number".to_string())?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if cli.addr.is_none() {
+        return Err(format!("--addr is required\n{}", usage()));
+    }
+    Ok(cli)
+}
+
+/// What one worker measured: per-endpoint request counts (indexed as
+/// [`MIX`]), latency samples in microseconds, and error tallies.
+#[derive(Default)]
+struct WorkerTally {
+    by_endpoint: Vec<u64>,
+    latencies_us: Vec<u64>,
+    errors: u64,
+    errors_5xx: u64,
+    /// Connections re-established (the server rotates kept-alive
+    /// connections after its per-connection request cap; not an error).
+    reconnects: u64,
+}
+
+/// A splitmix-style step: deterministic, seedable, and good enough to
+/// shuffle an endpoint mix (this is a load pattern, not cryptography).
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let x = (*state >> 29) ^ *state;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// Picks a target from the weighted mix.
+fn pick(state: &mut u64) -> usize {
+    let total: u32 = MIX.iter().map(|(_, weight)| weight).sum();
+    let mut draw = (next_rand(state) % total as u64) as u32;
+    for (index, (_, weight)) in MIX.iter().enumerate() {
+        if draw < *weight {
+            return index;
+        }
+        draw -= weight;
+    }
+    MIX.len() - 1
+}
+
+/// One closed-loop worker: keep one connection alive, fire requests until
+/// `stop`, reconnect when the server (legitimately) drops the connection.
+fn worker_loop(addr: &str, seed: u64, stop: &AtomicBool) -> WorkerTally {
+    let mut tally = WorkerTally {
+        by_endpoint: vec![0; MIX.len()],
+        ..WorkerTally::default()
+    };
+    let mut state = seed;
+    let mut connection: Option<TcpStream> = None;
+    while !stop.load(Ordering::Acquire) {
+        let stream = match &mut connection {
+            Some(stream) => stream,
+            None => match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+                    // measure the server, not Nagle + delayed-ACK
+                    stream.set_nodelay(true).ok();
+                    connection.insert(stream)
+                }
+                Err(_) => {
+                    tally.errors += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+            },
+        };
+        let choice = pick(&mut state);
+        let started = Instant::now();
+        match client_exchange(stream, "GET", MIX[choice].0, &[]) {
+            Ok(response) => {
+                tally.by_endpoint[choice] += 1;
+                tally
+                    .latencies_us
+                    .push(started.elapsed().as_micros() as u64);
+                if response.status >= 500 {
+                    tally.errors_5xx += 1;
+                } else if response.status >= 400 {
+                    tally.errors += 1;
+                }
+                // the server announces rotation (per-connection request
+                // cap) on the last response; reconnect without an error
+                if response.header("connection") == Some("close") {
+                    tally.reconnects += 1;
+                    connection = None;
+                }
+            }
+            Err(_) => {
+                // connection died under us (timeout, shutdown, reset):
+                // the request got no answer, so this one is an error
+                tally.errors += 1;
+                connection = None;
+            }
+        }
+    }
+    tally
+}
+
+/// Exact quantile over a sorted sample set (nearest-rank).
+fn quantile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64 / 1000.0
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    let addr = cli.addr.expect("validated in parse_cli");
+    // fail fast (and outside the measured window) if nothing is listening
+    TcpStream::connect(&addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..cli.workers)
+        .map(|index| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let seed = cli
+                .seed
+                .wrapping_add(index as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            std::thread::spawn(move || worker_loop(&addr, seed, &stop))
+        })
+        .collect();
+    std::thread::sleep(cli.duration);
+    stop.store(true, Ordering::Release);
+    let tallies: Vec<WorkerTally> = workers
+        .into_iter()
+        .map(|worker| worker.join().expect("loadgen worker panicked"))
+        .collect();
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<u64> = tallies
+        .iter()
+        .flat_map(|tally| tally.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let requests: u64 = latencies.len() as u64;
+    let errors: u64 = tallies.iter().map(|tally| tally.errors).sum();
+    let errors_5xx: u64 = tallies.iter().map(|tally| tally.errors_5xx).sum();
+    let reconnects: u64 = tallies.iter().map(|tally| tally.reconnects).sum();
+    let throughput = requests as f64 / elapsed.as_secs_f64();
+
+    let endpoints = MIX
+        .iter()
+        .enumerate()
+        .map(|(index, (target, weight))| {
+            let count: u64 = tallies.iter().map(|tally| tally.by_endpoint[index]).sum();
+            Json::Obj(vec![
+                ("target".into(), Json::str(*target)),
+                ("weight".into(), Json::Int(*weight as i64)),
+                ("requests".into(), Json::Int(count as i64)),
+            ])
+        })
+        .collect();
+
+    let report = Json::Obj(vec![
+        ("addr".into(), Json::str(addr.clone())),
+        ("workers".into(), Json::Int(cli.workers as i64)),
+        ("seed".into(), Json::Int(cli.seed as i64)),
+        ("duration_secs".into(), Json::Num(elapsed.as_secs_f64())),
+        ("requests".into(), Json::Int(requests as i64)),
+        ("errors".into(), Json::Int(errors as i64)),
+        ("errors_5xx".into(), Json::Int(errors_5xx as i64)),
+        ("reconnects".into(), Json::Int(reconnects as i64)),
+        ("throughput_rps".into(), Json::Num(throughput)),
+        (
+            "latency_ms".into(),
+            Json::Obj(vec![
+                ("p50".into(), Json::Num(quantile_us(&latencies, 0.50))),
+                ("p90".into(), Json::Num(quantile_us(&latencies, 0.90))),
+                ("p99".into(), Json::Num(quantile_us(&latencies, 0.99))),
+                (
+                    "max".into(),
+                    Json::Num(latencies.last().map_or(0.0, |&us| us as f64 / 1000.0)),
+                ),
+            ]),
+        ),
+        ("endpoints".into(), Json::Arr(endpoints)),
+    ]);
+    write_atomic(&cli.out, report.render().as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", cli.out.display()))?;
+    eprintln!(
+        "fahana-loadgen: {requests} requests in {:.2}s ({throughput:.0} req/s, {errors} errors, \
+         {errors_5xx} 5xx, {reconnects} reconnects) -> {}",
+        elapsed.as_secs_f64(),
+        cli.out.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fahana-loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fahana-serve --store DIR [--addr HOST:PORT] [--threads N] [--ingest FILE]...
-//!              [--trace-out FILE]
+//!              [--max-inflight N] [--read-timeout-ms MS] [--max-body-bytes N]
+//!              [--cache-capacity N] [--trace-out FILE]
 //! ```
 //!
 //! A long-lived daemon answering the same questions as `fahana-query`,
@@ -18,27 +19,37 @@
 //! `--ingest` pre-loads report files at startup (same semantics as
 //! `fahana-query --ingest`); `POST /ingest` adds more while running.
 //!
+//! Read responses are cached per store generation (`--cache-capacity`,
+//! 0 disables). The daemon sheds load instead of queueing unboundedly:
+//! past `--max-inflight` concurrent connections, new ones are answered
+//! `503` with a `Retry-After` header; a connection that dribbles its
+//! request in slower than `--read-timeout-ms` gets a `408`; a body larger
+//! than `--max-body-bytes` gets a `413` without being buffered.
+//!
 //! The daemon self-reports: `GET /metrics` serves the metrics registry in
 //! the Prometheus text format (per-endpoint request counts and latency
-//! histograms, pool counters, store generation) and `GET /statusz` a JSON
-//! status document with per-endpoint latency percentiles. `--trace-out`
-//! additionally appends structured JSONL trace records.
+//! histograms, pool counters, cache hit/miss totals, store generation)
+//! and `GET /statusz` a JSON status document with per-endpoint latency
+//! percentiles. `--trace-out` additionally appends structured JSONL trace
+//! records.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use fahana_runtime::{ArtifactStore, Server, StoreView, Telemetry};
+use fahana_runtime::{ArtifactStore, ServeOptions, Server, StoreView, Telemetry};
 
 struct Cli {
     store_dir: Option<PathBuf>,
     addr: String,
-    threads: usize,
+    options: ServeOptions,
     ingest: Vec<PathBuf>,
     trace_out: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: fahana-serve --store DIR [--addr HOST:PORT] [--threads N] [--ingest FILE]... \
+     [--max-inflight N] [--read-timeout-ms MS] [--max-body-bytes N] [--cache-capacity N] \
      [--trace-out FILE]"
 }
 
@@ -46,7 +57,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         store_dir: None,
         addr: "127.0.0.1:7878".into(),
-        threads: 4,
+        options: ServeOptions::default(),
         ingest: Vec::new(),
         trace_out: None,
     };
@@ -57,13 +68,34 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 .map(String::as_str)
                 .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
         };
+        let number = |flag: &str, value: &str| -> Result<usize, String> {
+            value
+                .parse()
+                .map_err(|_| format!("{flag} expects a number"))
+        };
         match arg.as_str() {
             "--store" => cli.store_dir = Some(PathBuf::from(value_of("--store")?)),
             "--addr" => cli.addr = value_of("--addr")?.to_string(),
             "--threads" => {
-                cli.threads = value_of("--threads")?
-                    .parse()
-                    .map_err(|_| "--threads expects a number".to_string())?;
+                cli.options.threads = number("--threads", value_of("--threads")?)?;
+            }
+            "--max-inflight" => {
+                cli.options.max_inflight = number("--max-inflight", value_of("--max-inflight")?)?;
+            }
+            "--read-timeout-ms" => {
+                let ms = number("--read-timeout-ms", value_of("--read-timeout-ms")?)?;
+                if ms == 0 {
+                    return Err("--read-timeout-ms must be positive".into());
+                }
+                cli.options.read_timeout = Duration::from_millis(ms as u64);
+            }
+            "--max-body-bytes" => {
+                cli.options.max_body_bytes =
+                    number("--max-body-bytes", value_of("--max-body-bytes")?)?;
+            }
+            "--cache-capacity" => {
+                cli.options.cache_capacity =
+                    number("--cache-capacity", value_of("--cache-capacity")?)?;
             }
             "--ingest" => cli.ingest.push(PathBuf::from(value_of("--ingest")?)),
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value_of("--trace-out")?)),
@@ -94,7 +126,7 @@ fn run(cli: Cli) -> Result<(), String> {
 
     let view = StoreView::open(store).map_err(|e| e.to_string())?;
     let campaigns = view.campaigns().len();
-    let mut server = Server::bind(cli.addr.as_str(), view, cli.threads)
+    let mut server = Server::bind_with(cli.addr.as_str(), view, cli.options)
         .map_err(|e| format!("cannot bind {}: {e}", cli.addr))?;
     if let Some(path) = &cli.trace_out {
         let telemetry = Telemetry::with_trace(path)
@@ -113,14 +145,19 @@ fn run(cli: Cli) -> Result<(), String> {
                 ),
                 (
                     "threads".into(),
-                    fahana_runtime::Json::Int(cli.threads as i64),
+                    fahana_runtime::Json::Int(cli.options.threads as i64),
+                ),
+                (
+                    "max_inflight".into(),
+                    fahana_runtime::Json::Int(cli.options.max_inflight as i64),
                 ),
             ],
         );
     }
     eprintln!(
-        "fahana-serve: listening on http://{addr} ({campaigns} campaigns, {} worker threads)",
-        cli.threads
+        "fahana-serve: listening on http://{addr} ({campaigns} campaigns, {} worker threads, \
+         {} max in-flight, cache {})",
+        cli.options.threads, cli.options.max_inflight, cli.options.cache_capacity
     );
     server.run().map_err(|e| e.to_string())
 }

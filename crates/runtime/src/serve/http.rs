@@ -12,11 +12,69 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Reject header blocks larger than this (64 KiB).
 const MAX_HEAD_BYTES: usize = 64 * 1024;
-/// Reject bodies larger than this (16 MiB — campaign reports are ~100 KiB).
-const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// Default body cap (16 MiB — campaign reports are ~100 KiB); configurable
+/// per server via [`RequestLimits::max_body_bytes`].
+pub const DEFAULT_MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// Default whole-request read deadline; configurable per server via
+/// [`RequestLimits::read_timeout`].
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-request read bounds, owned by the server and threaded into
+/// [`read_request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestLimits {
+    /// Total wall-clock budget for reading one request, head *and* body.
+    /// This is a deadline, not a per-read idle timeout: a slowloris peer
+    /// dribbling one byte per second cannot hold a worker past it.
+    pub read_timeout: Duration,
+    /// Reject bodies whose `Content-Length` exceeds this (413).
+    pub max_body_bytes: usize,
+}
+
+impl Default for RequestLimits {
+    fn default() -> RequestLimits {
+        RequestLimits {
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// A [`Read`] adapter enforcing an absolute deadline over a `TcpStream`:
+/// before every read the socket timeout is re-armed to the time remaining,
+/// so the *total* time a peer can spend dribbling a request in is bounded,
+/// not just the gap between bytes.
+struct DeadlineStream<'a> {
+    stream: &'a mut TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request read deadline expired",
+            ));
+        }
+        self.stream.set_read_timeout(Some(remaining)).ok();
+        self.stream.read(buf)
+    }
+}
+
+/// Whether an I/O error is one of the two kinds a timed-out socket read
+/// reports (platform-dependent).
+fn is_timeout(error: &std::io::Error) -> bool {
+    matches!(
+        error.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,13 +104,42 @@ impl Request {
     }
 }
 
-/// Why a request could not be parsed; maps onto a 4xx response.
+/// Why a request could not be parsed; carries the 4xx status it maps onto
+/// (400 malformed, 408 timed out mid-request, 413 body too large).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BadRequest(pub String);
+pub struct BadRequest {
+    /// The status the connection loop answers with.
+    pub status: u16,
+    /// Human-readable cause, served in the error body.
+    pub message: String,
+}
+
+impl BadRequest {
+    fn malformed(message: impl Into<String>) -> BadRequest {
+        BadRequest {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn timeout(message: impl Into<String>) -> BadRequest {
+        BadRequest {
+            status: 408,
+            message: message.into(),
+        }
+    }
+
+    fn too_large(message: impl Into<String>) -> BadRequest {
+        BadRequest {
+            status: 413,
+            message: message.into(),
+        }
+    }
+}
 
 impl std::fmt::Display for BadRequest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -65,29 +152,43 @@ impl std::fmt::Display for BadRequest {
 ///
 /// # Errors
 ///
-/// [`BadRequest`] on malformed request lines, oversized heads/bodies, or
-/// an underful body (peer hung up early).
-pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadRequest> {
+/// [`BadRequest`] on malformed request lines (400), a request that dribbles
+/// in past the `limits` deadline (408), oversized heads (400) or bodies
+/// (413), or an underful body — peer hung up early (400).
+pub fn read_request(
+    stream: &mut TcpStream,
+    limits: &RequestLimits,
+) -> Result<Option<Request>, BadRequest> {
+    // one absolute deadline covers the whole request (head and body): a
+    // slowloris peer feeding a byte at a time runs out of clock, not just
+    // out of per-read patience
+    let mut limited = DeadlineStream {
+        stream,
+        deadline: Instant::now() + limits.read_timeout,
+    };
     // the whole head is read through a `take`, so a peer streaming an
     // endless request line (or header block) hits the cap mid-read and
     // can never make `read_line` buffer more than MAX_HEAD_BYTES
-    let mut reader = BufReader::new((&mut *stream).take(MAX_HEAD_BYTES as u64));
+    let mut reader = BufReader::new((&mut limited).take(MAX_HEAD_BYTES as u64));
     let mut line = String::new();
     match reader.read_line(&mut line) {
         Ok(0) => return Ok(None), // clean EOF between requests
         Ok(_) => {}
         // an idle keep-alive connection hitting the read timeout with no
-        // request bytes on the wire is a quiet close, not a bad request
-        Err(e)
-            if line.is_empty()
-                && matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-        {
-            return Ok(None)
+        // request bytes on the wire is a quiet close, not a bad request —
+        // but a *partial* request line at the deadline is a slowloris
+        // peer, answered 408
+        Err(e) if line.is_empty() && is_timeout(&e) => return Ok(None),
+        Err(e) if is_timeout(&e) => {
+            return Err(BadRequest::timeout(
+                "request line still incomplete at the read deadline",
+            ))
         }
-        Err(e) => return Err(BadRequest(format!("cannot read request line: {e}"))),
+        Err(e) => {
+            return Err(BadRequest::malformed(format!(
+                "cannot read request line: {e}"
+            )))
+        }
     }
     let request_line = line.trim_end_matches(['\r', '\n']).to_string();
 
@@ -95,17 +196,19 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
     let method = parts
         .next()
         .filter(|m| !m.is_empty())
-        .ok_or_else(|| BadRequest("empty request line".into()))?
+        .ok_or_else(|| BadRequest::malformed("empty request line"))?
         .to_ascii_uppercase();
     let target = parts
         .next()
-        .ok_or_else(|| BadRequest(format!("request line `{request_line}` has no target")))?
+        .ok_or_else(|| {
+            BadRequest::malformed(format!("request line `{request_line}` has no target"))
+        })?
         .to_string();
     let mut keep_alive = match parts.next() {
         // keep-alive is the HTTP/1.1 default; 1.0 defaults to close
         Some(version) if version.starts_with("HTTP/1.") => version != "HTTP/1.0",
         other => {
-            return Err(BadRequest(format!(
+            return Err(BadRequest::malformed(format!(
                 "unsupported protocol `{}`",
                 other.unwrap_or("<missing>")
             )))
@@ -117,9 +220,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
     let mut terminated = false;
     loop {
         let mut header = String::new();
-        let read = reader
-            .read_line(&mut header)
-            .map_err(|e| BadRequest(format!("cannot read header: {e}")))?;
+        let read = reader.read_line(&mut header).map_err(|e| {
+            if is_timeout(&e) {
+                BadRequest::timeout("header block still incomplete at the read deadline")
+            } else {
+                BadRequest::malformed(format!("cannot read header: {e}"))
+            }
+        })?;
         if read == 0 {
             break; // EOF or head cap exhausted without a blank line
         }
@@ -130,16 +237,15 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                let parsed: usize = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| BadRequest(format!("bad Content-Length `{}`", value.trim())))?;
+                let parsed: usize = value.trim().parse().map_err(|_| {
+                    BadRequest::malformed(format!("bad Content-Length `{}`", value.trim()))
+                })?;
                 // duplicate Content-Length headers that disagree are the
                 // classic request-smuggling vector (two parsers, two body
                 // framings): reject instead of letting the last one win;
                 // identical duplicates are harmless and stay accepted
                 if content_length.is_some_and(|existing| existing != parsed) {
-                    return Err(BadRequest(format!(
+                    return Err(BadRequest::malformed(format!(
                         "conflicting Content-Length headers ({} then {parsed})",
                         content_length.unwrap_or_default()
                     )));
@@ -159,19 +265,21 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
         }
     }
     if !terminated {
-        return Err(BadRequest(format!(
+        return Err(BadRequest::malformed(format!(
             "header block truncated or larger than {MAX_HEAD_BYTES} bytes"
         )));
     }
     let content_length = content_length.unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(BadRequest(format!(
-            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES} byte limit"
+    if content_length > limits.max_body_bytes {
+        return Err(BadRequest::too_large(format!(
+            "body of {content_length} bytes exceeds the {} byte limit",
+            limits.max_body_bytes
         )));
     }
 
     // body: drain what the head reader over-buffered, then go back to the
-    // raw stream for the rest (the head cap must not apply to the body)
+    // deadline-bounded stream for the rest (the head cap must not apply to
+    // the body, but the read deadline still does)
     let mut body = vec![0u8; content_length];
     let from_buffer = {
         let buffered = reader.buffer();
@@ -182,9 +290,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
     reader.consume(from_buffer);
     drop(reader);
     if from_buffer < content_length {
-        stream
-            .read_exact(&mut body[from_buffer..])
-            .map_err(|e| BadRequest(format!("body shorter than Content-Length: {e}")))?;
+        limited.read_exact(&mut body[from_buffer..]).map_err(|e| {
+            if is_timeout(&e) {
+                BadRequest::timeout("body still incomplete at the read deadline")
+            } else {
+                BadRequest::malformed(format!("body shorter than Content-Length: {e}"))
+            }
+        })?;
     }
 
     let (path, query) = split_target(&target)?;
@@ -204,7 +316,9 @@ fn split_target(target: &str) -> Result<(String, Vec<(String, String)>), BadRequ
         None => (target, None),
     };
     if !raw_path.starts_with('/') {
-        return Err(BadRequest(format!("target `{target}` is not a path")));
+        return Err(BadRequest::malformed(format!(
+            "target `{target}` is not a path"
+        )));
     }
     let path = percent_decode(raw_path)?;
     let mut query = Vec::new();
@@ -233,7 +347,9 @@ fn percent_decode(text: &str) -> Result<String, BadRequest> {
                     .get(index + 1..index + 3)
                     .and_then(|pair| std::str::from_utf8(pair).ok())
                     .and_then(|pair| u8::from_str_radix(pair, 16).ok())
-                    .ok_or_else(|| BadRequest(format!("bad percent escape in `{text}`")))?;
+                    .ok_or_else(|| {
+                        BadRequest::malformed(format!("bad percent escape in `{text}`"))
+                    })?;
                 out.push(hex);
                 index += 3;
             }
@@ -243,7 +359,8 @@ fn percent_decode(text: &str) -> Result<String, BadRequest> {
             }
         }
     }
-    String::from_utf8(out).map_err(|_| BadRequest(format!("`{text}` decodes to invalid UTF-8")))
+    String::from_utf8(out)
+        .map_err(|_| BadRequest::malformed(format!("`{text}` decodes to invalid UTF-8")))
 }
 
 /// A response ready to be serialized onto the wire.
@@ -256,6 +373,14 @@ pub struct Response {
     /// `Content-Type` the body is served as (JSON everywhere except the
     /// Prometheus `/metrics` rendering).
     pub content_type: &'static str,
+    /// When set, emitted as an `X-Fahana-Generation` header: the store
+    /// view generation this response's bytes were rendered from. Read
+    /// endpoints set it so clients (and `tests/serve_load.rs`) can pin
+    /// a body to the exact store state it reflects.
+    pub generation: Option<u64>,
+    /// When set, emitted as a `Retry-After` header (seconds) — attached to
+    /// the 503 a saturated server answers at the accept gate.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -265,6 +390,8 @@ impl Response {
             status: 200,
             body: body.into(),
             content_type: "application/json",
+            generation: None,
+            retry_after: None,
         }
     }
 
@@ -275,6 +402,8 @@ impl Response {
             status: 200,
             body: body.into(),
             content_type: "text/plain; version=0.0.4",
+            generation: None,
+            retry_after: None,
         }
     }
 
@@ -289,7 +418,22 @@ impl Response {
             status,
             body,
             content_type: "application/json",
+            generation: None,
+            retry_after: None,
         }
+    }
+
+    /// Tags the response with the store generation its bytes were
+    /// rendered from (`X-Fahana-Generation`).
+    pub fn with_generation(mut self, generation: u64) -> Response {
+        self.generation = Some(generation);
+        self
+    }
+
+    /// Attaches a `Retry-After` header (seconds).
+    pub fn with_retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// Writes the response (status line, headers, body) to the stream,
@@ -300,14 +444,21 @@ impl Response {
     ///
     /// Propagates the underlying I/O error (peer gone, etc.).
     pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<usize> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_text(self.status),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
+        if let Some(generation) = self.generation {
+            head.push_str(&format!("X-Fahana-Generation: {generation}\r\n"));
+        }
+        if let Some(seconds) = self.retry_after {
+            head.push_str(&format!("Retry-After: {seconds}\r\n"));
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(self.body.as_bytes())?;
         stream.flush()?;
@@ -334,6 +485,49 @@ pub fn client_roundtrip(
     target: &str,
     body: &[u8],
 ) -> std::io::Result<(u16, String)> {
+    client_exchange(stream, method, target, body).map(|response| (response.status, response.body))
+}
+
+/// A fully parsed client-side response: status, every header, the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// All response headers, in wire order (names as sent).
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length`-framed body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First header value matching `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(header, _)| header.eq_ignore_ascii_case(name))
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// The `X-Fahana-Generation` header, parsed — the store generation the
+    /// response bytes were rendered from.
+    pub fn generation(&self) -> Option<u64> {
+        self.header("x-fahana-generation")?.trim().parse().ok()
+    }
+}
+
+/// [`client_roundtrip`], but returning the response headers as well — the
+/// load generator and the concurrency tests need `X-Fahana-Generation` to
+/// pin a body to the store state that produced it.
+///
+/// # Errors
+///
+/// As [`client_roundtrip`].
+pub fn client_exchange(
+    stream: &mut TcpStream,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> std::io::Result<ClientResponse> {
     let head = format!(
         "{method} {target} HTTP/1.1\r\nHost: fahana\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
         body.len()
@@ -362,22 +556,25 @@ pub fn client_roundtrip(
         .and_then(|line| line.split(' ').nth(1))
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
+    let mut headers = Vec::new();
     let mut content_length = 0usize;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| bad("malformed Content-Length"))?;
+                content_length = value.parse().map_err(|_| bad("malformed Content-Length"))?;
             }
+            headers.push((name.to_string(), value.to_string()));
         }
     }
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body)?;
-    String::from_utf8(body)
-        .map(|body| (status, body))
-        .map_err(|_| bad("response body is not UTF-8"))
+    let body = String::from_utf8(body).map_err(|_| bad("response body is not UTF-8"))?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 /// Reason phrase for the status codes this server emits.
@@ -388,8 +585,12 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }

@@ -7,16 +7,22 @@
 //! the serving front-end the ROADMAP calls for instead:
 //!
 //! * [`view`] — a reload-on-ingest [`StoreView`]: campaigns parsed once,
-//!   shared across handler threads as `Arc` snapshots;
+//!   shared across handler threads as `Arc` snapshots, with the
+//!   generation and campaign set swapped under one lock;
 //! * [`http`] — hand-rolled HTTP/1.1 request parsing and JSON responses
 //!   (no hyper in the offline build), with keep-alive connection reuse
-//!   for sequential clients and a minimal framed client
-//!   ([`client_roundtrip`]) used by the `fahana-shard` coordinator to
-//!   publish merged reports over one connection;
+//!   for sequential clients, per-request read deadlines and body caps
+//!   ([`RequestLimits`]), and a minimal framed client
+//!   ([`client_roundtrip`], [`client_exchange`]) used by the
+//!   `fahana-shard` coordinator and the `fahana-loadgen` bench;
+//! * [`cache`] — a generation-keyed [`ResponseCache`]: rendered read
+//!   responses valid for exactly one store generation, flushed wholesale
+//!   when `POST /ingest` bumps it, hot entries prerendered on every bump;
 //! * [`router`] — the endpoint table (see below);
 //! * [`server`] — the [`Server`] accept loop, fanning connections out on
 //!   the same work-stealing [`ThreadPool`](crate::pool::ThreadPool)
-//!   campaigns use;
+//!   campaigns use, with an in-flight connection gate ([`ServeOptions`])
+//!   that answers 503 + `Retry-After` at the door when saturated;
 //! * [`obs`] — the serve-side observability context: per-endpoint request
 //!   counters and latency histograms (bounded label vocabulary), body
 //!   byte totals and keep-alive reuse, rendered as Prometheus text
@@ -35,14 +41,18 @@
 //! | `GET /statusz` | JSON status: uptime, store generation, per-endpoint latency percentiles |
 //! | `POST /ingest?id=ID` | atomic artifact publish + catalog rebuild + view refresh |
 
+pub mod cache;
 pub mod http;
 pub mod obs;
 pub mod router;
 pub mod server;
 pub mod view;
 
-pub use http::{client_roundtrip, Request, Response};
+pub use cache::{CacheLookup, CacheStatsSnapshot, ResponseCache};
+pub use http::{
+    client_exchange, client_roundtrip, ClientResponse, Request, RequestLimits, Response,
+};
 pub use obs::ServeTelemetry;
 pub use router::route;
-pub use server::{Server, ServerHandle};
+pub use server::{ServeOptions, Server, ServerHandle};
 pub use view::StoreView;

@@ -7,22 +7,26 @@
 //! registry's cardinality.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::pool::PoolMonitor;
 use crate::report::Json;
+use crate::serve::cache::ResponseCache;
 use crate::serve::view::StoreView;
 use crate::telemetry::{Histogram, Telemetry};
 
 /// The server's telemetry context: the shared bundle plus serve-specific
 /// bookkeeping (uptime epoch, per-endpoint histograms, the pool monitor
-/// polled at scrape time).
+/// and response cache polled at scrape time).
 #[derive(Debug)]
 pub struct ServeTelemetry {
     telemetry: Telemetry,
     started: Instant,
     pool: Option<PoolMonitor>,
+    /// The response cache whose hit/miss/eviction counters are mirrored
+    /// into the registry at scrape time (same pattern as the pool).
+    cache: Option<Arc<ResponseCache>>,
     /// Endpoint → its latency histogram, kept here (as well as in the
     /// registry) so `/statusz` can answer percentiles without re-parsing
     /// the Prometheus rendering.
@@ -46,20 +50,26 @@ pub fn normalize_endpoint(path: &str) -> &'static str {
 }
 
 impl ServeTelemetry {
-    /// Wraps a telemetry bundle for serve-side use. `pool` (when given)
-    /// is polled at scrape time for queue depth and scheduling counters.
-    pub fn new(telemetry: Telemetry, pool: Option<PoolMonitor>) -> ServeTelemetry {
+    /// Wraps a telemetry bundle for serve-side use. `pool` and `cache`
+    /// (when given) are polled at scrape time for queue depth, scheduling
+    /// counters, and response-cache hit/miss/eviction totals.
+    pub fn new(
+        telemetry: Telemetry,
+        pool: Option<PoolMonitor>,
+        cache: Option<Arc<ResponseCache>>,
+    ) -> ServeTelemetry {
         ServeTelemetry {
             telemetry,
             started: Instant::now(),
             pool,
+            cache,
             latencies: Mutex::new(BTreeMap::new()),
         }
     }
 
     /// A context with a fresh registry and no trace sink.
     pub fn disabled() -> ServeTelemetry {
-        ServeTelemetry::new(Telemetry::disabled(), None)
+        ServeTelemetry::new(Telemetry::disabled(), None, None)
     }
 
     /// The underlying bundle (for trace access).
@@ -128,7 +138,32 @@ impl ServeTelemetry {
         }
     }
 
-    /// Refreshes the point-in-time gauges (pool, uptime) from their
+    /// Records an accept-loop failure (a connection the server never got
+    /// to serve). The accept loop backs off briefly after counting one so
+    /// a persistent local error cannot spin the loop hot.
+    pub fn record_accept_error(&self) {
+        self.telemetry
+            .metrics()
+            .counter(
+                "fahana_serve_accept_errors_total",
+                "accept() failures (connection never served)",
+            )
+            .inc();
+    }
+
+    /// Records a connection rejected at the door because the server was at
+    /// its in-flight connection limit (answered 503 + Retry-After).
+    pub fn record_rejected(&self) {
+        self.telemetry
+            .metrics()
+            .counter(
+                "fahana_serve_rejected_total",
+                "connections rejected with 503 at the in-flight limit",
+            )
+            .inc();
+    }
+
+    /// Refreshes the point-in-time gauges (pool, cache, uptime) from their
     /// sources. Called before either rendering.
     fn refresh_gauges(&self, view: &StoreView) {
         let metrics = self.telemetry.metrics();
@@ -166,6 +201,39 @@ impl ServeTelemetry {
                 .gauge("fahana_pool_queue_depth", "jobs queued and not yet started")
                 .set(pool.queue_depth() as i64);
         }
+        if let Some(cache) = &self.cache {
+            let stats = cache.stats();
+            for (name, help, count) in [
+                (
+                    "fahana_serve_cache_hits_total",
+                    "response cache lookups answered from cached bytes",
+                    stats.hits,
+                ),
+                (
+                    "fahana_serve_cache_misses_total",
+                    "response cache lookups that had to render",
+                    stats.misses,
+                ),
+                (
+                    "fahana_serve_cache_evictions_total",
+                    "response cache entries evicted under capacity pressure",
+                    stats.evictions,
+                ),
+                (
+                    "fahana_serve_cache_invalidations_total",
+                    "wholesale response cache flushes on generation bump",
+                    stats.invalidations,
+                ),
+            ] {
+                metrics.counter(name, help).set(count);
+            }
+            metrics
+                .gauge(
+                    "fahana_serve_cache_entries",
+                    "response cache entries currently held",
+                )
+                .set(stats.entries as i64);
+        }
     }
 
     /// The `GET /metrics` body: the registry in Prometheus text format.
@@ -193,7 +261,7 @@ impl ServeTelemetry {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut body = Json::Obj(vec![
             ("status".into(), Json::str("ok")),
             (
                 "uptime_ms".into(),
@@ -205,7 +273,28 @@ impl ServeTelemetry {
             ),
             ("campaigns".into(), Json::Int(view.campaigns().len() as i64)),
             ("endpoints".into(), Json::Arr(endpoints)),
-        ])
+        ]);
+        if let Some(cache) = &self.cache {
+            let stats = cache.stats();
+            let Json::Obj(fields) = &mut body else {
+                unreachable!("statusz body is an object");
+            };
+            fields.push((
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::Int(stats.hits as i64)),
+                    ("misses".into(), Json::Int(stats.misses as i64)),
+                    ("evictions".into(), Json::Int(stats.evictions as i64)),
+                    (
+                        "invalidations".into(),
+                        Json::Int(stats.invalidations as i64),
+                    ),
+                    ("entries".into(), Json::Int(stats.entries as i64)),
+                    ("generation".into(), Json::Int(stats.generation as i64)),
+                ]),
+            ));
+        }
+        body
     }
 }
 

@@ -4,30 +4,123 @@
 //! [`answer_query`] core (and the same [`StoreQuery::set`] filter parsing)
 //! as `fahana-query --json`, so the daemon's answers are byte-identical to
 //! the CLI's — pinned by `tests/serve_http.rs`.
+//!
+//! Read endpoints flow through the generation-keyed [`ResponseCache`]: the
+//! router takes one consistent `(generation, campaigns)` snapshot per
+//! request, serves cached bytes when the same question was already
+//! rendered this generation, and — on the first request of a *new*
+//! generation — prerenders the hot responses (`/catalog`, `/campaigns`,
+//! every `/leaderboard/{device}`) so an ingest never leaves the next
+//! burst of traffic cold. Cached or not, read responses carry an
+//! `X-Fahana-Generation` header naming the store state they reflect.
 
 use edgehw::DeviceKind;
 
 use crate::report::Json;
+use crate::serve::cache::{CacheLookup, ResponseCache};
 use crate::serve::http::{Request, Response};
 use crate::serve::obs::ServeTelemetry;
 use crate::serve::view::StoreView;
-use crate::store::{answer_query, catalog_json, leaderboard, StoreError, StoreQuery};
+use crate::store::{
+    answer_query, catalog_json, leaderboard, StoreError, StoreQuery, StoredCampaign,
+};
+
+/// Whether a path is one of the read endpoints whose response is a pure
+/// function of the campaign snapshot — the set the cache may hold.
+fn is_read_path(path: &str) -> bool {
+    matches!(path, "/healthz" | "/query" | "/campaigns" | "/catalog")
+        || path.starts_with("/leaderboard/")
+}
 
 /// Routes one request to its handler. `obs` answers the observability
 /// endpoints (`/metrics`, `/statusz`) and is otherwise untouched — request
-/// accounting happens in the connection loop, not here.
-pub fn route(request: &Request, view: &StoreView, obs: &ServeTelemetry) -> Response {
+/// accounting happens in the connection loop, not here. `cache` holds
+/// rendered read responses for the current store generation.
+pub fn route(
+    request: &Request,
+    view: &StoreView,
+    obs: &ServeTelemetry,
+    cache: &ResponseCache,
+) -> Response {
+    // volatile (/metrics, /statusz change with every scrape) and mutating
+    // endpoints never touch the cache
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => healthz(view),
-        ("GET", "/query") => query(request, view),
-        ("GET", "/campaigns") => campaigns(view),
-        ("GET", "/catalog") => catalog(view),
-        ("GET", "/metrics") => Response::text(obs.render_metrics(view)),
-        ("GET", "/statusz") => Response::ok(obs.statusz_json(view).render()),
-        ("GET", path) if path.starts_with("/leaderboard/") => {
-            device_leaderboard(request, view, &path["/leaderboard/".len()..])
+        ("GET", "/metrics") => return Response::text(obs.render_metrics(view)),
+        ("GET", "/statusz") => return Response::ok(obs.statusz_json(view).render()),
+        ("POST", "/ingest") => return ingest(request, view),
+        _ => {}
+    }
+    // one consistent (generation, campaigns) pair for the whole request:
+    // the bytes rendered below reflect exactly this generation, so they
+    // may be cached under it — and only under it
+    let (generation, campaigns) = view.snapshot();
+    if request.method == "GET" && is_read_path(&request.path) {
+        let key = ResponseCache::key(request);
+        match cache.lookup(&key, generation) {
+            CacheLookup::Hit(response) => return response,
+            CacheLookup::Miss { flushed } => {
+                if flushed {
+                    prerender(cache, generation, &campaigns);
+                    // the prerender may have produced exactly this answer
+                    if let CacheLookup::Hit(response) = cache.lookup(&key, generation) {
+                        return response;
+                    }
+                }
+                let response = route_read(request, &campaigns).with_generation(generation);
+                if response.status == 200 {
+                    cache.insert(key, generation, response.clone());
+                }
+                return response;
+            }
         }
-        ("POST", "/ingest") => ingest(request, view),
+    }
+    route_read(request, &campaigns)
+}
+
+/// Fills the cache's hot set for the view's current generation. The
+/// server calls this once at bind time; after that, the flush edge in
+/// [`route`] re-warms the cache on every generation bump.
+pub(crate) fn warm(cache: &ResponseCache, view: &StoreView) {
+    let (generation, campaigns) = view.snapshot();
+    prerender(cache, generation, &campaigns);
+}
+
+/// Renders the hot read responses into the cache for a fresh generation:
+/// the catalog, the campaign summary, and every device leaderboard.
+fn prerender(cache: &ResponseCache, generation: u64, campaigns: &[StoredCampaign]) {
+    let hot = ["/catalog".to_string(), "/campaigns".to_string()]
+        .into_iter()
+        .chain(
+            DeviceKind::all()
+                .into_iter()
+                .map(|device| format!("/leaderboard/{}", device.slug())),
+        );
+    for path in hot {
+        let request = Request {
+            method: "GET".into(),
+            path,
+            query: Vec::new(),
+            body: Vec::new(),
+            keep_alive: true,
+        };
+        let response = route_read(&request, campaigns).with_generation(generation);
+        if response.status == 200 {
+            cache.insert(ResponseCache::key(&request), generation, response);
+        }
+    }
+}
+
+/// The pure read surface: every handler here is a function of the campaign
+/// snapshot alone, which is what makes its responses cacheable.
+fn route_read(request: &Request, campaigns: &[StoredCampaign]) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(campaigns),
+        ("GET", "/query") => query(request, campaigns),
+        ("GET", "/campaigns") => campaign_summaries(campaigns),
+        ("GET", "/catalog") => catalog(campaigns),
+        ("GET", path) if path.starts_with("/leaderboard/") => {
+            device_leaderboard(request, campaigns, &path["/leaderboard/".len()..])
+        }
         (
             _,
             "/healthz" | "/query" | "/campaigns" | "/catalog" | "/ingest" | "/metrics" | "/statusz",
@@ -39,8 +132,7 @@ pub fn route(request: &Request, view: &StoreView, obs: &ServeTelemetry) -> Respo
     }
 }
 
-fn healthz(view: &StoreView) -> Response {
-    let campaigns = view.campaigns();
+fn healthz(campaigns: &[StoredCampaign]) -> Response {
     Response::ok(
         Json::Obj(vec![
             ("status".into(), Json::str("ok")),
@@ -59,26 +151,22 @@ fn healthz(view: &StoreView) -> Response {
     )
 }
 
-fn query(request: &Request, view: &StoreView) -> Response {
+fn query(request: &Request, campaigns: &[StoredCampaign]) -> Response {
     let mut store_query = StoreQuery::default();
     for (key, value) in &request.query {
         if let Err(message) = store_query.set(key, value) {
             return Response::error(400, message);
         }
     }
-    Response::ok(
-        answer_query(&view.campaigns(), &store_query)
-            .to_json()
-            .render(),
-    )
+    Response::ok(answer_query(campaigns, &store_query).to_json().render())
 }
 
-fn campaigns(view: &StoreView) -> Response {
+fn campaign_summaries(campaigns: &[StoredCampaign]) -> Response {
     Response::ok(
         Json::Obj(vec![(
             "campaigns".into(),
             Json::Arr(
-                view.campaigns()
+                campaigns
                     .iter()
                     .map(|campaign| {
                         Json::Obj(vec![
@@ -101,11 +189,11 @@ fn campaigns(view: &StoreView) -> Response {
     )
 }
 
-fn catalog(view: &StoreView) -> Response {
-    Response::ok(catalog_json(&view.campaigns()).render())
+fn catalog(campaigns: &[StoredCampaign]) -> Response {
+    Response::ok(catalog_json(campaigns).render())
 }
 
-fn device_leaderboard(request: &Request, view: &StoreView, slug: &str) -> Response {
+fn device_leaderboard(request: &Request, campaigns: &[StoredCampaign], slug: &str) -> Response {
     let Some(device) = DeviceKind::from_slug(slug) else {
         let known: Vec<&str> = DeviceKind::all().iter().map(|d| d.slug()).collect();
         return Response::error(
@@ -125,11 +213,7 @@ fn device_leaderboard(request: &Request, view: &StoreView, slug: &str) -> Respon
             }
         },
     };
-    Response::ok(
-        leaderboard(&view.campaigns(), device, top)
-            .to_json()
-            .render(),
-    )
+    Response::ok(leaderboard(campaigns, device, top).to_json().render())
 }
 
 fn ingest(request: &Request, view: &StoreView) -> Response {
@@ -215,33 +299,46 @@ mod tests {
     fn routes_cover_the_surface() {
         let view = seeded_view("surface");
         let obs = ServeTelemetry::disabled();
-        assert_eq!(route(&get("/healthz"), &view, &obs).status, 200);
-        assert_eq!(route(&get("/query"), &view, &obs).status, 200);
+        let cache = ResponseCache::new(64);
+        assert_eq!(route(&get("/healthz"), &view, &obs, &cache).status, 200);
+        assert_eq!(route(&get("/query"), &view, &obs, &cache).status, 200);
         assert_eq!(
-            route(&get("/query?device=raspberry_pi_4"), &view, &obs).status,
+            route(&get("/query?device=raspberry_pi_4"), &view, &obs, &cache).status,
             200
         );
-        assert_eq!(route(&get("/campaigns"), &view, &obs).status, 200);
-        assert_eq!(route(&get("/catalog"), &view, &obs).status, 200);
+        assert_eq!(route(&get("/campaigns"), &view, &obs, &cache).status, 200);
+        assert_eq!(route(&get("/catalog"), &view, &obs, &cache).status, 200);
         assert_eq!(
-            route(&get("/leaderboard/raspberry_pi_4"), &view, &obs).status,
+            route(&get("/leaderboard/raspberry_pi_4"), &view, &obs, &cache).status,
             200
         );
-        assert_eq!(route(&get("/leaderboard/toaster"), &view, &obs).status, 404);
         assert_eq!(
-            route(&get("/leaderboard/raspberry_pi_4?top=x"), &view, &obs).status,
+            route(&get("/leaderboard/toaster"), &view, &obs, &cache).status,
+            404
+        );
+        assert_eq!(
+            route(
+                &get("/leaderboard/raspberry_pi_4?top=x"),
+                &view,
+                &obs,
+                &cache
+            )
+            .status,
             400
         );
         assert_eq!(
-            route(&get("/query?device=toaster"), &view, &obs).status,
+            route(&get("/query?device=toaster"), &view, &obs, &cache).status,
             400
         );
-        assert_eq!(route(&get("/query?bogus=1"), &view, &obs).status, 400);
-        assert_eq!(route(&get("/nope"), &view, &obs).status, 404);
+        assert_eq!(
+            route(&get("/query?bogus=1"), &view, &obs, &cache).status,
+            400
+        );
+        assert_eq!(route(&get("/nope"), &view, &obs, &cache).status, 404);
 
         let mut post = get("/query");
         post.method = "POST".into();
-        assert_eq!(route(&post, &view, &obs).status, 405);
+        assert_eq!(route(&post, &view, &obs, &cache).status, 405);
 
         std::fs::remove_dir_all(view.store().root()).ok();
     }
@@ -250,9 +347,10 @@ mod tests {
     fn observability_routes_answer_from_the_context() {
         let view = seeded_view("obs");
         let obs = ServeTelemetry::disabled();
+        let cache = ResponseCache::new(64);
         obs.record_request("/query", 200, std::time::Duration::from_millis(3), 0, 120);
 
-        let metrics = route(&get("/metrics"), &view, &obs);
+        let metrics = route(&get("/metrics"), &view, &obs, &cache);
         assert_eq!(metrics.status, 200);
         assert_eq!(metrics.content_type, "text/plain; version=0.0.4");
         assert!(
@@ -265,7 +363,7 @@ mod tests {
         assert!(metrics.body.contains("fahana_serve_uptime_seconds"));
         assert!(metrics.body.contains("fahana_store_generation 0"));
 
-        let statusz = route(&get("/statusz"), &view, &obs);
+        let statusz = route(&get("/statusz"), &view, &obs, &cache);
         assert_eq!(statusz.status, 200);
         let parsed = Json::parse(&statusz.body).unwrap();
         assert_eq!(parsed.get("status").unwrap().as_str(), Some("ok"));
@@ -280,7 +378,7 @@ mod tests {
 
         // reload bumps the generation /statusz and /metrics report
         view.reload().unwrap();
-        let statusz = route(&get("/statusz"), &view, &obs);
+        let statusz = route(&get("/statusz"), &view, &obs, &cache);
         assert!(
             statusz.body.contains(r#""store_generation":1"#),
             "{}",
@@ -290,7 +388,69 @@ mod tests {
         // wrong methods on the new routes are 405 like everywhere else
         let mut post = get("/metrics");
         post.method = "POST".into();
-        assert_eq!(route(&post, &view, &obs).status, 405);
+        assert_eq!(route(&post, &view, &obs, &cache).status, 405);
+
+        std::fs::remove_dir_all(view.store().root()).ok();
+    }
+
+    #[test]
+    fn read_responses_are_cached_per_generation_and_flushed_on_ingest() {
+        let view = seeded_view("cache");
+        let obs = ServeTelemetry::disabled();
+        let cache = ResponseCache::new(64);
+
+        // first read of generation 0: a miss that prerenders the hot set
+        let first = route(&get("/query"), &view, &obs, &cache);
+        assert_eq!(first.status, 200);
+        assert_eq!(first.generation, Some(0));
+        let stats = cache.stats();
+        assert!(
+            stats.entries > 2,
+            "prerender filled catalog + campaigns + leaderboards: {stats:?}"
+        );
+        let hits_before = stats.hits;
+
+        // the same question again is a hit with identical bytes
+        let second = route(&get("/query"), &view, &obs, &cache);
+        assert_eq!(second, first, "cached bytes must be byte-identical");
+        assert_eq!(cache.stats().hits, hits_before + 1);
+
+        // the prerendered catalog is served without a render miss
+        let catalog_response = route(&get("/catalog"), &view, &obs, &cache);
+        assert_eq!(catalog_response.generation, Some(0));
+        assert_eq!(cache.stats().hits, hits_before + 2);
+
+        // an ingest bumps the generation: the old bytes are flushed and
+        // the fresh answer reflects both campaigns
+        let report =
+            std::fs::read_to_string(view.store().root().join("artifacts").join("seeded.json"))
+                .unwrap();
+        let ingest = Request {
+            method: "POST".into(),
+            path: "/ingest".into(),
+            query: vec![("id".into(), "fresh".into())],
+            body: report.into_bytes(),
+            keep_alive: false,
+        };
+        assert_eq!(route(&ingest, &view, &obs, &cache).status, 201);
+        let after = route(&get("/query"), &view, &obs, &cache);
+        assert_eq!(after.generation, Some(1));
+        assert!(
+            after.body.contains(r#""campaigns_consulted":2"#),
+            "{}",
+            after.body
+        );
+        assert_ne!(after.body, first.body, "stale bytes were not served");
+        assert_eq!(cache.stats().generation, 1);
+
+        // error responses are tagged but not cached
+        assert_eq!(
+            route(&get("/query?bogus=1"), &view, &obs, &cache).generation,
+            Some(1)
+        );
+        let entries = cache.stats().entries;
+        route(&get("/query?bogus=1"), &view, &obs, &cache);
+        assert_eq!(cache.stats().entries, entries, "400s are never cached");
 
         std::fs::remove_dir_all(view.store().root()).ok();
     }
@@ -299,6 +459,7 @@ mod tests {
     fn ingest_route_maps_store_errors_to_statuses() {
         let view = seeded_view("ingest");
         let obs = ServeTelemetry::disabled();
+        let cache = ResponseCache::new(64);
         let report =
             std::fs::read_to_string(view.store().root().join("artifacts").join("seeded.json"))
                 .unwrap();
@@ -310,9 +471,9 @@ mod tests {
             body: report.clone().into_bytes(),
             keep_alive: false,
         };
-        assert_eq!(route(&request, &view, &obs).status, 201);
+        assert_eq!(route(&request, &view, &obs, &cache).status, 201);
         // the view refreshed: /query now consults both campaigns
-        let answer = route(&get("/query"), &view, &obs);
+        let answer = route(&get("/query"), &view, &obs, &cache);
         assert!(
             answer.body.contains(r#""campaigns_consulted":2"#),
             "{}",
@@ -320,12 +481,12 @@ mod tests {
         );
 
         // duplicate → 409, garbage → 400, missing id → 400
-        assert_eq!(route(&request, &view, &obs).status, 409);
+        assert_eq!(route(&request, &view, &obs, &cache).status, 409);
         request.query[0].1 = "other".into();
         request.body = b"not json".to_vec();
-        assert_eq!(route(&request, &view, &obs).status, 400);
+        assert_eq!(route(&request, &view, &obs, &cache).status, 400);
         request.query.clear();
-        assert_eq!(route(&request, &view, &obs).status, 400);
+        assert_eq!(route(&request, &view, &obs, &cache).status, 400);
 
         std::fs::remove_dir_all(view.store().root()).ok();
     }

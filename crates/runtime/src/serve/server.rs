@@ -7,28 +7,78 @@
 //! handshake per question. A connection is one pool job for its whole
 //! lifetime — the same pool machinery campaigns use for scenario fan-out
 //! handles request fan-out here — so reuse is bounded: an idle connection
-//! is dropped after [`READ_TIMEOUT`], and no connection serves more than
+//! is dropped after the read timeout, and no connection serves more than
 //! [`MAX_REQUESTS_PER_CONNECTION`] requests before the server closes it.
+//!
+//! The accept loop is the backpressure point. At most
+//! [`ServeOptions::max_inflight`] connections are in flight at once;
+//! connection number `max_inflight + 1` is answered `503 Service
+//! Unavailable` with a `Retry-After` header *inline on the accept thread*
+//! (never queued behind the saturated pool) and closed. Each accepted
+//! connection reads under a whole-request deadline
+//! ([`ServeOptions::read_timeout`]) and a body-size cap
+//! ([`ServeOptions::max_body_bytes`]), so a slowloris peer gets a `408`
+//! at the deadline instead of pinning a worker.
 
+use std::io::Read;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::pool::ThreadPool;
-use crate::serve::http::{read_request, Response};
+use crate::serve::cache::ResponseCache;
+use crate::serve::http::{
+    read_request, RequestLimits, Response, DEFAULT_MAX_BODY_BYTES, DEFAULT_READ_TIMEOUT,
+};
 use crate::serve::obs::ServeTelemetry;
-use crate::serve::router::route;
+use crate::serve::router::{route, warm};
 use crate::serve::view::StoreView;
 use crate::telemetry::Telemetry;
-
-/// How long a connection may dribble its request in (or sit idle between
-/// keep-alive requests) before being dropped.
-const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Upper bound on requests served over one kept-alive connection, so a
 /// single peer cannot pin a pool worker forever.
 const MAX_REQUESTS_PER_CONNECTION: usize = 1000;
+
+/// How long the accept loop sleeps after a transient `accept()` failure
+/// (EMFILE, reset-before-accept, …) so a persistent local error cannot
+/// spin it hot.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Server tuning knobs, all bounded with conservative defaults. Every
+/// field has a matching `fahana-serve` CLI flag.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Pool worker threads (each in-flight connection occupies one for
+    /// its lifetime).
+    pub threads: usize,
+    /// Most connections in flight at once; past this, new connections are
+    /// answered 503 + `Retry-After` at the door.
+    pub max_inflight: usize,
+    /// Whole-request read deadline (slowloris cutoff) and keep-alive idle
+    /// timeout.
+    pub read_timeout: Duration,
+    /// Largest accepted request body; beyond it the request is answered
+    /// 413 without buffering the body.
+    pub max_body_bytes: usize,
+    /// Response-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// The `Retry-After` value (seconds) sent with saturation 503s.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            threads: 4,
+            max_inflight: 256,
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            cache_capacity: 256,
+            retry_after_secs: 1,
+        }
+    }
+}
 
 /// A bound, ready-to-run `fahana-serve` server.
 #[derive(Debug)]
@@ -38,6 +88,9 @@ pub struct Server {
     pool: ThreadPool,
     shutdown: Arc<AtomicBool>,
     obs: Arc<ServeTelemetry>,
+    cache: Arc<ResponseCache>,
+    options: ServeOptions,
+    inflight: Arc<AtomicUsize>,
 }
 
 /// A remote control for a running [`Server`] — cloneable into other
@@ -61,7 +114,7 @@ impl ServerHandle {
 impl Server {
     /// Binds to `addr` (use port 0 to let the OS pick) over an
     /// already-opened view, with `threads` pool workers handling
-    /// connections.
+    /// connections and every other knob at its default.
     ///
     /// # Errors
     ///
@@ -71,11 +124,36 @@ impl Server {
         view: StoreView,
         threads: usize,
     ) -> std::io::Result<Server> {
+        Server::bind_with(
+            addr,
+            view,
+            ServeOptions {
+                threads,
+                ..ServeOptions::default()
+            },
+        )
+    }
+
+    /// Binds to `addr` with explicit [`ServeOptions`]. The response
+    /// cache's hot entries are prerendered before the first connection is
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::bind`].
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        view: StoreView,
+        options: ServeOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let pool = ThreadPool::new(threads);
+        let pool = ThreadPool::new(options.threads);
+        let cache = Arc::new(ResponseCache::new(options.cache_capacity));
+        warm(&cache, &view);
         let obs = Arc::new(ServeTelemetry::new(
             Telemetry::disabled(),
             Some(pool.monitor()),
+            Some(Arc::clone(&cache)),
         ));
         Ok(Server {
             listener,
@@ -83,6 +161,9 @@ impl Server {
             pool,
             shutdown: Arc::new(AtomicBool::new(false)),
             obs,
+            cache,
+            options,
+            inflight: Arc::new(AtomicUsize::new(0)),
         })
     }
 
@@ -90,12 +171,21 @@ impl Server {
     /// `--trace-out` sink before [`Server::run`]). Request accounting
     /// accumulated so far is discarded with the old context.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
-        self.obs = Arc::new(ServeTelemetry::new(telemetry, Some(self.pool.monitor())));
+        self.obs = Arc::new(ServeTelemetry::new(
+            telemetry,
+            Some(self.pool.monitor()),
+            Some(Arc::clone(&self.cache)),
+        ));
     }
 
     /// The server's observability context (`/metrics`, `/statusz`).
     pub fn obs(&self) -> &Arc<ServeTelemetry> {
         &self.obs
+    }
+
+    /// The server's response cache.
+    pub fn cache(&self) -> &Arc<ResponseCache> {
+        &self.cache
     }
 
     /// The address actually bound (resolves port 0).
@@ -136,35 +226,88 @@ impl Server {
             if self.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            let Ok(stream) = stream else {
-                continue; // transient accept failure (EMFILE, reset, …)
+            let Ok(mut stream) = stream else {
+                // transient accept failure (EMFILE, reset, …): count it
+                // and back off briefly instead of spinning on the error
+                self.obs.record_accept_error();
+                std::thread::sleep(ACCEPT_BACKOFF);
+                continue;
             };
+            // answers are small and written head-then-body; without
+            // this, Nagle + delayed-ACK adds ~40ms to every response
+            stream.set_nodelay(true).ok();
+            // the in-flight gate: claim a slot optimistically; if that
+            // overshoots the limit, give the slot back and turn the
+            // connection away at the door — inline, on the accept thread,
+            // so a saturated pool cannot delay the 503 either
+            if self.inflight.fetch_add(1, Ordering::AcqRel) >= self.options.max_inflight {
+                self.inflight.fetch_sub(1, Ordering::AcqRel);
+                self.obs.record_rejected();
+                stream
+                    .set_write_timeout(Some(Duration::from_millis(250)))
+                    .ok();
+                Response::error(503, "server saturated; retry shortly")
+                    .with_retry_after(self.options.retry_after_secs)
+                    .write_to(&mut stream, false)
+                    .ok();
+                // the client's request was never read; closing with unread
+                // bytes in the receive buffer makes the kernel RST the
+                // connection, which can destroy the 503 before the client
+                // reads it. Send our FIN, then drain briefly so the close
+                // is orderly. Bounded, so a rejection flood cannot stall
+                // the accept thread for long.
+                stream.shutdown(std::net::Shutdown::Write).ok();
+                stream
+                    .set_read_timeout(Some(Duration::from_millis(50)))
+                    .ok();
+                let mut scratch = [0u8; 4096];
+                for _ in 0..4 {
+                    match stream.read(&mut scratch) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+                continue;
+            }
             let view = Arc::clone(&self.view);
             let obs = Arc::clone(&self.obs);
-            self.pool
-                .spawn(move || handle_connection(stream, &view, &obs));
+            let cache = Arc::clone(&self.cache);
+            let inflight = Arc::clone(&self.inflight);
+            let limits = RequestLimits {
+                read_timeout: self.options.read_timeout,
+                max_body_bytes: self.options.max_body_bytes,
+            };
+            self.pool.spawn(move || {
+                handle_connection(stream, &view, &obs, &cache, &limits);
+                inflight.fetch_sub(1, Ordering::AcqRel);
+            });
         }
         Ok(())
     }
 }
 
 /// Serves requests off one connection until the peer asks to close (or
-/// closes), the idle timeout fires, the per-connection request cap is
+/// closes), the read deadline fires, the per-connection request cap is
 /// reached, or a request fails to parse. Every request is accounted into
 /// `obs` (endpoint counter, latency, byte totals); the connection itself
 /// is accounted on the way out (keep-alive reuse).
-fn handle_connection(mut stream: TcpStream, view: &StoreView, obs: &ServeTelemetry) {
-    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+fn handle_connection(
+    mut stream: TcpStream,
+    view: &StoreView,
+    obs: &ServeTelemetry,
+    cache: &ResponseCache,
+    limits: &RequestLimits,
+) {
     let mut served = 0;
     while served < MAX_REQUESTS_PER_CONNECTION {
-        match read_request(&mut stream) {
+        match read_request(&mut stream, limits) {
             Ok(Some(request)) => {
                 served += 1;
                 // honor the client's wish, but advertise close on the
                 // connection's last allowed request
                 let keep_alive = request.keep_alive && served < MAX_REQUESTS_PER_CONNECTION;
                 let handling = Instant::now();
-                let response = route(&request, view, obs);
+                let response = route(&request, view, obs, cache);
                 let written = response.write_to(&mut stream, keep_alive);
                 obs.record_request(
                     &request.path,
@@ -181,7 +324,7 @@ fn handle_connection(mut stream: TcpStream, view: &StoreView, obs: &ServeTelemet
             Ok(None) => break,
             Err(bad) => {
                 // the peer may already be gone; nothing useful to do about it
-                Response::error(400, bad.to_string())
+                Response::error(bad.status, bad.message)
                     .write_to(&mut stream, false)
                     .ok();
                 break;

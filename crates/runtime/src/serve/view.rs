@@ -9,21 +9,27 @@
 //!
 //! [`reload`]: StoreView::reload
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::store::{ArtifactStore, StoreError, StoredCampaign};
 
 /// An in-memory view of a store's campaigns, shared across request
 /// handler threads.
+///
+/// The campaign set and its generation number live under one lock and are
+/// swapped together, so [`StoreView::snapshot`] hands out a consistent
+/// `(generation, campaigns)` pair: the response cache keys rendered bytes
+/// by exactly the generation those bytes were rendered from, and a reload
+/// racing a render can never mislabel old bytes with a new generation (or
+/// vice versa).
 #[derive(Debug)]
 pub struct StoreView {
     store: ArtifactStore,
-    campaigns: RwLock<Arc<Vec<StoredCampaign>>>,
-    /// Bumped on every successful [`StoreView::reload`]; `/statusz`
-    /// reports it so a scraper can tell "the daemon restarted" from "the
-    /// view refreshed".
-    generation: AtomicU64,
+    /// `(generation, campaigns)`, swapped atomically on reload. The
+    /// generation bumps on every successful [`StoreView::reload`];
+    /// `/statusz` reports it so a scraper can tell "the daemon restarted"
+    /// from "the view refreshed".
+    state: RwLock<(u64, Arc<Vec<StoredCampaign>>)>,
 }
 
 impl StoreView {
@@ -38,15 +44,14 @@ impl StoreView {
         let campaigns = Arc::new(store.campaigns()?);
         Ok(StoreView {
             store,
-            campaigns: RwLock::new(campaigns),
-            generation: AtomicU64::new(0),
+            state: RwLock::new((0, campaigns)),
         })
     }
 
     /// How many times the view has been successfully reloaded since it
     /// was opened.
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Relaxed)
+        self.state.read().expect("store view poisoned").0
     }
 
     /// The underlying store.
@@ -58,7 +63,15 @@ impl StoreView {
     /// snapshot alive for as long as the request needs it, even if an
     /// ingest swaps the view underneath.
     pub fn campaigns(&self) -> Arc<Vec<StoredCampaign>> {
-        Arc::clone(&self.campaigns.read().expect("store view poisoned"))
+        Arc::clone(&self.state.read().expect("store view poisoned").1)
+    }
+
+    /// The current `(generation, campaigns)` pair, read under one lock so
+    /// the two can never disagree — the anchor the response cache hangs
+    /// its "never serve stale-generation bytes" guarantee on.
+    pub fn snapshot(&self) -> (u64, Arc<Vec<StoredCampaign>>) {
+        let state = self.state.read().expect("store view poisoned");
+        (state.0, Arc::clone(&state.1))
     }
 
     /// Re-reads the campaign set from disk (after out-of-band store
@@ -71,8 +84,9 @@ impl StoreView {
     pub fn reload(&self) -> Result<usize, StoreError> {
         let fresh = Arc::new(self.store.campaigns()?);
         let count = fresh.len();
-        *self.campaigns.write().expect("store view poisoned") = fresh;
-        self.generation.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.write().expect("store view poisoned");
+        state.0 += 1;
+        state.1 = fresh;
         Ok(count)
     }
 

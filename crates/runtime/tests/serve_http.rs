@@ -7,12 +7,15 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::process::Command;
+use std::sync::OnceLock;
+use std::time::Duration;
 
 use edgehw::DeviceKind;
 use fahana_runtime::{
-    campaign_json, ArtifactStore, CampaignConfig, CampaignEngine, Json, RewardSetting, Server,
-    ServerHandle, StoreView,
+    campaign_json, ArtifactStore, CampaignConfig, CampaignEngine, Json, RewardSetting,
+    ServeOptions, Server, ServerHandle, StoreView,
 };
+use proptest::prelude::*;
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("fahana-serve-e2e-{}-{tag}", std::process::id()));
@@ -574,4 +577,164 @@ fn serve_ingests_live_without_restart() {
     handle.shutdown();
     runner.join().unwrap();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzed request handling: whatever bytes arrive, the answer is a clean
+// 2xx/4xx or a quiet close — never a panic, never a hang, never a 5xx.
+// ---------------------------------------------------------------------------
+
+/// One long-lived server shared by every fuzz case (booting a store per
+/// case would dominate the run). Small body cap so oversized declared
+/// lengths are reachable; the process teardown reaps it.
+fn fuzz_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let store_root = temp_dir("fuzz").join("store");
+        let store = ArtifactStore::open(&store_root).unwrap();
+        store.ingest("seeded", &tiny_report(91)).unwrap();
+        let view = StoreView::open(ArtifactStore::open(&store_root).unwrap()).unwrap();
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            view,
+            ServeOptions {
+                threads: 4,
+                max_body_bytes: 4096,
+                read_timeout: Duration::from_secs(2),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run().unwrap());
+        addr
+    })
+}
+
+/// Writes `payload`, closes the write side (so the server sees EOF, not a
+/// read deadline), and returns whatever came back — possibly nothing.
+/// The client-side read timeout turns a hung server into a test failure.
+fn fuzz_exchange(payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(fuzz_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // the server may legitimately close before reading everything
+    stream.write_all(payload).ok();
+    stream.shutdown(std::net::Shutdown::Write).ok();
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .expect("server must answer or close, not hang");
+    String::from_utf8_lossy(&raw).into_owned()
+}
+
+fn fuzz_status(raw: &str) -> u16 {
+    raw.split(' ').nth(1).unwrap_or("0").parse().unwrap_or(0)
+}
+
+/// The server is still answering — the invariant every fuzz case ends on.
+fn assert_server_alive() {
+    let raw = fuzz_exchange(b"GET /healthz HTTP/1.1\r\nHost: f\r\nConnection: close\r\n\r\n");
+    assert_eq!(fuzz_status(&raw), 200, "server wedged: {raw}");
+}
+
+/// Applies `seed`-driven random casing to an ASCII header name.
+fn scramble_case(name: &str, mut seed: u64) -> String {
+    name.chars()
+        .map(|c| {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if seed & (1 << 33) != 0 {
+                c.to_ascii_uppercase()
+            } else {
+                c.to_ascii_lowercase()
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_header_casing_and_order_never_change_the_answer(
+        seed in 0u64..u64::MAX,
+        perm in 0usize..6,
+    ) {
+        // every casing and ordering of the same three headers must be a 200
+        let mut headers = vec![
+            format!("{}: fahana", scramble_case("Host", seed)),
+            format!("{}: 0", scramble_case("Content-Length", seed ^ 0xA5A5)),
+            format!("{}: close", scramble_case("Connection", seed ^ 0x5A5A)),
+        ];
+        // perm indexes the 3! orderings
+        let third = headers.remove(perm % 3);
+        let second = headers.remove(perm / 3 % 2);
+        let first = headers.remove(0);
+        let payload = format!(
+            "GET /healthz HTTP/1.1\r\n{first}\r\n{second}\r\n{third}\r\n\r\n"
+        );
+        let raw = fuzz_exchange(payload.as_bytes());
+        prop_assert_eq!(fuzz_status(&raw), 200, "{}", raw);
+        prop_assert!(raw.contains(r#""status":"ok""#), "{}", raw);
+    }
+
+    #[test]
+    fn prop_bad_content_length_is_400_or_413_never_5xx(
+        value in prop::sample::select(vec![
+            "abc", "-1", "", " ", "1 2", "0x10", "18446744073709551616",
+            "999999999999999999999999", "4294967296", "10000",
+        ]),
+        duplicate in prop::sample::select(vec![false, true]),
+    ) {
+        let extra = if duplicate { "Content-Length: 7\r\n" } else { "" };
+        let payload = format!(
+            "POST /ingest?id=fuzz HTTP/1.1\r\nHost: f\r\n{extra}Content-Length: {value}\r\n\r\nbody"
+        );
+        let raw = fuzz_exchange(payload.as_bytes());
+        let status = fuzz_status(&raw);
+        // unparseable/conflicting framing → 400; parseable but over the
+        // cap → 413; EOF before the declared body arrives → 400
+        prop_assert!(
+            matches!(status, 400 | 413),
+            "Content-Length `{}` (duplicate={}) answered {}: {}", value, duplicate, status, raw
+        );
+        assert_server_alive();
+    }
+
+    #[test]
+    fn prop_truncated_requests_close_cleanly(cut in 0usize..54) {
+        let full = b"GET /query?device=raspberry_pi_4 HTTP/1.1\r\nHost: f\r\n\r\n";
+        prop_assert!(cut < full.len());
+        let raw = fuzz_exchange(&full[..cut]);
+        let status = fuzz_status(&raw);
+        // zero bytes is the idle-close path (no answer); anything partial
+        // is malformed at EOF (400) or timed out (408)
+        prop_assert!(
+            raw.is_empty() || matches!(status, 400 | 408),
+            "cut at {} answered {}: {}", cut, status, raw
+        );
+        assert_server_alive();
+    }
+
+    #[test]
+    fn prop_pathological_query_strings_never_panic(
+        junk in prop::collection::vec(32u8..127, 0..60),
+    ) {
+        let junk = String::from_utf8(junk).unwrap();
+        let payload = format!(
+            "GET /query?{junk} HTTP/1.1\r\nHost: f\r\nConnection: close\r\n\r\n"
+        );
+        let raw = fuzz_exchange(payload.as_bytes());
+        let status = fuzz_status(&raw);
+        // junk may parse as a (rejected or even valid) filter set, or
+        // break the request line entirely — but never the server
+        prop_assert!(
+            matches!(status, 200 | 400 | 404),
+            "query `{}` answered {}: {}", junk, status, raw
+        );
+        assert_server_alive();
+    }
 }
