@@ -1,0 +1,71 @@
+//! Criterion bench: the lane-chunked tensor kernels on the evaluation hot
+//! path vs the retained scalar reference implementations. The reference
+//! module preserves the pre-refactor accumulation order, so each pair here
+//! is a live before/after measurement of the same computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ftensor::{kernels, SeededRng};
+
+fn values(len: usize, rng: &mut SeededRng) -> Vec<f32> {
+    (0..len).map(|_| rng.normal(0.0, 1.0)).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = SeededRng::new(42);
+
+    // matmul: the controller/evaluator workhorse (Dense layers)
+    let (m, k, n) = (64, 64, 64);
+    let a = values(m * k, &mut rng);
+    let b = values(k * n, &mut rng);
+    let mut out = vec![0.0f32; m * n];
+    c.bench_function("kernels/matmul_64x64x64_lane_chunked", |bench| {
+        bench.iter(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            kernels::matmul_into(black_box(&a), black_box(&b), &mut out, m, k, n);
+            black_box(out[0])
+        })
+    });
+    c.bench_function("kernels/matmul_64x64x64_scalar_reference", |bench| {
+        bench.iter(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            kernels::reference::matmul_into(black_box(&a), black_box(&b), &mut out, m, k, n);
+            black_box(out[0])
+        })
+    });
+
+    // softmax: every controller decision step normalises a logit row
+    let (rows, cols) = (256, 64);
+    let logits = values(rows * cols, &mut rng);
+    let mut probs = vec![0.0f32; rows * cols];
+    c.bench_function("kernels/softmax_256x64_lane_chunked", |bench| {
+        bench.iter(|| {
+            kernels::softmax_into(black_box(&logits), &mut probs, rows, cols);
+            black_box(probs[0])
+        })
+    });
+    c.bench_function("kernels/softmax_256x64_scalar_reference", |bench| {
+        bench.iter(|| {
+            kernels::reference::softmax_into(black_box(&logits), &mut probs, rows, cols);
+            black_box(probs[0])
+        })
+    });
+
+    // dot: the reduction primitive behind matvec and the stats helpers
+    let x = values(4096, &mut rng);
+    let y = values(4096, &mut rng);
+    c.bench_function("kernels/dot_4096_lane_chunked", |bench| {
+        bench.iter(|| black_box(kernels::dot(black_box(&x), black_box(&y))))
+    });
+    c.bench_function("kernels/dot_4096_scalar_reference", |bench| {
+        bench.iter(|| black_box(kernels::reference::dot(black_box(&x), black_box(&y))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(200);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -29,10 +29,12 @@ impl FairnessReport {
     /// Builds a report from the overall accuracy and per-group accuracies,
     /// computing the unfairness score.
     pub fn new(overall_accuracy: f64, per_group: Vec<GroupAccuracy>) -> Self {
-        let unfairness = unfairness_score(
-            overall_accuracy,
-            &per_group.iter().map(|g| g.accuracy).collect::<Vec<f64>>(),
-        );
+        // summed in per_group order, exactly as `unfairness_score` over the
+        // collected accuracies would
+        let unfairness = per_group
+            .iter()
+            .map(|g| (g.accuracy - overall_accuracy).abs())
+            .sum();
         FairnessReport {
             overall_accuracy,
             per_group,
@@ -84,35 +86,37 @@ pub fn report_from_predictions(
 ) -> FairnessReport {
     let total = correct.len().max(1);
     let overall = correct.iter().filter(|&&c| c).count() as f64 / total as f64;
+    // single pass over the samples instead of one scan per group
+    let mut counts = vec![0usize; group_count];
+    let mut hits = vec![0usize; group_count];
+    for (i, &Group(g)) in groups.iter().enumerate() {
+        if g < group_count {
+            counts[g] += 1;
+            if correct[i] {
+                hits[g] += 1;
+            }
+        }
+    }
     let mut per_group = Vec::with_capacity(group_count);
-    for g in 0..group_count {
-        let group = Group(g);
-        let indices: Vec<usize> = groups
-            .iter()
-            .enumerate()
-            .filter(|(_, &sg)| sg == group)
-            .map(|(i, _)| i)
-            .collect();
-        let count = indices.len();
+    // groups with no samples are excluded from the unfairness sum, matching
+    // the paper's definition over the groups present in D; present groups
+    // are summed in group-index order
+    let mut unfairness = 0.0f64;
+    for (g, (&count, &hit)) in counts.iter().zip(hits.iter()).enumerate() {
         let acc = if count == 0 {
             0.0
         } else {
-            indices.iter().filter(|&&i| correct[i]).count() as f64 / count as f64
+            hit as f64 / count as f64
         };
+        if count > 0 {
+            unfairness += (acc - overall).abs();
+        }
         per_group.push(GroupAccuracy {
-            group,
+            group: Group(g),
             accuracy: acc,
             count,
         });
     }
-    // groups with no samples are excluded from the unfairness sum, matching
-    // the paper's definition over the groups present in D
-    let present: Vec<f64> = per_group
-        .iter()
-        .filter(|g| g.count > 0)
-        .map(|g| g.accuracy)
-        .collect();
-    let unfairness = unfairness_score(overall, &present);
     FairnessReport {
         overall_accuracy: overall,
         per_group,

@@ -115,31 +115,31 @@ impl SurrogateEvaluator {
     /// Fraction of the tail (last 40% of active blocks, at least one) that
     /// uses the expressive RB/CB block types.
     pub fn tail_conv_fraction(arch: &Architecture) -> f64 {
-        let active: Vec<BlockKind> = arch
+        let active = arch.blocks().iter().filter(|b| !b.skipped).count();
+        if active == 0 {
+            return 0.0;
+        }
+        let tail_len = ((active as f64 * 0.4).ceil() as usize).max(1);
+        let conv_like = arch
             .blocks()
             .iter()
             .filter(|b| !b.skipped)
-            .map(|b| b.kind)
-            .collect();
-        if active.is_empty() {
-            return 0.0;
-        }
-        let tail_len = ((active.len() as f64 * 0.4).ceil() as usize).max(1);
-        let tail = &active[active.len() - tail_len..];
-        let conv_like = tail
-            .iter()
-            .filter(|k| matches!(k, BlockKind::Rb | BlockKind::Cb))
+            .skip(active - tail_len)
+            .filter(|b| matches!(b.kind, BlockKind::Rb | BlockKind::Cb))
             .count();
         conv_like as f64 / tail_len as f64
     }
 
     /// Block-type heterogeneity: distinct kinds used / 4.
     pub fn heterogeneity(arch: &Architecture) -> f64 {
-        let mut kinds = std::collections::HashSet::new();
+        let mut seen = [false; BlockKind::ALL.len()];
         for block in arch.blocks().iter().filter(|b| !b.skipped) {
-            kinds.insert(block.kind);
+            if let Some(i) = BlockKind::ALL.iter().position(|k| *k == block.kind) {
+                seen[i] = true;
+            }
         }
-        kinds.len() as f64 / BlockKind::ALL.len() as f64
+        let distinct = seen.iter().filter(|&&s| s).count();
+        distinct as f64 / BlockKind::ALL.len() as f64
     }
 
     fn imbalance_norm(&self) -> f64 {

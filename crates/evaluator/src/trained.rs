@@ -2,7 +2,8 @@
 
 use archspace::lowering::{lower, LoweringOptions};
 use archspace::Architecture;
-use dermsim::{Dataset, DatasetSplit};
+use dermsim::{Dataset, DatasetSplit, Group};
+use ftensor::{Scratch, Tensor};
 use neural::{Layer, TrainConfig, Trainer};
 
 use crate::evaluate::{Evaluate, FairnessEvaluation};
@@ -44,6 +45,15 @@ pub struct TrainedEvaluator {
     split: DatasetSplit,
     config: TrainedEvaluatorConfig,
     groups: usize,
+    // episode-invariant evaluation inputs, materialised once so that each
+    // candidate evaluation touches no per-episode dataset allocation
+    train_data: (Tensor, Vec<usize>),
+    test_data: (Tensor, Vec<usize>),
+    test_groups: Vec<Group>,
+    // per-episode working memory, recycled across candidates
+    scratch: Scratch,
+    predictions: Vec<usize>,
+    correct: Vec<bool>,
 }
 
 impl TrainedEvaluator {
@@ -51,15 +61,32 @@ impl TrainedEvaluator {
     ///
     /// # Errors
     ///
-    /// Returns [`EvalError::BadDataset`] if the dataset is empty.
+    /// Returns [`EvalError::BadDataset`] if the dataset is empty or either
+    /// the training or the test split ends up without samples.
     pub fn new(dataset: &Dataset, config: TrainedEvaluatorConfig) -> Result<Self> {
         if dataset.is_empty() {
             return Err(EvalError::BadDataset("dataset is empty".into()));
         }
+        let split = dataset.split_default();
+        let train_data = split
+            .train
+            .to_image_tensor()
+            .ok_or_else(|| EvalError::BadDataset("training split is empty".into()))?;
+        let test_data = split
+            .test
+            .to_image_tensor()
+            .ok_or_else(|| EvalError::BadDataset("test split is empty".into()))?;
+        let test_groups = split.test.sample_groups();
         Ok(TrainedEvaluator {
-            split: dataset.split_default(),
+            split,
             config,
             groups: dataset.groups(),
+            train_data,
+            test_data,
+            test_groups,
+            scratch: Scratch::new(),
+            predictions: Vec::new(),
+            correct: Vec::new(),
         })
     }
 
@@ -85,28 +112,24 @@ impl Evaluate for TrainedEvaluator {
         let mut network = lowered.network;
         let trained_params = network.trainable_param_count() as u64;
 
-        let (train_x, train_y) = self
-            .split
-            .train
-            .to_image_tensor()
-            .ok_or_else(|| EvalError::BadDataset("training split is empty".into()))?;
+        let (train_x, train_y) = &self.train_data;
         let trainer = Trainer::new(self.config.train.clone());
-        trainer.fit(&mut network, &train_x, &train_y)?;
+        trainer.fit(&mut network, train_x, train_y)?;
 
-        let (test_x, test_y) = self
-            .split
-            .test
-            .to_image_tensor()
-            .ok_or_else(|| EvalError::BadDataset("test split is empty".into()))?;
-        let logits = network.forward(&test_x, false)?;
-        let predictions = logits.argmax_rows().map_err(neural::NeuralError::from)?;
-        let correct: Vec<bool> = predictions
-            .iter()
-            .zip(test_y.iter())
-            .map(|(p, l)| p == l)
-            .collect();
-        let groups = self.split.test.sample_groups();
-        let report = report_from_predictions(&correct, &groups, self.groups);
+        let (test_x, test_y) = &self.test_data;
+        let logits = network.forward_scratch(test_x, false, &mut self.scratch)?;
+        logits
+            .argmax_rows_into(&mut self.predictions)
+            .map_err(neural::NeuralError::from)?;
+        self.scratch.release_tensor(logits);
+        self.correct.clear();
+        self.correct.extend(
+            self.predictions
+                .iter()
+                .zip(test_y.iter())
+                .map(|(p, l)| p == l),
+        );
+        let report = report_from_predictions(&self.correct, &self.test_groups, self.groups);
         Ok(FairnessEvaluation {
             architecture: arch.name().to_string(),
             report,

@@ -1,6 +1,6 @@
 //! Parameter-free activation layers.
 
-use ftensor::Tensor;
+use ftensor::{Scratch, Tensor};
 
 use crate::layer::Layer;
 use crate::{NeuralError, Result};
@@ -29,6 +29,21 @@ macro_rules! activation_layer {
                 self.input_cache = Some(input.clone());
                 let fwd: fn(f32) -> f32 = $fwd;
                 Ok(input.map(fwd))
+            }
+
+            fn forward_scratch(
+                &mut self,
+                input: &Tensor,
+                train: bool,
+                scratch: &mut Scratch,
+            ) -> Result<Tensor> {
+                let fwd: fn(f32) -> f32 = $fwd;
+                let mut out = scratch.take_tensor(input.dims());
+                input.map_into(out.as_mut_slice(), fwd)?;
+                if train {
+                    self.input_cache = Some(input.clone());
+                }
+                Ok(out)
             }
 
             fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

@@ -1,6 +1,6 @@
 //! 2-D convolution layers (standard and depthwise), NCHW layout.
 
-use ftensor::{Initializer, SeededRng, Tensor};
+use ftensor::{Initializer, Scratch, SeededRng, Tensor};
 
 use crate::layer::{Layer, ParamSet, TrainableFlag};
 use crate::{NeuralError, Result};
@@ -103,24 +103,16 @@ impl Conv2d {
             }),
         }
     }
-}
 
-impl Layer for Conv2d {
-    fn name(&self) -> &'static str {
-        "conv2d"
-    }
-
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
-        let (n, h, w) = self.check_input(input)?;
+    /// Direct convolution into a borrowed output buffer; writes every
+    /// element, so the buffer need not be zeroed.
+    fn run_forward(&self, x: &[f32], o: &mut [f32], n: usize, h: usize, w: usize) {
         let (oh, ow) = (
             conv_out_dim(h, self.kernel, self.stride, self.padding),
             conv_out_dim(w, self.kernel, self.stride, self.padding),
         );
-        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
-        let x = input.as_slice();
         let wgt = self.weight.as_slice();
         let b = self.bias.as_slice();
-        let o = out.as_mut_slice();
         let (ic, k, s, p) = (self.in_channels, self.kernel, self.stride, self.padding);
         for bi in 0..n {
             for oc in 0..self.out_channels {
@@ -149,8 +141,44 @@ impl Layer for Conv2d {
                 }
             }
         }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let (n, h, w) = self.check_input(input)?;
+        let (oh, ow) = (
+            conv_out_dim(h, self.kernel, self.stride, self.padding),
+            conv_out_dim(w, self.kernel, self.stride, self.padding),
+        );
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        self.run_forward(input.as_slice(), out.as_mut_slice(), n, h, w);
         self.input_cache = Some(input.clone());
         Ok(out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let (n, h, w) = self.check_input(input)?;
+        let (oh, ow) = (
+            conv_out_dim(h, self.kernel, self.stride, self.padding),
+            conv_out_dim(w, self.kernel, self.stride, self.padding),
+        );
+        let len = n * self.out_channels * oh * ow;
+        let mut buf = scratch.take_uninit(len);
+        self.run_forward(input.as_slice(), &mut buf, n, h, w);
+        if train {
+            self.input_cache = Some(input.clone());
+        }
+        Ok(Tensor::from_vec(buf, &[n, self.out_channels, oh, ow])?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -307,24 +335,16 @@ impl DepthwiseConv2d {
             }),
         }
     }
-}
 
-impl Layer for DepthwiseConv2d {
-    fn name(&self) -> &'static str {
-        "dwconv2d"
-    }
-
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
-        let (n, h, w) = self.check_input(input)?;
+    /// Direct depthwise convolution into a borrowed output buffer; writes
+    /// every element, so the buffer need not be zeroed.
+    fn run_forward(&self, x: &[f32], o: &mut [f32], n: usize, h: usize, w: usize) {
         let (oh, ow) = (
             conv_out_dim(h, self.kernel, self.stride, self.padding),
             conv_out_dim(w, self.kernel, self.stride, self.padding),
         );
-        let mut out = Tensor::zeros(&[n, self.channels, oh, ow]);
-        let x = input.as_slice();
         let wgt = self.weight.as_slice();
         let b = self.bias.as_slice();
-        let o = out.as_mut_slice();
         let (k, s, p) = (self.kernel, self.stride, self.padding);
         for bi in 0..n {
             for c in 0..self.channels {
@@ -352,8 +372,44 @@ impl Layer for DepthwiseConv2d {
                 }
             }
         }
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn name(&self) -> &'static str {
+        "dwconv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let (n, h, w) = self.check_input(input)?;
+        let (oh, ow) = (
+            conv_out_dim(h, self.kernel, self.stride, self.padding),
+            conv_out_dim(w, self.kernel, self.stride, self.padding),
+        );
+        let mut out = Tensor::zeros(&[n, self.channels, oh, ow]);
+        self.run_forward(input.as_slice(), out.as_mut_slice(), n, h, w);
         self.input_cache = Some(input.clone());
         Ok(out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let (n, h, w) = self.check_input(input)?;
+        let (oh, ow) = (
+            conv_out_dim(h, self.kernel, self.stride, self.padding),
+            conv_out_dim(w, self.kernel, self.stride, self.padding),
+        );
+        let len = n * self.channels * oh * ow;
+        let mut buf = scratch.take_uninit(len);
+        self.run_forward(input.as_slice(), &mut buf, n, h, w);
+        if train {
+            self.input_cache = Some(input.clone());
+        }
+        Ok(Tensor::from_vec(buf, &[n, self.channels, oh, ow])?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

@@ -1,6 +1,6 @@
 //! Fully connected (linear) layer.
 
-use ftensor::{Initializer, SeededRng, Tensor};
+use ftensor::{kernels, Initializer, Scratch, SeededRng, Tensor};
 
 use crate::layer::{Layer, ParamSet, TrainableFlag};
 use crate::{NeuralError, Result};
@@ -130,6 +130,42 @@ impl Layer for Dense {
         let flat = input.reshape(&[input.len() / self.in_features, self.in_features])?;
         let out = flat.matmul(&self.weight)?.add_row_broadcast(&self.bias)?;
         self.input_cache = Some(flat);
+        Ok(out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let (_, cols) = input.shape().as_matrix()?;
+        if cols != self.in_features {
+            return Err(NeuralError::BadInputShape {
+                layer: "dense".into(),
+                expected: format!("(batch, {})", self.in_features),
+                actual: input.dims().to_vec(),
+            });
+        }
+        let rows = input.len() / self.in_features;
+        let mut out = scratch.take_tensor(&[rows, self.out_features]);
+        kernels::matmul_into(
+            input.as_slice(),
+            self.weight.as_slice(),
+            out.as_mut_slice(),
+            rows,
+            self.in_features,
+            self.out_features,
+        );
+        Tensor::add_row_broadcast_in_place(
+            out.as_mut_slice(),
+            &self.bias,
+            rows,
+            self.out_features,
+        )?;
+        if train {
+            self.input_cache = Some(input.reshape(&[rows, self.in_features])?);
+        }
         Ok(out)
     }
 

@@ -1,6 +1,6 @@
 //! The [`Layer`] trait and parameter bookkeeping shared by all layers.
 
-use ftensor::Tensor;
+use ftensor::{Scratch, Tensor};
 
 use crate::Result;
 
@@ -40,6 +40,32 @@ pub trait Layer: std::fmt::Debug + Send {
     ///
     /// Returns an error if the input shape is incompatible with the layer.
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Runs the layer on a batch, drawing output and intermediate buffers
+    /// from a [`Scratch`] arena instead of allocating.
+    ///
+    /// The returned tensor's backing buffer came from (and should be
+    /// returned to) `scratch`, so repeated passes over same-shaped inputs
+    /// perform zero steady-state heap allocation. With `train == false` the
+    /// backward cache is *not* populated — this is the inference-only
+    /// evaluation hot path. Results are bit-identical to [`Layer::forward`].
+    ///
+    /// The default implementation falls back to [`Layer::forward`], so
+    /// layers without a scratch-aware path stay correct (they merely keep
+    /// allocating); every layer on the evaluation hot path overrides it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Layer::forward`].
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let _ = scratch;
+        self.forward(input, train)
+    }
 
     /// Propagates the loss gradient through the layer.
     ///

@@ -1,7 +1,7 @@
 //! Channel normalisation (a BatchNorm-style layer without running statistics
 //! momentum schedules, sufficient for the small proxy networks used here).
 
-use ftensor::Tensor;
+use ftensor::{Scratch, Tensor};
 
 use crate::layer::{Layer, ParamSet, TrainableFlag};
 use crate::{NeuralError, Result};
@@ -137,6 +137,36 @@ impl Layer for ChannelNorm {
             input_dims: input.dims().to_vec(),
         });
         Ok(Tensor::from_vec(out, input.dims())?)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        if train {
+            // Training needs the backward cache and updates running
+            // statistics — keep the allocating path.
+            return self.forward(input, true);
+        }
+        let (n, spatial) = self.check_input(input)?;
+        let c = self.channels;
+        let x = input.as_slice();
+        let mut buf = scratch.take_uninit(x.len());
+        for ch in 0..c {
+            let mean = self.running_mean[ch];
+            let std = (self.running_var[ch] + self.eps).sqrt();
+            let g = self.gamma.as_slice()[ch];
+            let be = self.beta.as_slice()[ch];
+            for b in 0..n {
+                for s in 0..spatial {
+                    let idx = (b * c + ch) * spatial + s;
+                    buf[idx] = g * ((x[idx] - mean) / std) + be;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(buf, input.dims())?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

@@ -1,6 +1,6 @@
 //! Pooling and shape-adapter layers.
 
-use ftensor::Tensor;
+use ftensor::{Scratch, Tensor};
 
 use crate::layer::Layer;
 use crate::{NeuralError, Result};
@@ -19,6 +19,17 @@ impl GlobalAvgPool {
     /// Creates the pooling layer.
     pub fn new() -> Self {
         GlobalAvgPool { input_dims: None }
+    }
+
+    /// Per-channel spatial mean into a borrowed `(n * c)` buffer; writes
+    /// every element.
+    fn pool_into(x: &[f32], out: &mut [f32], n: usize, c: usize, spatial: usize) {
+        for b in 0..n {
+            for ch in 0..c {
+                let start = (b * c + ch) * spatial;
+                out[b * c + ch] = x[start..start + spatial].iter().sum::<f32>() / spatial as f32;
+            }
+        }
     }
 }
 
@@ -41,14 +52,34 @@ impl Layer for GlobalAvgPool {
         let spatial = (h * w).max(1);
         let x = input.as_slice();
         let mut out = vec![0.0f32; n * c];
-        for b in 0..n {
-            for ch in 0..c {
-                let start = (b * c + ch) * spatial;
-                out[b * c + ch] = x[start..start + spatial].iter().sum::<f32>() / spatial as f32;
-            }
-        }
+        Self::pool_into(x, &mut out, n, c, spatial);
         self.input_dims = Some(input.dims().to_vec());
         Ok(Tensor::from_vec(out, &[n, c])?)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let (n, c, h, w) = match input.dims() {
+            [n, c, h, w] => (*n, *c, *h, *w),
+            dims => {
+                return Err(NeuralError::BadInputShape {
+                    layer: "global_avg_pool".into(),
+                    expected: "(batch, c, h, w)".into(),
+                    actual: dims.to_vec(),
+                })
+            }
+        };
+        let spatial = (h * w).max(1);
+        let mut buf = scratch.take_uninit(n * c);
+        Self::pool_into(input.as_slice(), &mut buf, n, c, spatial);
+        if train {
+            self.input_dims = Some(input.dims().to_vec());
+        }
+        Ok(Tensor::from_vec(buf, &[n, c])?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -113,6 +144,30 @@ impl Layer for Flatten {
         let features = input.len() / batch.max(1);
         self.input_dims = Some(dims.to_vec());
         Ok(input.reshape(&[batch, features])?)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.is_empty() {
+            return Err(NeuralError::BadInputShape {
+                layer: "flatten".into(),
+                expected: "rank >= 1".into(),
+                actual: dims.to_vec(),
+            });
+        }
+        let batch = dims[0];
+        let features = input.len() / batch.max(1);
+        let mut buf = scratch.take_uninit(input.len());
+        buf.copy_from_slice(input.as_slice());
+        if train {
+            self.input_dims = Some(dims.to_vec());
+        }
+        Ok(Tensor::from_vec(buf, &[batch, features])?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

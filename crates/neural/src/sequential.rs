@@ -1,6 +1,6 @@
 //! Layer containers: [`Sequential`] stacks and [`Residual`] wrappers.
 
-use ftensor::Tensor;
+use ftensor::{kernels, Scratch, Tensor};
 
 use crate::layer::{Layer, ParamSet};
 use crate::{NeuralError, Result};
@@ -120,6 +120,28 @@ impl Layer for Sequential {
         Ok(current)
     }
 
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        // Intermediates are recycled as soon as the next layer has consumed
+        // them, so a whole pass holds at most two scratch tensors at once.
+        let mut current: Option<Tensor> = None;
+        for layer in &mut self.layers {
+            let next = layer.forward_scratch(current.as_ref().unwrap_or(input), train, scratch)?;
+            if let Some(prev) = current.take() {
+                scratch.release_tensor(prev);
+            }
+            current = Some(next);
+        }
+        match current {
+            Some(out) => Ok(out),
+            None => Ok(input.clone()),
+        }
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
         let mut grad = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -192,6 +214,26 @@ impl Layer for Residual {
             });
         }
         Ok(out.add(input)?)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let mut out = self.body.forward_scratch(input, train, scratch)?;
+        if out.dims() != input.dims() {
+            let dims = out.dims().to_vec();
+            scratch.release_tensor(out);
+            return Err(NeuralError::BadInputShape {
+                layer: "residual".into(),
+                expected: format!("body output matching input {:?}", input.dims()),
+                actual: dims,
+            });
+        }
+        kernels::zip_into_inplace(out.as_mut_slice(), input.as_slice(), |a, b| a + b);
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -319,6 +361,50 @@ mod tests {
         let g = res.backward(&Tensor::ones(&[1, 2])).unwrap();
         // gradient = body-path (identity) + skip-path = 2
         assert_eq!(g.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn forward_scratch_is_bit_identical_and_allocation_free() {
+        let mut rng = SeededRng::new(7);
+        let mut net = small_net(&mut rng);
+        let x =
+            Tensor::from_vec((0..12).map(|v| v as f32 * 0.25 - 1.0).collect(), &[3, 4]).unwrap();
+        let plain = net.forward(&x, false).unwrap();
+        let mut scratch = ftensor::Scratch::new();
+        for pass in 0..4 {
+            let warm = scratch.allocations();
+            let out = net.forward_scratch(&x, false, &mut scratch).unwrap();
+            assert_eq!(out.dims(), plain.dims());
+            for (a, b) in out.as_slice().iter().zip(plain.as_slice().iter()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "scratch pass diverged at pass {pass}"
+                );
+            }
+            scratch.release_tensor(out);
+            if pass > 0 {
+                assert_eq!(
+                    scratch.allocations(),
+                    warm,
+                    "steady-state forward_scratch must not allocate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_forward_scratch_matches_forward() {
+        let mut body = Sequential::new();
+        body.push(Box::new(
+            Dense::from_parts(Tensor::eye(3), Tensor::zeros(&[3])).unwrap(),
+        ));
+        let mut res = Residual::new(body);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let plain = res.forward(&x, false).unwrap();
+        let mut scratch = ftensor::Scratch::new();
+        let out = res.forward_scratch(&x, false, &mut scratch).unwrap();
+        assert_eq!(out.as_slice(), plain.as_slice());
     }
 
     #[test]

@@ -14,10 +14,17 @@
 //! structure (name included — the surrogate's noise term depends on it),
 //! the frozen-block count and the evaluator's configuration, so evaluators
 //! calibrated for different datasets never alias.
+//!
+//! Internally the map is split into a power-of-two number of independently
+//! locked shards selected by the key fingerprint, so workers hammering the
+//! cache from many threads rarely serialise on one lock. Sharding is an
+//! implementation detail: lookups, snapshots and statistics behave exactly
+//! as a single map would, and per-shard hit/miss/contention counters are
+//! exported for telemetry via [`EvalCache::shard_stats`].
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, TryLockError};
 
 use archspace::Architecture;
 use evaluator::{Evaluate, FairnessEvaluation, SurrogateEvaluator};
@@ -120,76 +127,184 @@ impl CacheStats {
     }
 }
 
-/// A thread-safe evaluation memo shared by many [`CachedEvaluator`]s.
+/// Counters and occupancy of one cache shard, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Entries currently memoised in this shard.
+    pub entries: usize,
+    /// Lookups this shard answered from memory.
+    pub hits: u64,
+    /// Lookups this shard had to evaluate.
+    pub misses: u64,
+    /// Lock acquisitions that found the shard lock already held.
+    pub contended: u64,
+}
+
+/// One independently locked segment of the cache.
 #[derive(Debug, Default)]
-pub struct EvalCache {
+struct Shard {
     entries: RwLock<HashMap<CacheKey, FairnessEvaluation>>,
+    /// Keys lookups touched in this shard; only locked when the owning
+    /// cache has tracking enabled, so the untracked hot path never takes
+    /// this mutex.
+    touched: Mutex<HashSet<CacheKey>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl Shard {
+    /// Read-locks the entry map, counting the acquisition as contended if
+    /// the lock was not immediately available.
+    fn read_entries(
+        &self,
+    ) -> std::sync::RwLockReadGuard<'_, HashMap<CacheKey, FairnessEvaluation>> {
+        match self.entries.try_read() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.entries.read().expect("eval cache poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("eval cache poisoned"),
+        }
+    }
+
+    /// Write-locks the entry map, counting contention like
+    /// [`Shard::read_entries`].
+    fn write_entries(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, HashMap<CacheKey, FairnessEvaluation>> {
+        match self.entries.try_write() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.entries.write().expect("eval cache poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("eval cache poisoned"),
+        }
+    }
+}
+
+/// Default shard count: enough that a handful of pool workers rarely
+/// collide, small enough that snapshot export stays cheap.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// A thread-safe evaluation memo shared by many [`CachedEvaluator`]s.
+#[derive(Debug)]
+pub struct EvalCache {
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard count is always a power of two.
+    mask: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Entries added by snapshot absorption (warm starts / shard merges) —
     /// kept separate from [`CacheStats`] because those counters are part
     /// of the serialized report schema and only describe live lookups.
     absorbed: AtomicU64,
-    /// When present, every key a lookup touched (hit or fresh insert) is
-    /// recorded — the reachability set snapshot compaction retains.
-    /// Absorbed-but-never-consulted entries are deliberately *not*
-    /// recorded; they are exactly what compaction drops.
-    touched: Option<Mutex<HashSet<CacheKey>>>,
+    /// When set, every key a lookup touched (hit or fresh insert) is
+    /// recorded per shard — the reachability set snapshot compaction
+    /// retains. Absorbed-but-never-consulted entries are deliberately
+    /// *not* recorded; they are exactly what compaction drops.
+    tracking: bool,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::build(DEFAULT_CACHE_SHARDS, false)
+    }
 }
 
 impl EvalCache {
-    /// An empty cache.
+    /// An empty cache with the default shard count.
     pub fn new() -> Self {
         EvalCache::default()
+    }
+
+    /// An empty cache with `shards` lock segments (rounded up to a power
+    /// of two, at least one).
+    pub fn with_shards(shards: usize) -> Self {
+        EvalCache::build(shards, false)
     }
 
     /// An empty cache that records which keys lookups touch, for
     /// snapshot compaction
     /// ([`EvalCache::snapshot_touched`](crate::snapshot)). Tracking costs
-    /// one mutex insert per lookup, so it is opt-in.
+    /// one mutex insert per lookup on the touched shard, so it is opt-in;
+    /// untracked caches never take the touch lock at all.
     pub fn with_tracking() -> Self {
+        EvalCache::build(DEFAULT_CACHE_SHARDS, true)
+    }
+
+    /// An empty tracking cache with an explicit shard count.
+    pub fn with_shards_tracking(shards: usize) -> Self {
+        EvalCache::build(shards, true)
+    }
+
+    fn build(shards: usize, tracking: bool) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        let shards: Box<[Shard]> = (0..count).map(|_| Shard::default()).collect();
         EvalCache {
-            touched: Some(Mutex::new(HashSet::new())),
-            ..EvalCache::default()
+            mask: count - 1,
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            absorbed: AtomicU64::new(0),
+            tracking,
         }
     }
 
     /// Whether this cache records touched keys.
     pub fn is_tracking(&self) -> bool {
-        self.touched.is_some()
+        self.tracking
     }
 
-    fn record_touch(&self, key: CacheKey) {
-        if let Some(touched) = &self.touched {
-            touched.lock().expect("touch set poisoned").insert(key);
+    /// Number of lock segments the cache is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Shard {
+        // `hi` mixes every input byte through a rotating FNV stream, so its
+        // low bits are already well distributed across shards
+        &self.shards[(key.hi as usize) & self.mask]
+    }
+
+    fn record_touch(&self, shard: &Shard, key: CacheKey) {
+        if self.tracking {
+            shard
+                .touched
+                .lock()
+                .expect("touch set poisoned")
+                .insert(key);
         }
     }
 
     /// Every touched entry (key + evaluation), or `None` without tracking.
     pub(crate) fn touched_entries(&self) -> Option<Vec<(CacheKey, FairnessEvaluation)>> {
-        let touched = self.touched.as_ref()?;
-        let touched = touched.lock().expect("touch set poisoned");
-        let entries = self.entries.read().expect("eval cache poisoned");
-        Some(
-            touched
-                .iter()
-                .filter_map(|key| {
-                    entries
-                        .get(key)
-                        .map(|evaluation| (*key, evaluation.clone()))
-                })
-                .collect(),
-        )
+        if !self.tracking {
+            return None;
+        }
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let touched = shard.touched.lock().expect("touch set poisoned");
+            let entries = shard.read_entries();
+            out.extend(touched.iter().filter_map(|key| {
+                entries
+                    .get(key)
+                    .map(|evaluation| (*key, evaluation.clone()))
+            }));
+        }
+        Some(out)
     }
 
     /// Number of memoised evaluations.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("eval cache poisoned").len()
+        self.shards.iter().map(|s| s.read_entries().len()).sum()
     }
 
     /// Whether the cache holds no evaluation yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shards.iter().all(|s| s.read_entries().is_empty())
     }
 
     /// Aggregate hit/miss counters across every evaluator using this cache.
@@ -198,6 +313,29 @@ impl EvalCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-shard occupancy and counters, in shard order — the raw feed for
+    /// the campaign telemetry gauges.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| ShardStats {
+                entries: shard.read_entries().len(),
+                hits: shard.hits.load(Ordering::Relaxed),
+                misses: shard.misses.load(Ordering::Relaxed),
+                contended: shard.contended.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Total lock acquisitions across all shards that found the shard lock
+    /// already held.
+    pub fn contended(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.contended.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total entries added through snapshot absorption
@@ -212,34 +350,44 @@ impl EvalCache {
     }
 
     fn get(&self, key: &CacheKey) -> Option<FairnessEvaluation> {
-        let hit = self
-            .entries
-            .read()
-            .expect("eval cache poisoned")
-            .get(key)
-            .cloned();
+        let shard = self.shard_for(key);
+        let hit = shard.read_entries().get(key).cloned();
         if hit.is_some() {
-            self.record_touch(*key);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record_touch(shard, *key);
         }
         hit
     }
 
+    /// Counts a miss against the global and per-shard counters. Callers
+    /// invoke this only after the inner evaluation *succeeded*, so the
+    /// serialized [`CacheStats`] keep meaning "lookups that evaluated".
+    fn note_miss(&self, key: &CacheKey) {
+        self.shard_for(key).misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn insert(&self, key: CacheKey, evaluation: FairnessEvaluation) {
-        self.entries
-            .write()
-            .expect("eval cache poisoned")
-            .insert(key, evaluation);
-        self.record_touch(key);
+        let shard = self.shard_for(&key);
+        shard.write_entries().insert(key, evaluation);
+        self.record_touch(shard, key);
     }
 
     /// Copies every entry out, for snapshotting (see [`crate::snapshot`]).
+    /// Order follows shard iteration and is not deterministic; snapshot
+    /// encoding sorts by key before serialising.
     pub(crate) fn export_entries(&self) -> Vec<(CacheKey, FairnessEvaluation)> {
-        self.entries
-            .read()
-            .expect("eval cache poisoned")
-            .iter()
-            .map(|(key, evaluation)| (*key, evaluation.clone()))
-            .collect()
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let entries = shard.read_entries();
+            out.extend(
+                entries
+                    .iter()
+                    .map(|(key, evaluation)| (*key, evaluation.clone())),
+            );
+        }
+        out
     }
 
     /// Inserts entries that are not already memoised (existing entries
@@ -249,12 +397,23 @@ impl EvalCache {
         &self,
         entries: impl IntoIterator<Item = (CacheKey, FairnessEvaluation)>,
     ) -> usize {
-        let mut map = self.entries.write().expect("eval cache poisoned");
-        let mut added = 0;
+        // bucket by shard first so each shard lock is taken at most once
+        let mut buckets: Vec<Vec<(CacheKey, FairnessEvaluation)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (key, evaluation) in entries {
-            if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(key) {
-                slot.insert(evaluation);
-                added += 1;
+            buckets[(key.hi as usize) & self.mask].push((key, evaluation));
+        }
+        let mut added = 0;
+        for (shard, bucket) in self.shards.iter().zip(buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut map = shard.write_entries();
+            for (key, evaluation) in bucket {
+                if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(key) {
+                    slot.insert(evaluation);
+                    added += 1;
+                }
             }
         }
         added
@@ -330,12 +489,11 @@ impl<E: Evaluate> Evaluate for CachedEvaluator<E> {
     ) -> evaluator::Result<FairnessEvaluation> {
         let key = CacheKey::for_request(self.evaluator_fingerprint, arch, frozen_blocks);
         if let Some(hit) = self.cache.get(&key) {
-            self.cache.hits.fetch_add(1, Ordering::Relaxed);
             self.local_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
         let evaluation = self.inner.evaluate_with_frozen(arch, frozen_blocks)?;
-        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache.note_miss(&key);
         self.local_misses.fetch_add(1, Ordering::Relaxed);
         self.cache.insert(key, evaluation.clone());
         Ok(evaluation)
@@ -451,5 +609,102 @@ mod tests {
         assert_send_sync::<EvalCache>();
         assert_send_sync::<CachedEvaluator<SurrogateEvaluator>>();
         assert_send_sync::<CacheStats>();
+    }
+
+    #[test]
+    fn shard_counts_round_up_to_powers_of_two() {
+        assert_eq!(EvalCache::new().shard_count(), DEFAULT_CACHE_SHARDS);
+        assert_eq!(EvalCache::with_shards(1).shard_count(), 1);
+        assert_eq!(EvalCache::with_shards(3).shard_count(), 4);
+        assert_eq!(EvalCache::with_shards(16).shard_count(), 16);
+        assert_eq!(EvalCache::with_shards(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_global_stats() {
+        let cache = Arc::new(EvalCache::with_shards(4));
+        let mut cached = CachedEvaluator::surrogate(SurrogateEvaluator::default(), cache.clone());
+        for (i, arch) in [
+            zoo::paper_fahana_small(5, 64),
+            zoo::paper_fahana_fair(5, 64),
+            zoo::mobilenet_v2(5, 64),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            cached.evaluate_with_frozen(&arch, 0).unwrap();
+            cached.evaluate_with_frozen(&arch, i).unwrap();
+        }
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), 4);
+        let stats = cache.stats();
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), stats.hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), stats.misses);
+        assert_eq!(shards.iter().map(|s| s.entries).sum::<usize>(), cache.len());
+    }
+
+    #[test]
+    fn single_shard_cache_behaves_like_the_sharded_default() {
+        let arch = zoo::paper_fahana_small(5, 64);
+        let one = Arc::new(EvalCache::with_shards(1));
+        let many = Arc::new(EvalCache::with_shards(32));
+        let mut a = CachedEvaluator::surrogate(SurrogateEvaluator::default(), one.clone());
+        let mut b = CachedEvaluator::surrogate(SurrogateEvaluator::default(), many.clone());
+        let from_one = a.evaluate_with_frozen(&arch, 0).unwrap();
+        let from_many = b.evaluate_with_frozen(&arch, 0).unwrap();
+        assert_eq!(from_one, from_many);
+        assert_eq!(one.stats(), many.stats());
+        assert_eq!(one.len(), many.len());
+    }
+
+    #[test]
+    fn tracking_cache_with_explicit_shards_records_touches() {
+        let cache = Arc::new(EvalCache::with_shards_tracking(8));
+        assert!(cache.is_tracking());
+        let mut cached = CachedEvaluator::surrogate(SurrogateEvaluator::default(), cache.clone());
+        cached
+            .evaluate_with_frozen(&zoo::paper_fahana_small(5, 64), 0)
+            .unwrap();
+        cached
+            .evaluate_with_frozen(&zoo::mobilenet_v2(5, 64), 0)
+            .unwrap();
+        assert_eq!(cache.touched_entries().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_across_shards() {
+        let cache = Arc::new(EvalCache::with_shards(4));
+        let archs: Vec<_> = (0..12)
+            .map(|i| {
+                let mut a = zoo::paper_fahana_small(5, 64);
+                a.set_name(format!("concurrent-{i}"));
+                a
+            })
+            .collect();
+        let mut serial = SurrogateEvaluator::default();
+        let expected: Vec<_> = archs
+            .iter()
+            .map(|a| serial.evaluate_with_frozen(a, 0).unwrap())
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = cache.clone();
+                let archs = archs.clone();
+                std::thread::spawn(move || {
+                    let mut cached =
+                        CachedEvaluator::surrogate(SurrogateEvaluator::default(), cache);
+                    archs
+                        .iter()
+                        .map(|a| cached.evaluate_with_frozen(a, 0).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), expected);
+        }
+        assert_eq!(cache.len(), archs.len());
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * archs.len() as u64);
     }
 }

@@ -500,6 +500,10 @@ fn telemetry_is_a_side_channel_for_campaign_artifacts() {
         "fahana_cache_hits_total",
         "fahana_cache_misses_total",
         "fahana_cache_entries",
+        "fahana_cache_shards",
+        "fahana_cache_lock_contended_total",
+        "fahana_cache_shard_hits_total",
+        "fahana_cache_shard_entries",
         "fahana_pool_jobs_total",
         "fahana_pool_threads",
     ] {
@@ -507,6 +511,36 @@ fn telemetry_is_a_side_channel_for_campaign_artifacts() {
     }
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_shard_count_does_not_affect_results_or_snapshots() {
+    // sharding is an implementation detail of the cache: any shard count
+    // must produce bit-identical search histories and byte-identical
+    // snapshot encodings (the snapshot sorts by key, so shard iteration
+    // order never leaks into the bytes)
+    let uncached = FahanaSearch::new(search_config(25, 17))
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let mut snapshots = Vec::new();
+    for shards in [1usize, 2, 64] {
+        let cache = Arc::new(EvalCache::with_shards(shards));
+        assert_eq!(cache.shard_count(), shards.next_power_of_two());
+        let mut search = FahanaSearch::new(search_config(25, 17)).unwrap();
+        let mut cached_eval = CachedEvaluator::surrogate(search.surrogate().clone(), cache.clone());
+        let outcome = search.run_with_evaluator(&mut cached_eval).unwrap();
+        assert_eq!(
+            uncached.history, outcome.history,
+            "a {shards}-shard cache must not change the search"
+        );
+        snapshots.push(cache.snapshot().to_bytes());
+    }
+    assert!(
+        snapshots.windows(2).all(|w| w[0] == w[1]),
+        "snapshot bytes must be shard-count-invariant"
+    );
 }
 
 #[test]

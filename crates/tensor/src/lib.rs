@@ -29,14 +29,17 @@
 
 pub mod error;
 pub mod init;
+pub mod kernels;
 pub mod linalg;
 pub mod ops;
+pub mod scratch;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
 
 pub use error::TensorError;
 pub use init::{Initializer, SeededRng};
+pub use scratch::Scratch;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

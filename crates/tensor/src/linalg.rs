@@ -1,6 +1,7 @@
 //! Matrix-level linear algebra on [`Tensor`].
 
 use crate::error::TensorError;
+use crate::kernels;
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -33,23 +34,37 @@ impl Tensor {
                 right_rows: k_right,
             });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k_left {
-                let a_ip = a[i * k_left + p];
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ip * bv;
-                }
-            }
-        }
+        kernels::matmul_into(self.as_slice(), other.as_slice(), &mut out, m, k_left, n);
         Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product written into a borrowed, pre-zeroed output slice of
+    /// length `m * n` — the allocation-free form of [`Tensor::matmul`] used
+    /// with a [`crate::Scratch`] arena on the evaluation hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same dimension errors as [`Tensor::matmul`], plus
+    /// [`TensorError::LengthMismatch`] if `out` is not `m * n` long.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut [f32]) -> Result<()> {
+        let (m, k_left) = self.shape().as_matrix()?;
+        let (k_right, n) = other.shape().as_matrix()?;
+        if k_left != k_right {
+            return Err(TensorError::MatmulDimMismatch {
+                left_cols: k_left,
+                right_rows: k_right,
+            });
+        }
+        if out.len() != m * n {
+            return Err(TensorError::LengthMismatch {
+                provided: out.len(),
+                expected: m * n,
+            });
+        }
+        out.iter_mut().for_each(|v| *v = 0.0);
+        kernels::matmul_into(self.as_slice(), other.as_slice(), out, m, k_left, n);
+        Ok(())
     }
 
     /// Transposes a rank-2 tensor (rank-1 becomes a column matrix).
@@ -93,14 +108,34 @@ impl Tensor {
                 right_rows: v.len(),
             });
         }
-        let a = self.as_slice();
-        let x = v.as_slice();
         let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            let row = &a[i * n..(i + 1) * n];
-            out[i] = row.iter().zip(x.iter()).map(|(&a, &b)| a * b).sum();
-        }
+        kernels::matvec_into(self.as_slice(), v.as_slice(), &mut out, m, n);
         Tensor::from_vec(out, &[m])
+    }
+
+    /// Matrix-vector product written into a borrowed output slice of length
+    /// `m` — the allocation-free form of [`Tensor::matvec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the same dimension errors as [`Tensor::matvec`], plus
+    /// [`TensorError::LengthMismatch`] if `out` is not `m` long.
+    pub fn matvec_into(&self, v: &Tensor, out: &mut [f32]) -> Result<()> {
+        let (m, n) = self.shape().as_matrix()?;
+        if v.len() != n {
+            return Err(TensorError::MatmulDimMismatch {
+                left_cols: n,
+                right_rows: v.len(),
+            });
+        }
+        if out.len() != m {
+            return Err(TensorError::LengthMismatch {
+                provided: out.len(),
+                expected: m,
+            });
+        }
+        kernels::matvec_into(self.as_slice(), v.as_slice(), out, m, n);
+        Ok(())
     }
 
     /// Outer product of two rank-1 tensors, producing an `(m × n)` matrix.
@@ -138,20 +173,29 @@ impl Tensor {
                 right: other.dims().to_vec(),
             });
         }
-        Ok(self
-            .as_slice()
-            .iter()
-            .zip(other.as_slice().iter())
-            .map(|(&a, &b)| a * b)
-            .sum())
+        Ok(kernels::dot(self.as_slice(), other.as_slice()))
     }
 
     /// Extracts row `i` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// Hot paths should prefer the borrowing [`Tensor::row_slice`]; this
+    /// owned form remains for callers that need an independent tensor.
     ///
     /// # Errors
     ///
     /// Returns an error if the tensor is not rank-2 or `i` is out of bounds.
     pub fn row(&self, i: usize) -> Result<Tensor> {
+        self.row_slice(i)
+            .and_then(|row| Tensor::from_vec(row.to_vec(), &[row.len()]))
+    }
+
+    /// Borrows row `i` of a rank-2 tensor as a slice — the allocation-free
+    /// companion of [`Tensor::row`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank-2 or `i` is out of bounds.
+    pub fn row_slice(&self, i: usize) -> Result<&[f32]> {
         match self.dims() {
             [rows, cols] => {
                 if i >= *rows {
@@ -161,7 +205,7 @@ impl Tensor {
                     });
                 }
                 let start = i * cols;
-                Tensor::from_vec(self.as_slice()[start..start + cols].to_vec(), &[*cols])
+                Ok(&self.as_slice()[start..start + cols])
             }
             dims => Err(TensorError::RankMismatch {
                 expected: 2,
@@ -287,6 +331,37 @@ mod tests {
         let u = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
         let v = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
         assert_eq!(u.dot(&v).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn matmul_into_matches_owned() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let mut out = [9.0f32; 4]; // pre-existing garbage must be cleared
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(&out, a.matmul(&b).unwrap().as_slice());
+        let mut short = [0.0f32; 3];
+        assert!(a.matmul_into(&b, &mut short).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_owned() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let v = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let mut out = [0.0f32; 2];
+        a.matvec_into(&v, &mut out).unwrap();
+        assert_eq!(&out, a.matvec(&v).unwrap().as_slice());
+        let mut short = [0.0f32; 1];
+        assert!(a.matvec_into(&v, &mut short).is_err());
+    }
+
+    #[test]
+    fn row_slice_borrows_row() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(m.row_slice(1).unwrap(), &[4.0, 5.0, 6.0]);
+        assert!(m.row_slice(2).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(v.row_slice(0).is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Neural-network oriented elementwise and reduction operators.
 
 use crate::error::TensorError;
+use crate::kernels;
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -41,18 +42,33 @@ impl Tensor {
                 "softmax requires a non-empty last axis".into(),
             ));
         }
-        let src = self.as_slice();
-        let mut out = vec![0.0f32; src.len()];
-        for r in 0..rows {
-            let row = &src[r * cols..(r + 1) * cols];
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let exp: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-            let denom: f32 = exp.iter().sum();
-            for (c, e) in exp.iter().enumerate() {
-                out[r * cols + c] = e / denom;
-            }
-        }
+        let mut out = vec![0.0f32; self.len()];
+        kernels::softmax_into(self.as_slice(), &mut out, rows, cols);
         Tensor::from_vec(out, self.dims())
+    }
+
+    /// Softmax over the last axis written into a borrowed output slice of
+    /// the same volume — the allocation-free form of [`Tensor::softmax`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tensor::softmax`], plus [`TensorError::LengthMismatch`] if
+    /// `out` has a different volume.
+    pub fn softmax_into(&self, out: &mut [f32]) -> Result<()> {
+        let (rows, cols) = self.shape().as_matrix()?;
+        if cols == 0 {
+            return Err(TensorError::InvalidArgument(
+                "softmax requires a non-empty last axis".into(),
+            ));
+        }
+        if out.len() != self.len() {
+            return Err(TensorError::LengthMismatch {
+                provided: out.len(),
+                expected: self.len(),
+            });
+        }
+        kernels::softmax_into(self.as_slice(), out, rows, cols);
+        Ok(())
     }
 
     /// Natural logarithm applied elementwise, with values clamped away from
@@ -81,18 +97,12 @@ impl Tensor {
         match axis {
             0 => {
                 let mut out = vec![0.0f32; cols];
-                for r in 0..rows {
-                    for c in 0..cols {
-                        out[c] += src[r * cols + c];
-                    }
-                }
+                kernels::sum_axis0_into(src, &mut out, rows, cols);
                 Tensor::from_vec(out, &[cols])
             }
             1 => {
                 let mut out = vec![0.0f32; rows];
-                for r in 0..rows {
-                    out[r] = src[r * cols..(r + 1) * cols].iter().sum();
-                }
+                kernels::sum_axis1_into(src, &mut out, rows, cols);
                 Tensor::from_vec(out, &[rows])
             }
             _ => Err(TensorError::InvalidAxis { axis, rank: 2 }),
@@ -128,6 +138,19 @@ impl Tensor {
     ///
     /// Returns [`TensorError::RankMismatch`] if the tensor is not rank-2.
     pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        let mut out = Vec::new();
+        self.argmax_rows_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Per-row argmax appended into a caller-owned buffer (cleared first) —
+    /// the allocation-free form of [`Tensor::argmax_rows`], which reuses the
+    /// buffer's capacity across episodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank-2.
+    pub fn argmax_rows_into(&self, out: &mut Vec<usize>) -> Result<()> {
         let (rows, cols) = match self.dims() {
             [r, c] => (*r, *c),
             dims => {
@@ -138,7 +161,7 @@ impl Tensor {
             }
         };
         let src = self.as_slice();
-        let mut out = Vec::with_capacity(rows);
+        out.clear();
         for r in 0..rows {
             let row = &src[r * cols..(r + 1) * cols];
             let mut best = 0usize;
@@ -151,7 +174,7 @@ impl Tensor {
             }
             out.push(best);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Clips every element into `[lo, hi]`.
@@ -186,13 +209,46 @@ impl Tensor {
             });
         }
         let mut out = self.as_slice().to_vec();
-        let b = bias.as_slice();
-        for r in 0..rows {
-            for c in 0..cols {
-                out[r * cols + c] += b[c];
-            }
-        }
+        Self::broadcast_rows(&mut out, bias.as_slice(), rows, cols);
         Tensor::from_vec(out, &[rows, cols])
+    }
+
+    /// Adds a rank-1 bias vector to every row of a borrowed `(rows × cols)`
+    /// buffer in place — the allocation-free form of
+    /// [`Tensor::add_row_broadcast`], applied after a
+    /// [`Tensor::matmul_into`] on the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bias.len() != cols` or the buffer volume is not
+    /// `rows * cols`.
+    pub fn add_row_broadcast_in_place(
+        out: &mut [f32],
+        bias: &Tensor,
+        rows: usize,
+        cols: usize,
+    ) -> Result<()> {
+        if bias.len() != cols {
+            return Err(TensorError::LengthMismatch {
+                provided: bias.len(),
+                expected: cols,
+            });
+        }
+        if out.len() != rows * cols {
+            return Err(TensorError::LengthMismatch {
+                provided: out.len(),
+                expected: rows * cols,
+            });
+        }
+        Self::broadcast_rows(out, bias.as_slice(), rows, cols);
+        Ok(())
+    }
+
+    fn broadcast_rows(out: &mut [f32], bias: &[f32], rows: usize, cols: usize) {
+        for r in 0..rows {
+            let row = &mut out[r * cols..(r + 1) * cols];
+            kernels::zip_into_inplace(row, bias, |a, b| a + b);
+        }
     }
 }
 
@@ -269,6 +325,38 @@ mod tests {
         let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
         let r = t.add_row_broadcast(&b).unwrap();
         assert_eq!(r.as_slice(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_in_place_matches_owned() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, -0.5, 1.0], &[3]).unwrap();
+        let mut buf = t.as_slice().to_vec();
+        Tensor::add_row_broadcast_in_place(&mut buf, &b, 2, 3).unwrap();
+        assert_eq!(&buf, t.add_row_broadcast(&b).unwrap().as_slice());
+        assert!(Tensor::add_row_broadcast_in_place(&mut buf, &b, 2, 2).is_err());
+    }
+
+    #[test]
+    fn softmax_into_matches_owned() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]).unwrap();
+        let mut out = vec![0.0f32; 6];
+        t.softmax_into(&mut out).unwrap();
+        for (a, b) in out.iter().zip(t.softmax().unwrap().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut short = vec![0.0f32; 5];
+        assert!(t.softmax_into(&mut short).is_err());
+    }
+
+    #[test]
+    fn argmax_rows_into_reuses_buffer() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.2, 0.1, 0.3], &[2, 3]).unwrap();
+        let mut buf = vec![7usize; 9]; // stale contents must be cleared
+        t.argmax_rows_into(&mut buf).unwrap();
+        assert_eq!(buf, vec![1, 2]);
+        let v = Tensor::zeros(&[3]);
+        assert!(v.argmax_rows_into(&mut buf).is_err());
     }
 
     #[test]

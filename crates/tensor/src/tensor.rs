@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::TensorError;
+use crate::kernels;
 use crate::shape::Shape;
 use crate::Result;
 
@@ -163,10 +164,30 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        let mut data = vec![0.0f32; self.data.len()];
+        kernels::map_into(&self.data, &mut data, f);
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().copied().map(f).collect(),
+            data,
         }
+    }
+
+    /// Applies `f` to every element, writing into a borrowed output slice —
+    /// the allocation-free form of [`Tensor::map`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `out` has a different
+    /// length.
+    pub fn map_into<F: Fn(f32) -> f32>(&self, out: &mut [f32], f: F) -> Result<()> {
+        if out.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                provided: out.len(),
+                expected: self.data.len(),
+            });
+        }
+        kernels::map_into(&self.data, out, f);
+        Ok(())
     }
 
     /// Applies `f` to every element in place.
@@ -188,12 +209,8 @@ impl Tensor {
                 right: other.dims().to_vec(),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = vec![0.0f32; self.data.len()];
+        kernels::zip_into(&self.data, &other.data, &mut data, f);
         Ok(Tensor {
             shape: self.shape.clone(),
             data,
@@ -239,9 +256,7 @@ impl Tensor {
                 right: other.dims().to_vec(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        kernels::zip_into_inplace(&mut self.data, &other.data, |a, b| a + b);
         Ok(())
     }
 
@@ -262,9 +277,7 @@ impl Tensor {
                 right: other.dims().to_vec(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += scale * b;
-        }
+        kernels::axpy_into(scale, &other.data, &mut self.data);
         Ok(())
     }
 
