@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! fahana-loadgen --addr HOST:PORT [--duration-secs N] [--workers N]
+//!                [--idle-frac F] [--idle-interval-ms MS] [--section NAME]
 //!                [--out FILE] [--seed N]
 //! ```
 //!
@@ -12,10 +13,18 @@
 //! and the per-worker draw sequence are fixed by `--seed`, so two runs
 //! against the same store offer the same request stream.
 //!
-//! Results land in a JSON report (default `BENCH_serve.json`): request
-//! and error counts, throughput, and exact latency percentiles
-//! (p50/p90/p99/max) computed over every sample — no histogram buckets,
-//! no estimation.
+//! `--idle-frac` switches that fraction of the workers into *idle-heavy*
+//! mode: they keep their connection open but send only one request every
+//! `--idle-interval-ms`, modelling the edge-deployment shape the reactor
+//! exists for — thousands of mostly-idle keep-alive clients over a tiny
+//! worker pool (`--workers` ≫ the server's `--threads`).
+//!
+//! Results land in a *sectioned* JSON report (default `BENCH_serve.json`,
+//! schema `fahana-loadgen/v2`): each run writes its measurements —
+//! request/error counts, throughput, exact p50/p90/p99/max latency over
+//! every sample (no histogram estimation) — under `--section`, merging
+//! with the sections already in the file so a closed-loop burst and a
+//! high-concurrency soak can live side by side.
 
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -42,13 +51,16 @@ struct Cli {
     addr: Option<String>,
     duration: Duration,
     workers: usize,
+    idle_frac: f64,
+    idle_interval: Duration,
+    section: String,
     out: PathBuf,
     seed: u64,
 }
 
 fn usage() -> &'static str {
-    "usage: fahana-loadgen --addr HOST:PORT [--duration-secs N] [--workers N] [--out FILE] \
-     [--seed N]"
+    "usage: fahana-loadgen --addr HOST:PORT [--duration-secs N] [--workers N] [--idle-frac F] \
+     [--idle-interval-ms MS] [--section NAME] [--out FILE] [--seed N]"
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -56,6 +68,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         addr: None,
         duration: Duration::from_secs(5),
         workers: 4,
+        idle_frac: 0.0,
+        idle_interval: Duration::from_millis(1000),
+        section: "closed_loop".into(),
         out: PathBuf::from("BENCH_serve.json"),
         seed: 42,
     };
@@ -84,6 +99,31 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 if cli.workers == 0 {
                     return Err("--workers must be positive".into());
                 }
+            }
+            "--idle-frac" => {
+                let frac: f64 = value_of("--idle-frac")?
+                    .parse()
+                    .map_err(|_| "--idle-frac expects a number".to_string())?;
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err("--idle-frac must be between 0 and 1".into());
+                }
+                cli.idle_frac = frac;
+            }
+            "--idle-interval-ms" => {
+                let ms: u64 = value_of("--idle-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-interval-ms expects a number".to_string())?;
+                if ms == 0 {
+                    return Err("--idle-interval-ms must be positive".into());
+                }
+                cli.idle_interval = Duration::from_millis(ms);
+            }
+            "--section" => {
+                let name = value_of("--section")?.to_string();
+                if name.is_empty() {
+                    return Err("--section must not be empty".into());
+                }
+                cli.section = name;
             }
             "--out" => cli.out = PathBuf::from(value_of("--out")?),
             "--seed" => {
@@ -137,9 +177,17 @@ fn pick(state: &mut u64) -> usize {
     MIX.len() - 1
 }
 
-/// One closed-loop worker: keep one connection alive, fire requests until
-/// `stop`, reconnect when the server (legitimately) drops the connection.
-fn worker_loop(addr: &str, seed: u64, stop: &AtomicBool) -> WorkerTally {
+/// One worker: keep one connection alive, fire requests until `stop`,
+/// reconnect when the server (legitimately) drops the connection. With
+/// `idle_interval` set the worker is idle-heavy: after each request it
+/// *holds the connection open* and sleeps out the interval, so it spends
+/// almost all of its life as a parked keep-alive connection.
+fn worker_loop(
+    addr: &str,
+    seed: u64,
+    idle_interval: Option<Duration>,
+    stop: &AtomicBool,
+) -> WorkerTally {
     let mut tally = WorkerTally {
         by_endpoint: vec![0; MIX.len()],
         ..WorkerTally::default()
@@ -190,6 +238,13 @@ fn worker_loop(addr: &str, seed: u64, stop: &AtomicBool) -> WorkerTally {
                 connection = None;
             }
         }
+        if let Some(interval) = idle_interval {
+            // sleep in slices so `stop` still ends the run promptly
+            let resting = Instant::now();
+            while resting.elapsed() < interval && !stop.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
     }
     tally
 }
@@ -203,10 +258,37 @@ fn quantile_us(sorted: &[u64], q: f64) -> f64 {
     sorted[rank - 1] as f64 / 1000.0
 }
 
+/// Folds this run's section into whatever sections `path` already holds
+/// (schema `fahana-loadgen/v2`). A v1 flat report, an unparseable file,
+/// or no file at all starts the section map fresh.
+fn merged_report(path: &PathBuf, name: &str, section: Json) -> Json {
+    let mut sections: Vec<(String, Json)> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .filter(|old| old.get("schema").and_then(Json::as_str) == Some("fahana-loadgen/v2"))
+        .and_then(|old| match old.get("sections") {
+            Some(Json::Obj(entries)) => Some(entries.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    sections.retain(|(existing, _)| existing != name);
+    sections.push((name.to_string(), section));
+    Json::Obj(vec![
+        ("schema".into(), Json::str("fahana-loadgen/v2")),
+        ("sections".into(), Json::Obj(sections)),
+    ])
+}
+
 fn run(cli: Cli) -> Result<(), String> {
     let addr = cli.addr.expect("validated in parse_cli");
     // fail fast (and outside the measured window) if nothing is listening
     TcpStream::connect(&addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+
+    // idle-heavy workers model parked keep-alive clients; the rest stay
+    // closed-loop. --idle-frac 1 parks everyone (pure concurrency soak).
+    let idle_workers = (cli.workers as f64 * cli.idle_frac).round() as usize;
+    let idle_workers = idle_workers.min(cli.workers);
+    let active_workers = cli.workers - idle_workers;
 
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
@@ -218,7 +300,8 @@ fn run(cli: Cli) -> Result<(), String> {
                 .seed
                 .wrapping_add(index as u64)
                 .wrapping_mul(0x9E3779B97F4A7C15);
-            std::thread::spawn(move || worker_loop(&addr, seed, &stop))
+            let idle_interval = (index < idle_workers).then_some(cli.idle_interval);
+            std::thread::spawn(move || worker_loop(&addr, seed, idle_interval, &stop))
         })
         .collect();
     std::thread::sleep(cli.duration);
@@ -253,9 +336,16 @@ fn run(cli: Cli) -> Result<(), String> {
         })
         .collect();
 
-    let report = Json::Obj(vec![
+    let section = Json::Obj(vec![
         ("addr".into(), Json::str(addr.clone())),
         ("workers".into(), Json::Int(cli.workers as i64)),
+        ("active_workers".into(), Json::Int(active_workers as i64)),
+        ("idle_workers".into(), Json::Int(idle_workers as i64)),
+        ("idle_frac".into(), Json::Num(cli.idle_frac)),
+        (
+            "idle_interval_ms".into(),
+            Json::Int(cli.idle_interval.as_millis() as i64),
+        ),
         ("seed".into(), Json::Int(cli.seed as i64)),
         ("duration_secs".into(), Json::Num(elapsed.as_secs_f64())),
         ("requests".into(), Json::Int(requests as i64)),
@@ -277,11 +367,14 @@ fn run(cli: Cli) -> Result<(), String> {
         ),
         ("endpoints".into(), Json::Arr(endpoints)),
     ]);
+    let report = merged_report(&cli.out, &cli.section, section);
     write_atomic(&cli.out, report.render().as_bytes())
         .map_err(|e| format!("cannot write {}: {e}", cli.out.display()))?;
     eprintln!(
-        "fahana-loadgen: {requests} requests in {:.2}s ({throughput:.0} req/s, {errors} errors, \
-         {errors_5xx} 5xx, {reconnects} reconnects) -> {}",
+        "fahana-loadgen: [{}] {requests} requests in {:.2}s ({throughput:.0} req/s, {errors} \
+         errors, {errors_5xx} 5xx, {reconnects} reconnects, {active_workers} active + \
+         {idle_workers} idle workers) -> {}",
+        cli.section,
         elapsed.as_secs_f64(),
         cli.out.display()
     );

@@ -3,14 +3,21 @@
 //! The offline build has no hyper/axum (see `vendor/README.md`), so this
 //! module hand-rolls exactly the slice of RFC 9112 the daemon needs:
 //! request-line + headers + `Content-Length` bodies, percent-decoded paths
-//! and query strings, JSON responses, and HTTP/1.1 keep-alive (sequential
-//! reuse — a client that waits for each response before sending the next
-//! request, like the `fahana-shard` coordinator's ingest bursts; pipelined
-//! requests are not supported and may be dropped). Bounds are enforced
-//! while *reading* (not after), so a hostile peer cannot balloon memory
-//! with an oversized header block or body.
+//! and query strings, JSON responses, and HTTP/1.1 keep-alive. Bounds are
+//! enforced while *reading* (not after), so a hostile peer cannot balloon
+//! memory with an oversized header block or body.
+//!
+//! Parsing is incremental: [`RequestParser`] is a push parser fed whatever
+//! bytes happen to be readable, returning a [`Request`] only once the head
+//! and declared body are fully buffered. The reactor
+//! (`serve/reactor.rs`) drives it from readiness events; the blocking
+//! [`read_request`] drives the same parser from timed socket reads, so
+//! both paths share one grammar and one set of error messages. Bytes
+//! beyond the first complete request stay buffered in the parser, so a
+//! pipelining client's next request is parsed (sequentially) instead of
+//! dropped.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -41,29 +48,6 @@ impl Default for RequestLimits {
             read_timeout: DEFAULT_READ_TIMEOUT,
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
         }
-    }
-}
-
-/// A [`Read`] adapter enforcing an absolute deadline over a `TcpStream`:
-/// before every read the socket timeout is re-armed to the time remaining,
-/// so the *total* time a peer can spend dribbling a request in is bounded,
-/// not just the gap between bytes.
-struct DeadlineStream<'a> {
-    stream: &'a mut TcpStream,
-    deadline: Instant,
-}
-
-impl Read for DeadlineStream<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let remaining = self.deadline.saturating_duration_since(Instant::now());
-        if remaining.is_zero() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::TimedOut,
-                "request read deadline expired",
-            ));
-        }
-        self.stream.set_read_timeout(Some(remaining)).ok();
-        self.stream.read(buf)
     }
 }
 
@@ -115,14 +99,14 @@ pub struct BadRequest {
 }
 
 impl BadRequest {
-    fn malformed(message: impl Into<String>) -> BadRequest {
+    pub(crate) fn malformed(message: impl Into<String>) -> BadRequest {
         BadRequest {
             status: 400,
             message: message.into(),
         }
     }
 
-    fn timeout(message: impl Into<String>) -> BadRequest {
+    pub(crate) fn timeout(message: impl Into<String>) -> BadRequest {
         BadRequest {
             status: 408,
             message: message.into(),
@@ -143,54 +127,187 @@ impl std::fmt::Display for BadRequest {
     }
 }
 
-/// Reads one request from the stream.
+/// A fully parsed head, waiting for its declared body bytes to arrive.
+#[derive(Debug)]
+struct PendingBody {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+/// An incremental (push) HTTP/1.1 request parser: feed it whatever bytes
+/// are readable, get a [`Request`] back once a whole one is buffered.
 ///
-/// `Ok(None)` means the connection ended cleanly before the first byte of
-/// a request — the peer closed a kept-alive connection, or let it idle
-/// past the read timeout. That is the normal end of connection reuse, not
-/// an error, so no 4xx should be written for it.
-///
-/// # Errors
-///
-/// [`BadRequest`] on malformed request lines (400), a request that dribbles
-/// in past the `limits` deadline (408), oversized heads (400) or bodies
-/// (413), or an underful body — peer hung up early (400).
-pub fn read_request(
-    stream: &mut TcpStream,
-    limits: &RequestLimits,
-) -> Result<Option<Request>, BadRequest> {
-    // one absolute deadline covers the whole request (head and body): a
-    // slowloris peer feeding a byte at a time runs out of clock, not just
-    // out of per-read patience
-    let mut limited = DeadlineStream {
-        stream,
-        deadline: Instant::now() + limits.read_timeout,
-    };
-    // the whole head is read through a `take`, so a peer streaming an
-    // endless request line (or header block) hits the cap mid-read and
-    // can never make `read_line` buffer more than MAX_HEAD_BYTES
-    let mut reader = BufReader::new((&mut limited).take(MAX_HEAD_BYTES as u64));
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => return Ok(None), // clean EOF between requests
-        Ok(_) => {}
-        // an idle keep-alive connection hitting the read timeout with no
-        // request bytes on the wire is a quiet close, not a bad request —
-        // but a *partial* request line at the deadline is a slowloris
-        // peer, answered 408
-        Err(e) if line.is_empty() && is_timeout(&e) => return Ok(None),
-        Err(e) if is_timeout(&e) => {
-            return Err(BadRequest::timeout(
-                "request line still incomplete at the read deadline",
-            ))
-        }
-        Err(e) => {
-            return Err(BadRequest::malformed(format!(
-                "cannot read request line: {e}"
-            )))
+/// The parser owns one connection's receive buffer. Bytes past the first
+/// complete request are retained, so a pipelining client's next request is
+/// picked up by the next [`RequestParser::advance`] call. Bounds are
+/// enforced as bytes arrive: an unterminated head is rejected the moment
+/// it crosses [`MAX_HEAD_BYTES`], and an oversized declared body is
+/// rejected from the headers alone (413), before any body byte is
+/// buffered past the cap decision.
+#[derive(Debug)]
+pub struct RequestParser {
+    max_body_bytes: usize,
+    buffer: Vec<u8>,
+    /// Resume point for the head-terminator scan, so repeated feeds of a
+    /// large head stay O(n) overall instead of rescanning from zero.
+    scan_from: usize,
+    pending: Option<PendingBody>,
+}
+
+impl RequestParser {
+    /// A parser for one connection, enforcing `max_body_bytes` (413).
+    pub fn new(max_body_bytes: usize) -> RequestParser {
+        RequestParser {
+            max_body_bytes,
+            buffer: Vec::new(),
+            scan_from: 0,
+            pending: None,
         }
     }
-    let request_line = line.trim_end_matches(['\r', '\n']).to_string();
+
+    /// Buffers `bytes` and attempts to complete a request (see
+    /// [`RequestParser::advance`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`RequestParser::advance`].
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, BadRequest> {
+        self.buffer.extend_from_slice(bytes);
+        self.advance()
+    }
+
+    /// Attempts to complete one request from the bytes already buffered.
+    /// `Ok(None)` means more bytes are needed. Call again after a request
+    /// is consumed to pick up a pipelined successor.
+    ///
+    /// # Errors
+    ///
+    /// [`BadRequest`] on malformed request lines (400), oversized heads
+    /// (400), or oversized declared bodies (413). Errors are sticky in
+    /// practice: the connection is answered and closed, never re-fed.
+    pub fn advance(&mut self) -> Result<Option<Request>, BadRequest> {
+        if self.pending.is_none() {
+            let Some(head_end) = self.find_head_end() else {
+                if self.buffer.len() >= MAX_HEAD_BYTES {
+                    return Err(BadRequest::malformed(format!(
+                        "header block truncated or larger than {MAX_HEAD_BYTES} bytes"
+                    )));
+                }
+                return Ok(None);
+            };
+            if head_end > MAX_HEAD_BYTES {
+                return Err(BadRequest::malformed(format!(
+                    "header block truncated or larger than {MAX_HEAD_BYTES} bytes"
+                )));
+            }
+            let head = parse_head(&self.buffer[..head_end], self.max_body_bytes)?;
+            self.buffer.drain(..head_end);
+            self.scan_from = 0;
+            self.pending = Some(head);
+        }
+        let content_length = self
+            .pending
+            .as_ref()
+            .map(|head| head.content_length)
+            .unwrap_or_default();
+        if self.buffer.len() < content_length {
+            return Ok(None);
+        }
+        let head = self.pending.take().expect("pending head checked above");
+        let body: Vec<u8> = self.buffer.drain(..content_length).collect();
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            query: head.query,
+            body,
+            keep_alive: head.keep_alive,
+        }))
+    }
+
+    /// Whether nothing of a next request has arrived — the state in which
+    /// EOF or an expired idle deadline is a quiet close, not an error.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty() && self.pending.is_none()
+    }
+
+    /// Which part of the request the parser is waiting on — used to word
+    /// the 408 a deadline expiry answers with.
+    pub fn phase(&self) -> &'static str {
+        if self.pending.is_some() {
+            "body"
+        } else if self.buffer.contains(&b'\n') {
+            "header block"
+        } else {
+            "request line"
+        }
+    }
+
+    /// The verdict on end-of-stream: clean between requests, or a 400 for
+    /// a request truncated mid-head or mid-body.
+    ///
+    /// # Errors
+    ///
+    /// [`BadRequest`] when the peer hung up with a partial request
+    /// buffered.
+    pub fn on_eof(&self) -> Result<(), BadRequest> {
+        if self.pending.is_some() {
+            return Err(BadRequest::malformed(
+                "body shorter than Content-Length: peer closed the connection early",
+            ));
+        }
+        if !self.buffer.is_empty() {
+            return Err(BadRequest::malformed(format!(
+                "header block truncated or larger than {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Finds the end of the head (the byte after the blank line),
+    /// accepting both `\r\n\r\n` and bare-LF `\n\n` terminators (and the
+    /// mixed forms in between, matching what line-by-line parsing with
+    /// trailing-`\r` trimming accepted).
+    fn find_head_end(&mut self) -> Option<usize> {
+        let buffer = &self.buffer;
+        let mut index = self.scan_from;
+        while index < buffer.len() {
+            if buffer[index] == b'\n' {
+                match buffer.get(index + 1) {
+                    Some(b'\n') => return Some(index + 2),
+                    Some(b'\r') => match buffer.get(index + 2) {
+                        Some(b'\n') => return Some(index + 3),
+                        Some(_) => {}
+                        None => {
+                            // "…\n\r" at the end: this '\n' may yet start
+                            // the terminator — re-examine it next feed
+                            self.scan_from = index;
+                            return None;
+                        }
+                    },
+                    Some(_) => {}
+                    None => {
+                        self.scan_from = index;
+                        return None;
+                    }
+                }
+            }
+            index += 1;
+        }
+        self.scan_from = buffer.len();
+        None
+    }
+}
+
+/// Parses a complete head (request line + headers + blank line) into a
+/// [`PendingBody`], enforcing the body cap from `Content-Length` alone.
+fn parse_head(head: &[u8], max_body_bytes: usize) -> Result<PendingBody, BadRequest> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| BadRequest::malformed("request head is not valid UTF-8"))?;
+    let mut lines = text.split('\n').map(|line| line.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or_default().to_string();
 
     let mut parts = request_line.split(' ');
     let method = parts
@@ -217,23 +334,9 @@ pub fn read_request(
 
     // headers: only Content-Length and Connection matter to this server
     let mut content_length: Option<usize> = None;
-    let mut terminated = false;
-    loop {
-        let mut header = String::new();
-        let read = reader.read_line(&mut header).map_err(|e| {
-            if is_timeout(&e) {
-                BadRequest::timeout("header block still incomplete at the read deadline")
-            } else {
-                BadRequest::malformed(format!("cannot read header: {e}"))
-            }
-        })?;
-        if read == 0 {
-            break; // EOF or head cap exhausted without a blank line
-        }
-        let header = header.trim_end_matches(['\r', '\n']);
+    for header in lines {
         if header.is_empty() {
-            terminated = true;
-            break;
+            break; // the blank line ending the head
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -264,49 +367,79 @@ pub fn read_request(
             }
         }
     }
-    if !terminated {
-        return Err(BadRequest::malformed(format!(
-            "header block truncated or larger than {MAX_HEAD_BYTES} bytes"
-        )));
-    }
     let content_length = content_length.unwrap_or(0);
-    if content_length > limits.max_body_bytes {
+    if content_length > max_body_bytes {
         return Err(BadRequest::too_large(format!(
             "body of {content_length} bytes exceeds the {} byte limit",
-            limits.max_body_bytes
+            max_body_bytes
         )));
     }
-
-    // body: drain what the head reader over-buffered, then go back to the
-    // deadline-bounded stream for the rest (the head cap must not apply to
-    // the body, but the read deadline still does)
-    let mut body = vec![0u8; content_length];
-    let from_buffer = {
-        let buffered = reader.buffer();
-        let n = buffered.len().min(content_length);
-        body[..n].copy_from_slice(&buffered[..n]);
-        n
-    };
-    reader.consume(from_buffer);
-    drop(reader);
-    if from_buffer < content_length {
-        limited.read_exact(&mut body[from_buffer..]).map_err(|e| {
-            if is_timeout(&e) {
-                BadRequest::timeout("body still incomplete at the read deadline")
-            } else {
-                BadRequest::malformed(format!("body shorter than Content-Length: {e}"))
-            }
-        })?;
-    }
-
     let (path, query) = split_target(&target)?;
-    Ok(Some(Request {
+    Ok(PendingBody {
         method,
         path,
         query,
-        body,
         keep_alive,
-    }))
+        content_length,
+    })
+}
+
+/// Reads one request from the stream, blocking up to the `limits`
+/// deadline. This is the blocking driver over [`RequestParser`] — used by
+/// the non-unix fallback connection loop (the reactor drives the same
+/// parser from readiness events on unix).
+///
+/// `Ok(None)` means the connection ended cleanly before the first byte of
+/// a request — the peer closed a kept-alive connection, or let it idle
+/// past the read timeout. That is the normal end of connection reuse, not
+/// an error, so no 4xx should be written for it.
+///
+/// # Errors
+///
+/// [`BadRequest`] on malformed request lines (400), a request that dribbles
+/// in past the `limits` deadline (408), oversized heads (400) or bodies
+/// (413), or an underful body — peer hung up early (400).
+pub fn read_request(
+    stream: &mut TcpStream,
+    limits: &RequestLimits,
+) -> Result<Option<Request>, BadRequest> {
+    // one absolute deadline covers the whole request (head and body): a
+    // slowloris peer feeding a byte at a time runs out of clock, not just
+    // out of per-read patience
+    let deadline = Instant::now() + limits.read_timeout;
+    let mut parser = RequestParser::new(limits.max_body_bytes);
+    let mut chunk = [0u8; 8192];
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            // an idle keep-alive connection hitting the deadline with no
+            // request bytes on the wire is a quiet close, not a bad
+            // request — a *partial* request at the deadline is a
+            // slowloris peer, answered 408
+            return if parser.is_empty() {
+                Ok(None)
+            } else {
+                Err(BadRequest::timeout(format!(
+                    "{} still incomplete at the read deadline",
+                    parser.phase()
+                )))
+            };
+        }
+        stream.set_read_timeout(Some(remaining)).ok();
+        match stream.read(&mut chunk) {
+            Ok(0) => return parser.on_eof().map(|()| None),
+            Ok(n) => {
+                if let Some(request) = parser.feed(&chunk[..n])? {
+                    return Ok(Some(request));
+                }
+            }
+            // the socket timeout fired (or fired spuriously early): loop —
+            // the deadline check at the top decides quiet close vs 408
+            Err(e) if is_timeout(&e) => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(BadRequest::malformed(format!("cannot read request: {e}"))),
+        }
+    }
 }
 
 /// Splits a request target into its decoded path and query parameters.
@@ -436,14 +569,10 @@ impl Response {
         self
     }
 
-    /// Writes the response (status line, headers, body) to the stream,
-    /// advertising whether the server will keep the connection open for
-    /// another request. Returns the total bytes written (head + body).
-    ///
-    /// # Errors
-    ///
-    /// Propagates the underlying I/O error (peer gone, etc.).
-    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<usize> {
+    /// Serializes the response (status line, headers, body) into the exact
+    /// bytes [`Response::write_to`] puts on the wire — the reactor's write
+    /// path buffers these and drains them as the socket accepts them.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
@@ -459,10 +588,23 @@ impl Response {
             head.push_str(&format!("Retry-After: {seconds}\r\n"));
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(self.body.as_bytes());
+        bytes
+    }
+
+    /// Writes the response (status line, headers, body) to the stream,
+    /// advertising whether the server will keep the connection open for
+    /// another request. Returns the total bytes written (head + body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error (peer gone, etc.).
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<usize> {
+        let bytes = self.to_bytes(keep_alive);
+        stream.write_all(&bytes)?;
         stream.flush()?;
-        Ok(head.len() + self.body.len())
+        Ok(bytes.len())
     }
 }
 
@@ -635,5 +777,80 @@ mod tests {
         assert_eq!(response.status, 404);
         assert_eq!(response.body, r#"{"error":"no such route"}"#);
         assert_eq!(status_text(409), "Conflict");
+    }
+
+    #[test]
+    fn parser_completes_a_request_fed_one_byte_at_a_time() {
+        let raw = b"POST /ingest?id=x HTTP/1.1\r\nHost: f\r\nContent-Length: 4\r\n\r\nbody";
+        let mut parser = RequestParser::new(1024);
+        let mut request = None;
+        for (index, byte) in raw.iter().enumerate() {
+            assert!(parser.is_empty() == (index == 0));
+            if let Some(done) = parser.feed(&[*byte]).unwrap() {
+                assert_eq!(index, raw.len() - 1, "complete only at the last byte");
+                request = Some(done);
+            }
+        }
+        let request = request.expect("request completes");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/ingest");
+        assert_eq!(request.param("id"), Some("x"));
+        assert_eq!(request.body, b"body");
+        assert!(request.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(parser.is_empty(), "nothing retained past the request");
+    }
+
+    #[test]
+    fn parser_retains_pipelined_bytes_for_the_next_advance() {
+        let mut parser = RequestParser::new(1024);
+        let two = b"GET /healthz HTTP/1.1\r\n\r\nGET /catalog HTTP/1.0\n\n";
+        let first = parser.feed(two).unwrap().expect("first request parses");
+        assert_eq!(first.path, "/healthz");
+        assert!(!parser.is_empty(), "second request still buffered");
+        let second = parser.advance().unwrap().expect("second request parses");
+        assert_eq!(second.path, "/catalog");
+        assert!(!second.keep_alive, "HTTP/1.0 defaults to close");
+        assert!(parser.is_empty());
+        assert!(parser.on_eof().is_ok(), "clean EOF between requests");
+    }
+
+    #[test]
+    fn parser_rejects_what_the_blocking_reader_rejected() {
+        // conflicting Content-Length duplicates: the smuggling vector
+        let mut parser = RequestParser::new(1024);
+        let err = parser
+            .feed(b"POST /i HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n")
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("conflicting Content-Length"), "{err}");
+
+        // an oversized declared body is rejected from the headers alone
+        let mut parser = RequestParser::new(16);
+        let err = parser
+            .feed(b"POST /i HTTP/1.1\r\nContent-Length: 17\r\n\r\n")
+            .unwrap_err();
+        assert_eq!(err.status, 413);
+
+        // a head that never terminates is cut off at the cap
+        let mut parser = RequestParser::new(1024);
+        let mut result = parser.feed(b"GET / HTTP/1.1\r\n");
+        while let Ok(None) = result {
+            result = parser.feed(&[b'a'; 4096]);
+        }
+        let err = result.unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("truncated or larger"), "{err}");
+
+        // EOF mid-head and mid-body are 400s, not quiet closes
+        let mut parser = RequestParser::new(1024);
+        parser.feed(b"GET /que").unwrap();
+        assert_eq!(parser.phase(), "request line");
+        assert_eq!(parser.on_eof().unwrap_err().status, 400);
+        let mut parser = RequestParser::new(1024);
+        parser
+            .feed(b"POST /i HTTP/1.1\r\nContent-Length: 9\r\n\r\nhalf")
+            .unwrap();
+        assert_eq!(parser.phase(), "body");
+        assert!(parser.on_eof().unwrap_err().message.contains("shorter"));
     }
 }

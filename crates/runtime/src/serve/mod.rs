@@ -19,10 +19,16 @@
 //!   responses valid for exactly one store generation, flushed wholesale
 //!   when `POST /ingest` bumps it, hot entries prerendered on every bump;
 //! * [`router`] — the endpoint table (see below);
-//! * [`server`] — the [`Server`] accept loop, fanning connections out on
+//! * [`reactor`] (unix) — the nonblocking readiness loop (`epoll` with a
+//!   portable `poll(2)` fallback, hand-declared FFI): every accepted
+//!   socket lives here, idle keep-alive connections park off-worker, and
+//!   only complete buffered requests are dispatched to the pool, so
+//!   connection count and `--threads` are independent axes;
+//! * [`server`] — the [`Server`] accept loop, registering admitted
+//!   connections with the reactor (an in-flight gate ([`ServeOptions`])
+//!   still answers 503 + `Retry-After` at the door when saturated), over
 //!   the same work-stealing [`ThreadPool`](crate::pool::ThreadPool)
-//!   campaigns use, with an in-flight connection gate ([`ServeOptions`])
-//!   that answers 503 + `Retry-After` at the door when saturated;
+//!   campaigns use;
 //! * [`obs`] — the serve-side observability context: per-endpoint request
 //!   counters and latency histograms (bounded label vocabulary), body
 //!   byte totals and keep-alive reuse, rendered as Prometheus text
@@ -44,6 +50,8 @@
 pub mod cache;
 pub mod http;
 pub mod obs;
+#[cfg(unix)]
+pub(crate) mod reactor;
 pub mod router;
 pub mod server;
 pub mod view;
@@ -54,5 +62,5 @@ pub use http::{
 };
 pub use obs::ServeTelemetry;
 pub use router::route;
-pub use server::{ServeOptions, Server, ServerHandle};
+pub use server::{ReactorBackend, ServeOptions, Server, ServerHandle};
 pub use view::StoreView;

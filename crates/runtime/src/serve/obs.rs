@@ -14,7 +14,22 @@ use crate::pool::PoolMonitor;
 use crate::report::Json;
 use crate::serve::cache::ResponseCache;
 use crate::serve::view::StoreView;
-use crate::telemetry::{Histogram, Telemetry};
+use crate::telemetry::{Counter, Gauge, Histogram, Telemetry};
+
+/// The reactor's hot-path instruments, resolved once at spawn so the
+/// event loop never touches the registry lock per event.
+#[derive(Debug, Clone)]
+pub struct ReactorInstruments {
+    /// `fahana_serve_parked_connections`: connections watched by the
+    /// reactor without occupying a pool worker.
+    pub parked: Gauge,
+    /// `fahana_serve_reactor_wakeups_total`: loop iterations.
+    pub wakeups: Counter,
+    /// `fahana_serve_reactor_dispatches_total`: requests handed to the pool.
+    pub dispatches: Counter,
+    /// `fahana_serve_reactor_partial_writes_total`: WOULDBLOCK re-arms.
+    pub partial_writes: Counter,
+}
 
 /// The server's telemetry context: the shared bundle plus serve-specific
 /// bookkeeping (uptime epoch, per-endpoint histograms, the pool monitor
@@ -159,6 +174,51 @@ impl ServeTelemetry {
             .counter(
                 "fahana_serve_rejected_total",
                 "connections rejected with 503 at the in-flight limit",
+            )
+            .inc();
+    }
+
+    /// Creates the reactor's instrument bundle and pins the readiness
+    /// backend (`epoll` or `poll`) as a labeled constant gauge so a
+    /// scrape can tell which code path is live.
+    pub fn reactor_instruments(&self, backend: &'static str) -> ReactorInstruments {
+        let metrics = self.telemetry.metrics();
+        metrics
+            .gauge_with(
+                "fahana_serve_reactor_backend",
+                "readiness backend in use (constant 1, labeled)",
+                &[("backend", backend)],
+            )
+            .set(1);
+        ReactorInstruments {
+            parked: metrics.gauge(
+                "fahana_serve_parked_connections",
+                "keep-alive connections held by the reactor without a pool worker",
+            ),
+            wakeups: metrics.counter(
+                "fahana_serve_reactor_wakeups_total",
+                "reactor loop iterations (readiness, timer, or self-pipe wakes)",
+            ),
+            dispatches: metrics.counter(
+                "fahana_serve_reactor_dispatches_total",
+                "complete requests handed from the reactor to the pool",
+            ),
+            partial_writes: metrics.counter(
+                "fahana_serve_reactor_partial_writes_total",
+                "response writes that hit WOULDBLOCK and re-armed for write readiness",
+            ),
+        }
+    }
+
+    /// Records a connection cut by the reactor's deadline wheel, by kind
+    /// (`idle`, `slowloris`, `write_stall`, `drain`).
+    pub fn record_deadline_expiry(&self, kind: &'static str) {
+        self.telemetry
+            .metrics()
+            .counter_with(
+                "fahana_serve_deadline_expirations_total",
+                "connections cut by the reactor deadline wheel, by kind",
+                &[("kind", kind)],
             )
             .inc();
     }

@@ -1,0 +1,1326 @@
+//! The serving reactor: a nonblocking readiness loop that owns every
+//! accepted socket and decouples connection count from pool-worker count.
+//!
+//! Before this module, one connection pinned one [`ThreadPool`] worker
+//! for its whole keep-alive lifetime, so concurrency was capped at
+//! `--threads`. The reactor inverts that: all sockets live here in
+//! nonblocking mode, idle keep-alive connections are *parked* (watched
+//! for readability, costing no worker), and a connection only touches
+//! the pool once a complete request is buffered — the worker routes it,
+//! renders the response bytes, and hands them straight back to the
+//! reactor, which writes them out with per-connection write buffers and
+//! `WOULDBLOCK` re-arming. Thousands of mostly-idle connections share a
+//! two-thread pool.
+//!
+//! Readiness comes from `epoll(7)` on Linux (via the hand-declared FFI
+//! shim in [`sys`] — the workspace is offline, so no `libc` crate) with
+//! a portable `poll(2)` fallback selected by
+//! [`ReactorBackend`](crate::serve::ReactorBackend). Both are driven
+//! level-triggered. Read timeouts are no longer `SO_RCVTIMEO` on the
+//! socket: a hashed [`DeadlineWheel`] fires idle, slowloris, and
+//! write-stall deadlines inside the loop, so a slow client is timed out
+//! without ever occupying a worker.
+//!
+//! Everything user-visible from the blocking path is preserved bit for
+//! bit: 503-at-the-door backpressure (still inline on the accept
+//! thread), slowloris 408s with the same message text, 413/400
+//! rejections from the shared incremental [`RequestParser`], the
+//! generation-keyed response cache, and byte-identical response bytes
+//! (`Response::to_bytes` renders the exact head `write_to` used to
+//! stream). Pinned by `tests/serve_load.rs` and
+//! `tests/serve_many_conns.rs`.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::pool::ThreadPool;
+use crate::serve::cache::ResponseCache;
+use crate::serve::http::{BadRequest, Request, RequestParser, Response};
+use crate::serve::obs::{ReactorInstruments, ServeTelemetry};
+use crate::serve::router::route;
+use crate::serve::server::{ReactorBackend, MAX_REQUESTS_PER_CONNECTION};
+use crate::serve::view::StoreView;
+
+/// Raw system-call surface. Hand-declared because the build is offline
+/// (no `libc` crate); std already links the C library, so the symbols
+/// resolve. Only what the reactor needs, nothing speculative.
+mod sys {
+    use std::os::raw::{c_int, c_short, c_void};
+
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+    #[cfg(target_os = "linux")]
+    pub const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    pub const O_NONBLOCK: c_int = 0x0004;
+
+    #[cfg(target_os = "linux")]
+    pub const SOL_SOCKET: c_int = 1;
+    #[cfg(not(target_os = "linux"))]
+    pub const SOL_SOCKET: c_int = 0xffff;
+    #[cfg(target_os = "linux")]
+    pub const SO_SNDBUF: c_int = 7;
+    #[cfg(not(target_os = "linux"))]
+    pub const SO_SNDBUF: c_int = 0x1001;
+
+    pub const POLLIN: c_short = 0x1;
+    pub const POLLOUT: c_short = 0x4;
+    pub const POLLERR: c_short = 0x8;
+    pub const POLLHUP: c_short = 0x10;
+    pub const POLLNVAL: c_short = 0x20;
+
+    #[cfg(target_os = "linux")]
+    pub const EPOLLIN: u32 = 0x1;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLOUT: u32 = 0x4;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLERR: u32 = 0x8;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLHUP: u32 = 0x10;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    /// Matches the kernel's `struct epoll_event`, which is packed on
+    /// x86-64 (12 bytes) but naturally aligned elsewhere.
+    #[cfg(target_os = "linux")]
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    #[cfg(target_os = "linux")]
+    pub type NfdsT = usize;
+    #[cfg(not(target_os = "linux"))]
+    pub type NfdsT = u32;
+
+    extern "C" {
+        #[cfg(target_os = "linux")]
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        // declared non-variadic with the one argument shape we use;
+        // the C calling convention tolerates this for fcntl
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+    }
+}
+
+/// Reserved token for the self-pipe that wakes the reactor out of a
+/// blocking wait (new registrations, completed responses, shutdown).
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Bytes read per `read(2)` call while pulling request bytes.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Most reads served to one connection per readiness event, so a single
+/// firehose peer cannot starve the rest of the loop. Level-triggered
+/// backends re-report leftover data on the next wait.
+const READS_PER_EVENT: usize = 32;
+
+/// What a connection is registered for.
+const INTEREST_READ: u8 = 0b01;
+const INTEREST_WRITE: u8 = 0b10;
+
+/// One readiness report from the backend.
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    token: u64,
+    readable: bool,
+    writable: bool,
+}
+
+/// The readiness source: `epoll` where available, `poll` everywhere
+/// else. Both are used level-triggered so the reactor never needs to
+/// drain a socket completely in one pass.
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll { epfd: RawFd },
+    Poll {
+        /// fd → (token, interest); rebuilt into a `pollfd` array per wait.
+        interest: HashMap<RawFd, (u64, u8)>,
+    },
+}
+
+impl Backend {
+    fn new(choice: ReactorBackend) -> io::Result<Backend> {
+        match choice {
+            ReactorBackend::Auto => {
+                #[cfg(target_os = "linux")]
+                {
+                    Backend::epoll().or_else(|_| Ok(Backend::poll()))
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    Ok(Backend::poll())
+                }
+            }
+            ReactorBackend::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    Backend::epoll()
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "epoll backend requires linux; use --reactor-backend poll",
+                    ))
+                }
+            }
+            ReactorBackend::Poll => Ok(Backend::poll()),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn epoll() -> io::Result<Backend> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Backend::Epoll { epfd })
+    }
+
+    fn poll() -> Backend {
+        Backend::Poll {
+            interest: HashMap::new(),
+        }
+    }
+
+    /// The value of the `backend` label on `fahana_serve_reactor_backend`.
+    fn label(&self) -> &'static str {
+        match self {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { .. } => "epoll",
+            Backend::Poll { .. } => "poll",
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn epoll_mask(interest: u8) -> u32 {
+        let mut events = 0;
+        if interest & INTEREST_READ != 0 {
+            events |= sys::EPOLLIN;
+        }
+        if interest & INTEREST_WRITE != 0 {
+            events |= sys::EPOLLOUT;
+        }
+        events
+    }
+
+    #[cfg(target_os = "linux")]
+    fn epoll_ctl(
+        epfd: RawFd,
+        op: std::os::raw::c_int,
+        fd: RawFd,
+        token: u64,
+        interest: u8,
+    ) -> io::Result<()> {
+        let mut event = sys::EpollEvent {
+            events: Backend::epoll_mask(interest),
+            data: token,
+        };
+        if unsafe { sys::epoll_ctl(epfd, op, fd, &mut event) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                Backend::epoll_ctl(*epfd, sys::EPOLL_CTL_ADD, fd, token, interest)
+            }
+            Backend::Poll { interest: map } => {
+                map.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                Backend::epoll_ctl(*epfd, sys::EPOLL_CTL_MOD, fd, token, interest)
+            }
+            Backend::Poll { interest: map } => {
+                map.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => Backend::epoll_ctl(*epfd, sys::EPOLL_CTL_DEL, fd, 0, 0),
+            Backend::Poll { interest: map } => {
+                map.remove(&fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until readiness, a timeout, or a wake. `None` blocks
+    /// indefinitely. `EINTR` returns an empty batch rather than an error.
+    fn wait(&mut self, timeout: Option<Duration>, events: &mut Vec<Event>) -> io::Result<()> {
+        events.clear();
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(d) => {
+                // ceil so a 0.4ms residue does not become a hot 0ms spin
+                let ms = (d.as_micros() as u64).div_ceil(1000);
+                ms.min(i32::MAX as u64) as i32
+            }
+        };
+        match self {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
+                let n = unsafe {
+                    sys::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(());
+                    }
+                    return Err(err);
+                }
+                for entry in buf.iter().take(n as usize) {
+                    // copy out of the (possibly packed) struct by value
+                    let mask = { entry.events };
+                    let token = { entry.data };
+                    events.push(Event {
+                        token,
+                        readable: mask & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                        writable: mask & (sys::EPOLLOUT | sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                    });
+                }
+                Ok(())
+            }
+            Backend::Poll { interest } => {
+                let mut fds: Vec<sys::PollFd> = interest
+                    .iter()
+                    .map(|(&fd, &(_, want))| {
+                        let mut mask = 0;
+                        if want & INTEREST_READ != 0 {
+                            mask |= sys::POLLIN;
+                        }
+                        if want & INTEREST_WRITE != 0 {
+                            mask |= sys::POLLOUT;
+                        }
+                        sys::PollFd {
+                            fd,
+                            events: mask,
+                            revents: 0,
+                        }
+                    })
+                    .collect();
+                let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as sys::NfdsT, timeout_ms) };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(());
+                    }
+                    return Err(err);
+                }
+                for pfd in &fds {
+                    if pfd.revents == 0 {
+                        continue;
+                    }
+                    let Some(&(token, _)) = interest.get(&pfd.fd) else {
+                        continue;
+                    };
+                    // error states wake both directions so the state
+                    // machine observes the failure wherever it is
+                    let failed = pfd.revents & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+                    events.push(Event {
+                        token,
+                        readable: failed || pfd.revents & sys::POLLIN != 0,
+                        writable: failed || pfd.revents & sys::POLLOUT != 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for Backend {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Backend::Epoll { epfd } = self {
+            unsafe { sys::close(*epfd) };
+        }
+    }
+}
+
+/// Marks an fd nonblocking via `fcntl`.
+fn set_nonblocking_fd(fd: RawFd) -> io::Result<()> {
+    let flags = unsafe { sys::fcntl(fd, sys::F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Shrinks (or grows) a socket's kernel send buffer. Test-facing: a
+/// tiny `SO_SNDBUF` forces the partial-write path that production only
+/// hits under genuine backpressure.
+pub(crate) fn set_sndbuf(stream: &TcpStream, bytes: usize) -> io::Result<()> {
+    let value = bytes as std::os::raw::c_int;
+    let rc = unsafe {
+        sys::setsockopt(
+            stream.as_raw_fd(),
+            sys::SOL_SOCKET,
+            sys::SO_SNDBUF,
+            &value as *const _ as *const std::os::raw::c_void,
+            std::mem::size_of::<std::os::raw::c_int>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// A hashed timer wheel: deadline insertion and expiry are O(1) without
+/// a heap, at the cost of firing up to one granularity *late* — never
+/// early, because expiry re-checks `deadline <= now` before emitting.
+/// Cancellation is lazy: the owner compares the fired instant against
+/// the connection's *current* deadline and drops stale fires.
+struct DeadlineWheel {
+    slots: Vec<Vec<(u64, Instant)>>,
+    granularity: Duration,
+    cursor: usize,
+    origin: Instant,
+    pending: usize,
+}
+
+impl DeadlineWheel {
+    fn new(read_timeout: Duration, now: Instant) -> DeadlineWheel {
+        // ~64 ticks across the configured timeout keeps firing error
+        // under 2% of the timeout while bounding slot scans
+        let granularity = (read_timeout / 64).max(Duration::from_millis(1));
+        DeadlineWheel {
+            slots: (0..256).map(|_| Vec::new()).collect(),
+            granularity,
+            cursor: 0,
+            origin: now,
+            pending: 0,
+        }
+    }
+
+    fn insert(&mut self, token: u64, deadline: Instant, now: Instant) {
+        let offset = deadline.saturating_duration_since(now);
+        // ceil: the slot an entry lands in must END at-or-after the
+        // deadline, otherwise the guard would delay it a full rotation
+        let ticks = (offset.as_micros() as u64).div_ceil(self.granularity.as_micros().max(1) as u64)
+            as usize;
+        let ticks = ticks.min(self.slots.len() - 1);
+        let slot = (self.cursor + ticks) % self.slots.len();
+        self.slots[slot].push((token, deadline));
+        self.pending += 1;
+    }
+
+    /// Appends every entry whose deadline has passed to `due`, advancing
+    /// the wheel cursor to `now`. Entries parked in a passed slot whose
+    /// real deadline is still ahead (they were clamped to the last slot)
+    /// are re-inserted relative to `now`.
+    fn collect_due(&mut self, now: Instant, due: &mut Vec<(u64, Instant)>) {
+        if self.pending == 0 {
+            // nothing tracked: snap the origin forward so a long idle
+            // period does not replay as thousands of empty ticks
+            self.origin = now;
+            return;
+        }
+        while now.duration_since(self.origin) >= self.granularity {
+            let expired = std::mem::take(&mut self.slots[self.cursor]);
+            self.origin += self.granularity;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            for (token, deadline) in expired {
+                self.pending -= 1;
+                if deadline <= now {
+                    due.push((token, deadline));
+                } else {
+                    self.insert(token, deadline, now);
+                }
+            }
+        }
+        // the current (partial) tick may already hold due entries
+        let slot = &mut self.slots[self.cursor];
+        let mut index = 0;
+        while index < slot.len() {
+            if slot[index].1 <= now {
+                due.push(slot.swap_remove(index));
+                self.pending -= 1;
+            } else {
+                index += 1;
+            }
+        }
+    }
+
+    /// How long the reactor may sleep before the next deadline could
+    /// fire; `None` when nothing is tracked.
+    fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.pending == 0 {
+            return None;
+        }
+        for ahead in 0..self.slots.len() {
+            let slot = (self.cursor + ahead) % self.slots.len();
+            if self.slots[slot].is_empty() {
+                continue;
+            }
+            // sleep to the END of the occupied tick so its entries are
+            // certainly due when the wait returns
+            let end = self.origin + self.granularity * (ahead as u32 + 1);
+            let sleep = end.saturating_duration_since(now);
+            return Some(sleep.max(Duration::from_millis(1)));
+        }
+        Some(self.granularity)
+    }
+}
+
+/// A response rendered by a pool worker, waiting for the reactor to
+/// write it to the connection identified by `token`.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// State shared between the accept thread, pool workers, and the
+/// reactor thread. Both queues are drained by the reactor after a wake.
+pub(crate) struct ReactorShared {
+    registrations: Mutex<Vec<TcpStream>>,
+    completions: Mutex<Vec<Completion>>,
+    wake_writer: RawFd,
+    shutdown: AtomicBool,
+}
+
+impl ReactorShared {
+    /// Nudges the reactor out of its wait. A full pipe (`WOULDBLOCK`)
+    /// already guarantees a pending wake, so errors are ignored.
+    fn wake(&self) {
+        let byte = 1u8;
+        unsafe {
+            sys::write(
+                self.wake_writer,
+                &byte as *const u8 as *const std::os::raw::c_void,
+                1,
+            )
+        };
+    }
+
+    fn register(&self, stream: TcpStream) {
+        self.registrations
+            .lock()
+            .expect("reactor registration queue poisoned")
+            .push(stream);
+        self.wake();
+    }
+
+    fn complete(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .expect("reactor completion queue poisoned")
+            .push(completion);
+        self.wake();
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.wake();
+    }
+}
+
+impl Drop for ReactorShared {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.wake_writer) };
+    }
+}
+
+/// Reactor tuning, carried over from [`ServeOptions`](crate::serve::ServeOptions).
+pub(crate) struct ReactorConfig {
+    pub read_timeout: Duration,
+    pub max_body_bytes: usize,
+    pub backend: ReactorBackend,
+}
+
+/// The accept thread's handle: register new connections, then shut the
+/// loop down and reclaim the thread.
+pub(crate) struct ReactorHandle {
+    shared: Arc<ReactorShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    /// Hands an accepted (already nonblocking) connection to the loop.
+    /// The reactor owns its in-flight slot from here: the slot is
+    /// released when the reactor closes the connection.
+    pub(crate) fn register(&self, stream: TcpStream) {
+        self.shared.register(stream);
+    }
+
+    pub(crate) fn shutdown_and_join(&mut self) {
+        self.shared.request_shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("reactor thread panicked");
+        }
+    }
+}
+
+impl Drop for ReactorHandle {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+/// Builds the backend and self-pipe and starts the reactor thread.
+pub(crate) fn spawn_reactor(
+    config: ReactorConfig,
+    pool: Arc<ThreadPool>,
+    view: Arc<StoreView>,
+    obs: Arc<ServeTelemetry>,
+    cache: Arc<ResponseCache>,
+    inflight: Arc<AtomicUsize>,
+) -> io::Result<ReactorHandle> {
+    let mut backend = Backend::new(config.backend)?;
+    let mut pipe_fds = [0; 2];
+    if unsafe { sys::pipe(pipe_fds.as_mut_ptr()) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let (wake_reader, wake_writer) = (pipe_fds[0], pipe_fds[1]);
+    let wired = set_nonblocking_fd(wake_reader)
+        .and_then(|()| set_nonblocking_fd(wake_writer))
+        .and_then(|()| backend.add(wake_reader, WAKE_TOKEN, INTEREST_READ));
+    if let Err(err) = wired {
+        unsafe {
+            sys::close(wake_reader);
+            sys::close(wake_writer);
+        }
+        return Err(err);
+    }
+    let instruments = obs.reactor_instruments(backend.label());
+    let shared = Arc::new(ReactorShared {
+        registrations: Mutex::new(Vec::new()),
+        completions: Mutex::new(Vec::new()),
+        wake_writer,
+        shutdown: AtomicBool::new(false),
+    });
+    let now = Instant::now();
+    let mut reactor = Reactor {
+        backend,
+        wake_reader,
+        shared: Arc::clone(&shared),
+        conns: HashMap::new(),
+        wheel: DeadlineWheel::new(config.read_timeout, now),
+        next_token: 0,
+        parked: 0,
+        pool,
+        view,
+        obs,
+        cache,
+        inflight,
+        instruments,
+        config,
+    };
+    let thread = std::thread::Builder::new()
+        .name("fahana-reactor".into())
+        .spawn(move || reactor.run())?;
+    Ok(ReactorHandle {
+        shared,
+        thread: Some(thread),
+    })
+}
+
+/// Where a connection is in its request/response cycle.
+enum ConnState {
+    /// Parked or mid-request: the reactor is accumulating bytes into the
+    /// incremental parser.
+    Reading,
+    /// A complete request is on the pool; no readiness interest (errors
+    /// and hangups still surface, and any of them means the peer left).
+    Dispatched,
+    /// Response bytes are being written; `WOULDBLOCK` re-arms for
+    /// write readiness.
+    Writing {
+        bytes: Vec<u8>,
+        written: usize,
+        keep_alive: bool,
+        /// True for error responses: after the write, half-close and
+        /// drain the peer's unread bytes so the kernel cannot RST the
+        /// response away.
+        drain: bool,
+    },
+    /// FIN sent after an error response; discarding reads until the peer
+    /// closes or the drain deadline fires.
+    Draining,
+}
+
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    state: ConnState,
+    served: usize,
+    /// The wheel deadline this connection currently honors; a fired
+    /// entry that no longer matches is stale and ignored.
+    deadline: Option<Instant>,
+    /// The peer half-closed (EOF observed) — finish the in-flight
+    /// response, then close instead of re-parking.
+    read_closed: bool,
+    /// Counted in `fahana_serve_parked_connections`: registered but not
+    /// occupying a pool worker.
+    parked: bool,
+}
+
+/// What a read pass concluded, decided under the connection borrow and
+/// acted on after it ends.
+enum ReadOutcome {
+    NeedMore,
+    Dispatch(Request),
+    Bad(BadRequest),
+    CleanEof,
+    Gone,
+}
+
+enum WriteOutcome {
+    Done { keep_alive: bool, drain: bool },
+    Blocked,
+    Gone,
+}
+
+struct Reactor {
+    backend: Backend,
+    wake_reader: RawFd,
+    shared: Arc<ReactorShared>,
+    conns: HashMap<u64, Conn>,
+    wheel: DeadlineWheel,
+    next_token: u64,
+    parked: usize,
+    pool: Arc<ThreadPool>,
+    view: Arc<StoreView>,
+    obs: Arc<ServeTelemetry>,
+    cache: Arc<ResponseCache>,
+    inflight: Arc<AtomicUsize>,
+    instruments: ReactorInstruments,
+    config: ReactorConfig,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut events = Vec::new();
+        let mut due = Vec::new();
+        loop {
+            let timeout = self.wheel.next_timeout(Instant::now());
+            if let Err(err) = self.backend.wait(timeout, &mut events) {
+                // a broken readiness source is unrecoverable; closing
+                // everything beats spinning on the same error forever
+                eprintln!("fahana-serve: reactor wait failed: {err}");
+                break;
+            }
+            self.instruments.wakeups.inc();
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            for event in events.drain(..) {
+                self.handle_event(event);
+            }
+            self.adopt_registrations();
+            self.apply_completions();
+            let now = Instant::now();
+            self.wheel.collect_due(now, &mut due);
+            for (token, fired) in due.drain(..) {
+                self.handle_deadline(token, fired, now);
+            }
+        }
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close(token);
+        }
+        self.backend.remove(self.wake_reader).ok();
+        unsafe { sys::close(self.wake_reader) };
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        if event.token == WAKE_TOKEN {
+            self.drain_wake_pipe();
+            return;
+        }
+        let Some(conn) = self.conns.get(&event.token) else {
+            return;
+        };
+        match conn.state {
+            ConnState::Reading if event.readable => self.handle_readable(event.token),
+            // interest is zero while dispatched, so any report here is an
+            // unsolicited error/hangup: the peer is gone
+            ConnState::Dispatched => self.close(event.token),
+            ConnState::Writing { .. } if event.writable => self.progress_write(event.token),
+            ConnState::Draining if event.readable => self.progress_drain(event.token),
+            _ => {}
+        }
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe {
+                sys::read(
+                    self.wake_reader,
+                    buf.as_mut_ptr() as *mut std::os::raw::c_void,
+                    buf.len(),
+                )
+            };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+
+    fn handle_readable(&mut self, token: u64) {
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut chunk = [0u8; READ_CHUNK];
+            let mut outcome = ReadOutcome::NeedMore;
+            for _ in 0..READS_PER_EVENT {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        outcome = match conn.parser.on_eof() {
+                            Ok(()) => ReadOutcome::CleanEof,
+                            Err(bad) => ReadOutcome::Bad(bad),
+                        };
+                        break;
+                    }
+                    Ok(n) => match conn.parser.feed(&chunk[..n]) {
+                        Ok(Some(request)) => {
+                            outcome = ReadOutcome::Dispatch(request);
+                            break;
+                        }
+                        Ok(None) => {}
+                        Err(bad) => {
+                            outcome = ReadOutcome::Bad(bad);
+                            break;
+                        }
+                    },
+                    Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        outcome = ReadOutcome::Gone;
+                        break;
+                    }
+                }
+            }
+            outcome
+        };
+        match outcome {
+            ReadOutcome::NeedMore => {}
+            ReadOutcome::Dispatch(request) => self.dispatch(token, request),
+            ReadOutcome::Bad(bad) => self.answer_error(token, bad),
+            ReadOutcome::CleanEof | ReadOutcome::Gone => self.close(token),
+        }
+    }
+
+    /// Hands a complete request to the pool. The connection drops all
+    /// readiness interest until the worker's completion comes back.
+    fn dispatch(&mut self, token: u64, request: Request) {
+        let (fd, keep_alive, was_parked) = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.served += 1;
+            // honor the client's wish, but advertise close on the
+            // connection's last allowed request
+            let keep_alive = request.keep_alive && conn.served < MAX_REQUESTS_PER_CONNECTION;
+            conn.deadline = None;
+            conn.state = ConnState::Dispatched;
+            let was_parked = std::mem::replace(&mut conn.parked, false);
+            (conn.stream.as_raw_fd(), keep_alive, was_parked)
+        };
+        if was_parked {
+            self.parked -= 1;
+            self.instruments.parked.set(self.parked as i64);
+        }
+        if self.backend.modify(fd, token, 0).is_err() {
+            self.close(token);
+            return;
+        }
+        self.instruments.dispatches.inc();
+        let view = Arc::clone(&self.view);
+        let obs = Arc::clone(&self.obs);
+        let cache = Arc::clone(&self.cache);
+        let shared = Arc::clone(&self.shared);
+        self.pool.spawn(move || {
+            let handling = Instant::now();
+            let response = route(&request, &view, &obs, &cache);
+            let bytes = response.to_bytes(keep_alive);
+            obs.record_request(
+                &request.path,
+                response.status,
+                handling.elapsed(),
+                request.body.len(),
+                bytes.len(),
+            );
+            shared.complete(Completion {
+                token,
+                bytes,
+                keep_alive,
+            });
+        });
+    }
+
+    /// Queues a 4xx/408 for writing. Error responses always close, and
+    /// always drain afterwards: the peer may still be mid-upload, and
+    /// closing with unread bytes would RST the response away.
+    fn answer_error(&mut self, token: u64, bad: BadRequest) {
+        let bytes = Response::error(bad.status, bad.message).to_bytes(false);
+        self.start_write(token, bytes, false, true);
+    }
+
+    fn start_write(&mut self, token: u64, bytes: Vec<u8>, keep_alive: bool, drain: bool) {
+        let deadline = Instant::now() + self.config.read_timeout;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.state = ConnState::Writing {
+                bytes,
+                written: 0,
+                keep_alive,
+                drain,
+            };
+            conn.deadline = Some(deadline);
+        }
+        self.wheel.insert(token, deadline, Instant::now());
+        self.progress_write(token);
+    }
+
+    fn progress_write(&mut self, token: u64) {
+        let (fd, outcome) = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let fd = conn.stream.as_raw_fd();
+            let ConnState::Writing {
+                bytes,
+                written,
+                keep_alive,
+                drain,
+            } = &mut conn.state
+            else {
+                return;
+            };
+            let outcome = loop {
+                if *written >= bytes.len() {
+                    break WriteOutcome::Done {
+                        keep_alive: *keep_alive,
+                        drain: *drain,
+                    };
+                }
+                match conn.stream.write(&bytes[*written..]) {
+                    Ok(0) => break WriteOutcome::Gone,
+                    Ok(n) => *written += n,
+                    Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                        break WriteOutcome::Blocked
+                    }
+                    Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break WriteOutcome::Gone,
+                }
+            };
+            (fd, outcome)
+        };
+        match outcome {
+            WriteOutcome::Done { keep_alive, drain } => self.finish_write(token, keep_alive, drain),
+            WriteOutcome::Blocked => {
+                self.instruments.partial_writes.inc();
+                if self.backend.modify(fd, token, INTEREST_WRITE).is_err() {
+                    self.close(token);
+                }
+            }
+            WriteOutcome::Gone => self.close(token),
+        }
+    }
+
+    fn finish_write(&mut self, token: u64, keep_alive: bool, drain: bool) {
+        let now = Instant::now();
+        let deadline = now + self.config.read_timeout;
+        enum Next {
+            Close,
+            Drain(RawFd),
+            Park(RawFd),
+            Pipelined(Request),
+            Malformed(BadRequest),
+        }
+        let next = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if drain {
+                if conn.read_closed {
+                    Next::Close
+                } else {
+                    conn.state = ConnState::Draining;
+                    conn.deadline = Some(deadline);
+                    conn.stream.shutdown(std::net::Shutdown::Write).ok();
+                    Next::Drain(conn.stream.as_raw_fd())
+                }
+            } else if !keep_alive || conn.read_closed {
+                Next::Close
+            } else {
+                conn.state = ConnState::Reading;
+                // a pipelined peer may have sent the next request while
+                // this response was in flight — already in the parser
+                match conn.parser.advance() {
+                    Ok(Some(request)) => Next::Pipelined(request),
+                    Err(bad) => Next::Malformed(bad),
+                    Ok(None) => {
+                        conn.deadline = Some(deadline);
+                        if !conn.parked {
+                            conn.parked = true;
+                        }
+                        Next::Park(conn.stream.as_raw_fd())
+                    }
+                }
+            }
+        };
+        match next {
+            Next::Close => self.close(token),
+            Next::Drain(fd) => {
+                self.wheel.insert(token, deadline, now);
+                if self.backend.modify(fd, token, INTEREST_READ).is_err() {
+                    self.close(token);
+                } else {
+                    // the peer may already have buffered bytes to discard
+                    self.progress_drain(token);
+                }
+            }
+            Next::Park(fd) => {
+                self.parked += 1;
+                self.instruments.parked.set(self.parked as i64);
+                self.wheel.insert(token, deadline, now);
+                if self.backend.modify(fd, token, INTEREST_READ).is_err() {
+                    self.close(token);
+                }
+            }
+            Next::Pipelined(request) => {
+                // restore interest bookkeeping before re-dispatching so
+                // the parked gauge stays balanced
+                self.dispatch(token, request);
+            }
+            Next::Malformed(bad) => self.answer_error(token, bad),
+        }
+    }
+
+    /// Discards post-error upload bytes until EOF (or the deadline
+    /// closes the connection from above).
+    fn progress_drain(&mut self, token: u64) {
+        let done = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut chunk = [0u8; READ_CHUNK];
+            let mut done = false;
+            for _ in 0..READS_PER_EVENT {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        done = true;
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        done = true;
+                        break;
+                    }
+                }
+            }
+            done
+        };
+        if done {
+            self.close(token);
+        }
+    }
+
+    fn handle_deadline(&mut self, token: u64, fired: Instant, now: Instant) {
+        enum Expiry {
+            CloseQuiet(&'static str),
+            Slowloris(BadRequest),
+        }
+        let expiry = {
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            // stale wheel entries: the deadline was re-armed or cleared
+            // after this entry was inserted
+            match conn.deadline {
+                Some(deadline) if deadline == fired && deadline <= now => {}
+                _ => return,
+            }
+            match &conn.state {
+                ConnState::Reading if conn.parser.is_empty() => Expiry::CloseQuiet("idle"),
+                ConnState::Reading => Expiry::Slowloris(BadRequest::timeout(format!(
+                    "{} still incomplete at the read deadline",
+                    conn.parser.phase()
+                ))),
+                ConnState::Writing { .. } => Expiry::CloseQuiet("write_stall"),
+                ConnState::Draining => Expiry::CloseQuiet("drain"),
+                // dispatched connections carry no deadline
+                ConnState::Dispatched => return,
+            }
+        };
+        match expiry {
+            Expiry::CloseQuiet(kind) => {
+                self.obs.record_deadline_expiry(kind);
+                self.close(token);
+            }
+            Expiry::Slowloris(bad) => {
+                self.obs.record_deadline_expiry("slowloris");
+                self.answer_error(token, bad);
+            }
+        }
+    }
+
+    fn adopt_registrations(&mut self) {
+        let streams: Vec<TcpStream> = {
+            let mut queue = self
+                .shared
+                .registrations
+                .lock()
+                .expect("reactor registration queue poisoned");
+            queue.drain(..).collect()
+        };
+        let now = Instant::now();
+        for stream in streams {
+            let token = self.next_token;
+            self.next_token += 1;
+            let fd = stream.as_raw_fd();
+            if self.backend.add(fd, token, INTEREST_READ).is_err() {
+                // could not watch it: give the in-flight slot back and
+                // count the failure like an accept error
+                self.inflight.fetch_sub(1, Ordering::AcqRel);
+                self.obs.record_accept_error();
+                continue;
+            }
+            let deadline = now + self.config.read_timeout;
+            self.conns.insert(
+                token,
+                Conn {
+                    stream,
+                    parser: RequestParser::new(self.config.max_body_bytes),
+                    state: ConnState::Reading,
+                    served: 0,
+                    deadline: Some(deadline),
+                    read_closed: false,
+                    parked: true,
+                },
+            );
+            self.parked += 1;
+            self.instruments.parked.set(self.parked as i64);
+            self.wheel.insert(token, deadline, now);
+            // any bytes that raced ahead of registration are reported by
+            // the next level-triggered wait; no manual kick needed
+        }
+    }
+
+    fn apply_completions(&mut self) {
+        let completions: Vec<Completion> = {
+            let mut queue = self
+                .shared
+                .completions
+                .lock()
+                .expect("reactor completion queue poisoned");
+            queue.drain(..).collect()
+        };
+        for completion in completions {
+            // the connection may have hung up while the worker ran
+            if !self.conns.contains_key(&completion.token) {
+                continue;
+            }
+            self.start_write(
+                completion.token,
+                completion.bytes,
+                completion.keep_alive,
+                false,
+            );
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            if conn.parked {
+                self.parked -= 1;
+                self.instruments.parked.set(self.parked as i64);
+            }
+            self.backend.remove(conn.stream.as_raw_fd()).ok();
+            // release the in-flight slot BEFORE the socket drops: a
+            // waiting client must never see its next connection 503'd by
+            // a slot this already-answered connection still holds
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.obs.record_connection(conn.served);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn wheel_never_fires_early_and_fires_soon_after() {
+        let now = Instant::now();
+        let mut wheel = DeadlineWheel::new(Duration::from_millis(640), now);
+        assert_eq!(wheel.granularity, Duration::from_millis(10));
+        let soon = now + Duration::from_millis(25);
+        let far = now + Duration::from_secs(30);
+        wheel.insert(1, soon, now);
+        wheel.insert(2, far, now);
+
+        let mut due = Vec::new();
+        wheel.collect_due(now, &mut due);
+        assert!(due.is_empty(), "fired {}ms early", 25);
+
+        // just before the first deadline: still nothing
+        wheel.collect_due(now + Duration::from_millis(24), &mut due);
+        assert!(due.is_empty(), "fired before the deadline: {due:?}");
+
+        // after it: exactly token 1, carrying its original instant
+        wheel.collect_due(now + Duration::from_millis(41), &mut due);
+        assert_eq!(due.len(), 1, "{due:?}");
+        assert_eq!(due[0].0, 1);
+        assert_eq!(due[0].1, soon);
+        assert_eq!(wheel.pending, 1);
+
+        // the far deadline survives cursor rotation (clamped re-insert)
+        due.clear();
+        wheel.collect_due(now + Duration::from_secs(3), &mut due);
+        assert!(due.is_empty(), "far deadline fired early: {due:?}");
+        assert_eq!(wheel.pending, 1);
+    }
+
+    #[test]
+    fn wheel_next_timeout_targets_first_occupied_slot() {
+        let now = Instant::now();
+        let mut wheel = DeadlineWheel::new(Duration::from_millis(640), now);
+        assert!(
+            wheel.next_timeout(now).is_none(),
+            "idle wheel must not tick"
+        );
+        wheel.insert(7, now + Duration::from_millis(35), now);
+        let sleep = wheel.next_timeout(now).unwrap();
+        // tick end covering 35ms at 10ms granularity is 40ms out
+        assert!(
+            sleep >= Duration::from_millis(35) && sleep <= Duration::from_millis(50),
+            "{sleep:?}"
+        );
+    }
+
+    #[test]
+    fn poll_backend_reports_readable_with_token() {
+        let mut backend = Backend::poll();
+        assert_eq!(backend.label(), "poll");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        backend
+            .add(server_side.as_raw_fd(), 42, INTEREST_READ)
+            .unwrap();
+
+        let mut events = Vec::new();
+        backend
+            .wait(Some(Duration::from_millis(10)), &mut events)
+            .unwrap();
+        assert!(events.is_empty(), "readable before any bytes: {events:?}");
+
+        client.write_all(b"ping").unwrap();
+        backend
+            .wait(Some(Duration::from_secs(2)), &mut events)
+            .unwrap();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+
+        backend.remove(server_side.as_raw_fd()).unwrap();
+        backend
+            .wait(Some(Duration::from_millis(10)), &mut events)
+            .unwrap();
+        assert!(events.is_empty(), "removed fd still reported: {events:?}");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_backend_reports_readable_with_token() {
+        let mut backend = Backend::epoll().unwrap();
+        assert_eq!(backend.label(), "epoll");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        backend
+            .add(server_side.as_raw_fd(), 7, INTEREST_READ)
+            .unwrap();
+
+        let mut events = Vec::new();
+        client.write_all(b"ping").unwrap();
+        backend
+            .wait(Some(Duration::from_secs(2)), &mut events)
+            .unwrap();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // interest 0 suppresses plain readability (hangups still surface)
+        backend.modify(server_side.as_raw_fd(), 7, 0).unwrap();
+        backend
+            .wait(Some(Duration::from_millis(20)), &mut events)
+            .unwrap();
+        assert!(events.is_empty(), "interest 0 still readable: {events:?}");
+    }
+}

@@ -1,62 +1,102 @@
-//! The long-lived HTTP server: a `TcpListener` accept loop fanning
-//! connections out on the work-stealing [`ThreadPool`].
+//! The long-lived HTTP server: a `TcpListener` accept loop feeding the
+//! event-driven [`reactor`](crate::serve::reactor).
 //!
-//! Connections honor HTTP/1.1 keep-alive: a client that sends requests
-//! sequentially (the `fahana-shard` coordinator's ingest bursts, a
-//! monitoring scraper) reuses one connection instead of paying a TCP
-//! handshake per question. A connection is one pool job for its whole
-//! lifetime — the same pool machinery campaigns use for scenario fan-out
-//! handles request fan-out here — so reuse is bounded: an idle connection
-//! is dropped after the read timeout, and no connection serves more than
-//! [`MAX_REQUESTS_PER_CONNECTION`] requests before the server closes it.
+//! Connections honor HTTP/1.1 keep-alive, and — on unix — connection
+//! count and pool-worker count are independent axes: each accepted
+//! socket is registered with the reactor's readiness loop, which parks
+//! it nonblocking until a complete request is buffered and only then
+//! dispatches one pool job for the routing work. Thousands of
+//! mostly-idle keep-alive connections share a `--threads 2` pool. (On
+//! non-unix targets a blocking fallback path keeps the old
+//! one-connection-per-worker model.) Reuse is bounded either way: an
+//! idle connection is dropped after the read timeout, and no connection
+//! serves more than [`MAX_REQUESTS_PER_CONNECTION`] requests before the
+//! server closes it.
 //!
-//! The accept loop is the backpressure point. At most
+//! The accept loop stays the backpressure point. At most
 //! [`ServeOptions::max_inflight`] connections are in flight at once;
 //! connection number `max_inflight + 1` is answered `503 Service
 //! Unavailable` with a `Retry-After` header *inline on the accept thread*
-//! (never queued behind the saturated pool) and closed. Each accepted
-//! connection reads under a whole-request deadline
-//! ([`ServeOptions::read_timeout`]) and a body-size cap
-//! ([`ServeOptions::max_body_bytes`]), so a slowloris peer gets a `408`
-//! at the deadline instead of pinning a worker.
+//! (never queued behind the saturated pool) and closed. Read deadlines
+//! ([`ServeOptions::read_timeout`]) come from the reactor's timer wheel,
+//! not `SO_RCVTIMEO`, so a slowloris peer gets its `408` without ever
+//! occupying a worker; oversized bodies still draw a `413` at
+//! [`ServeOptions::max_body_bytes`].
 
 use std::io::Read;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+#[cfg(not(unix))]
+use std::time::Instant;
 
 use crate::pool::ThreadPool;
 use crate::serve::cache::ResponseCache;
-use crate::serve::http::{
-    read_request, RequestLimits, Response, DEFAULT_MAX_BODY_BYTES, DEFAULT_READ_TIMEOUT,
-};
+#[cfg(not(unix))]
+use crate::serve::http::{read_request, RequestLimits};
+use crate::serve::http::{Response, DEFAULT_MAX_BODY_BYTES, DEFAULT_READ_TIMEOUT};
 use crate::serve::obs::ServeTelemetry;
-use crate::serve::router::{route, warm};
+#[cfg(unix)]
+use crate::serve::reactor::{set_sndbuf, spawn_reactor, ReactorConfig};
+#[cfg(not(unix))]
+use crate::serve::router::route;
+use crate::serve::router::warm;
 use crate::serve::view::StoreView;
 use crate::telemetry::Telemetry;
 
 /// Upper bound on requests served over one kept-alive connection, so a
-/// single peer cannot pin a pool worker forever.
-const MAX_REQUESTS_PER_CONNECTION: usize = 1000;
+/// single peer cannot pin a connection slot forever.
+pub(crate) const MAX_REQUESTS_PER_CONNECTION: usize = 1000;
 
 /// How long the accept loop sleeps after a transient `accept()` failure
 /// (EMFILE, reset-before-accept, …) so a persistent local error cannot
 /// spin it hot.
 const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
 
+/// Which readiness backend the reactor should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReactorBackend {
+    /// `epoll` where the platform has it, `poll(2)` otherwise.
+    #[default]
+    Auto,
+    /// Require `epoll`; spawning the reactor fails off-Linux.
+    Epoll,
+    /// Force the portable `poll(2)` path (also useful to exercise the
+    /// fallback on Linux).
+    Poll,
+}
+
+impl ReactorBackend {
+    /// Parses a `--reactor-backend` CLI value.
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the accepted values.
+    pub fn parse(value: &str) -> Result<ReactorBackend, String> {
+        match value {
+            "auto" => Ok(ReactorBackend::Auto),
+            "epoll" => Ok(ReactorBackend::Epoll),
+            "poll" => Ok(ReactorBackend::Poll),
+            other => Err(format!(
+                "unknown reactor backend `{other}` (expected auto, epoll, or poll)"
+            )),
+        }
+    }
+}
+
 /// Server tuning knobs, all bounded with conservative defaults. Every
 /// field has a matching `fahana-serve` CLI flag.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeOptions {
-    /// Pool worker threads (each in-flight connection occupies one for
-    /// its lifetime).
+    /// Pool worker threads handling dispatched requests (connections no
+    /// longer occupy one for their lifetime).
     pub threads: usize,
     /// Most connections in flight at once; past this, new connections are
     /// answered 503 + `Retry-After` at the door.
     pub max_inflight: usize,
     /// Whole-request read deadline (slowloris cutoff) and keep-alive idle
-    /// timeout.
+    /// timeout, enforced by the reactor's deadline wheel.
     pub read_timeout: Duration,
     /// Largest accepted request body; beyond it the request is answered
     /// 413 without buffering the body.
@@ -65,6 +105,11 @@ pub struct ServeOptions {
     pub cache_capacity: usize,
     /// The `Retry-After` value (seconds) sent with saturation 503s.
     pub retry_after_secs: u64,
+    /// Readiness backend selection for the reactor.
+    pub backend: ReactorBackend,
+    /// When set, shrink each accepted socket's kernel send buffer to
+    /// this many bytes (test-facing: forces the partial-write path).
+    pub sndbuf: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -76,6 +121,8 @@ impl Default for ServeOptions {
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
             cache_capacity: 256,
             retry_after_secs: 1,
+            backend: ReactorBackend::Auto,
+            sndbuf: None,
         }
     }
 }
@@ -85,7 +132,7 @@ impl Default for ServeOptions {
 pub struct Server {
     listener: TcpListener,
     view: Arc<StoreView>,
-    pool: ThreadPool,
+    pool: Arc<ThreadPool>,
     shutdown: Arc<AtomicBool>,
     obs: Arc<ServeTelemetry>,
     cache: Arc<ResponseCache>,
@@ -147,7 +194,7 @@ impl Server {
         options: ServeOptions,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let pool = ThreadPool::new(options.threads);
+        let pool = Arc::new(ThreadPool::new(options.threads));
         let cache = Arc::new(ResponseCache::new(options.cache_capacity));
         warm(&cache, &view);
         let obs = Arc::new(ServeTelemetry::new(
@@ -214,61 +261,131 @@ impl Server {
         })
     }
 
-    /// Accepts connections until [`ServerHandle::shutdown`] is called,
-    /// dispatching each onto the pool. Blocks the calling thread.
+    /// Accepts connections until [`ServerHandle::shutdown`] is called.
+    /// On unix each connection is registered with the reactor's
+    /// readiness loop; elsewhere it occupies a pool worker for its
+    /// lifetime. Blocks the calling thread.
     ///
     /// # Errors
     ///
-    /// Fatal listener errors only; per-connection errors are answered on
-    /// the wire (4xx/5xx) or dropped, never propagated.
+    /// Fatal listener or reactor-spawn errors only; per-connection errors
+    /// are answered on the wire (4xx/5xx) or dropped, never propagated.
     pub fn run(&self) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            self.run_event_driven()
+        }
+        #[cfg(not(unix))]
+        {
+            self.run_blocking()
+        }
+    }
+
+    /// Accepts a connection from the listener, applying the transient-
+    /// failure backoff, TCP_NODELAY, the optional SO_SNDBUF override, and
+    /// the inline 503 in-flight gate. `Ok(None)` means "skip this one and
+    /// keep accepting"; a returned stream holds an in-flight slot.
+    fn accept_gated(
+        &self,
+        stream: std::io::Result<TcpStream>,
+    ) -> std::io::Result<Option<TcpStream>> {
+        let Ok(mut stream) = stream else {
+            // transient accept failure (EMFILE, reset, …): count it
+            // and back off briefly instead of spinning on the error
+            self.obs.record_accept_error();
+            std::thread::sleep(ACCEPT_BACKOFF);
+            return Ok(None);
+        };
+        // answers are small and written head-then-body; without
+        // this, Nagle + delayed-ACK adds ~40ms to every response
+        stream.set_nodelay(true).ok();
+        #[cfg(unix)]
+        if let Some(bytes) = self.options.sndbuf {
+            set_sndbuf(&stream, bytes).ok();
+        }
+        // the in-flight gate: claim a slot optimistically; if that
+        // overshoots the limit, give the slot back and turn the
+        // connection away at the door — inline, on the accept thread,
+        // so a saturated pool cannot delay the 503 either
+        if self.inflight.fetch_add(1, Ordering::AcqRel) >= self.options.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.obs.record_rejected();
+            stream
+                .set_write_timeout(Some(Duration::from_millis(250)))
+                .ok();
+            Response::error(503, "server saturated; retry shortly")
+                .with_retry_after(self.options.retry_after_secs)
+                .write_to(&mut stream, false)
+                .ok();
+            // the client's request was never read; closing with unread
+            // bytes in the receive buffer makes the kernel RST the
+            // connection, which can destroy the 503 before the client
+            // reads it. Send our FIN, then drain briefly so the close
+            // is orderly. Bounded, so a rejection flood cannot stall
+            // the accept thread for long.
+            stream.shutdown(std::net::Shutdown::Write).ok();
+            stream
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .ok();
+            let mut scratch = [0u8; 4096];
+            for _ in 0..4 {
+                match stream.read(&mut scratch) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            return Ok(None);
+        }
+        Ok(Some(stream))
+    }
+
+    /// The event-driven accept loop: every admitted connection is handed
+    /// to the reactor nonblocking; pool workers only ever see complete,
+    /// parsed requests.
+    #[cfg(unix)]
+    fn run_event_driven(&self) -> std::io::Result<()> {
+        let mut reactor = spawn_reactor(
+            ReactorConfig {
+                read_timeout: self.options.read_timeout,
+                max_body_bytes: self.options.max_body_bytes,
+                backend: self.options.backend,
+            },
+            Arc::clone(&self.pool),
+            Arc::clone(&self.view),
+            Arc::clone(&self.obs),
+            Arc::clone(&self.cache),
+            Arc::clone(&self.inflight),
+        )?;
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            let Ok(mut stream) = stream else {
-                // transient accept failure (EMFILE, reset, …): count it
-                // and back off briefly instead of spinning on the error
-                self.obs.record_accept_error();
-                std::thread::sleep(ACCEPT_BACKOFF);
+            let Some(stream) = self.accept_gated(stream)? else {
                 continue;
             };
-            // answers are small and written head-then-body; without
-            // this, Nagle + delayed-ACK adds ~40ms to every response
-            stream.set_nodelay(true).ok();
-            // the in-flight gate: claim a slot optimistically; if that
-            // overshoots the limit, give the slot back and turn the
-            // connection away at the door — inline, on the accept thread,
-            // so a saturated pool cannot delay the 503 either
-            if self.inflight.fetch_add(1, Ordering::AcqRel) >= self.options.max_inflight {
+            if stream.set_nonblocking(true).is_err() {
                 self.inflight.fetch_sub(1, Ordering::AcqRel);
-                self.obs.record_rejected();
-                stream
-                    .set_write_timeout(Some(Duration::from_millis(250)))
-                    .ok();
-                Response::error(503, "server saturated; retry shortly")
-                    .with_retry_after(self.options.retry_after_secs)
-                    .write_to(&mut stream, false)
-                    .ok();
-                // the client's request was never read; closing with unread
-                // bytes in the receive buffer makes the kernel RST the
-                // connection, which can destroy the 503 before the client
-                // reads it. Send our FIN, then drain briefly so the close
-                // is orderly. Bounded, so a rejection flood cannot stall
-                // the accept thread for long.
-                stream.shutdown(std::net::Shutdown::Write).ok();
-                stream
-                    .set_read_timeout(Some(Duration::from_millis(50)))
-                    .ok();
-                let mut scratch = [0u8; 4096];
-                for _ in 0..4 {
-                    match stream.read(&mut scratch) {
-                        Ok(0) | Err(_) => break,
-                        Ok(_) => {}
-                    }
-                }
+                self.obs.record_accept_error();
                 continue;
             }
+            // the reactor owns the in-flight slot from here
+            reactor.register(stream);
+        }
+        reactor.shutdown_and_join();
+        Ok(())
+    }
+
+    /// Fallback for targets without the reactor: one pool worker per
+    /// connection, blocking reads under `SO_RCVTIMEO`.
+    #[cfg(not(unix))]
+    fn run_blocking(&self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Some(stream) = self.accept_gated(stream)? else {
+                continue;
+            };
             let view = Arc::clone(&self.view);
             let obs = Arc::clone(&self.obs);
             let cache = Arc::clone(&self.cache);
@@ -291,6 +408,7 @@ impl Server {
 /// reached, or a request fails to parse. Every request is accounted into
 /// `obs` (endpoint counter, latency, byte totals); the connection itself
 /// is accounted on the way out (keep-alive reuse).
+#[cfg(not(unix))]
 fn handle_connection(
     mut stream: TcpStream,
     view: &StoreView,
