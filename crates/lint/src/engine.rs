@@ -1,0 +1,406 @@
+//! The engine: walks the tree, lexes each file, runs pre-passes
+//! (attribute ranges, `use` ranges, `#[cfg(test)]` regions, comment-only
+//! line classification), feeds the rules, applies waivers, and runs the
+//! global lock-order analysis once every file has been seen.
+
+use std::fs;
+use std::path::Path;
+
+use crate::config::{Config, FileClass};
+use crate::findings::{Finding, Report};
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules;
+use crate::waiver::{self, Waiver};
+
+/// Per-token flags from the pre-passes.
+const F_ATTR: u8 = 1 << 0;
+const F_USE: u8 = 1 << 1;
+const F_TEST: u8 = 1 << 2;
+
+/// Everything a rule needs to know about one file.
+pub struct FileCtx<'a> {
+    pub src: &'a str,
+    pub file: &'a str,
+    pub toks: &'a [Tok],
+    /// Indices into `toks` of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    pub class: FileClass,
+    pub config: &'a Config,
+    flags: Vec<u8>,
+    /// 1-based; true if the line is blank or consists only of comments
+    /// and attributes (so a SAFETY comment can "reach" through it).
+    passable_line: Vec<bool>,
+    /// 1-based; comment text containing `SAFETY:` spans this line.
+    safety_text: Vec<Option<String>>,
+}
+
+impl FileCtx<'_> {
+    pub fn in_attr(&self, tok_idx: usize) -> bool {
+        self.flags[tok_idx] & F_ATTR != 0
+    }
+    pub fn in_use(&self, tok_idx: usize) -> bool {
+        self.flags[tok_idx] & F_USE != 0
+    }
+    pub fn in_test(&self, tok_idx: usize) -> bool {
+        self.class == FileClass::Exempt || self.flags[tok_idx] & F_TEST != 0
+    }
+
+    /// Token index of the code token after code position `pos`.
+    pub fn next_code(&self, pos: usize) -> Option<usize> {
+        self.code.get(pos + 1).copied()
+    }
+    pub fn next_code_n(&self, pos: usize, n: usize) -> Option<usize> {
+        self.code.get(pos + n).copied()
+    }
+    pub fn peek_code(&self, pos: usize, ahead: usize) -> Option<TokKind> {
+        self.code.get(pos + ahead).map(|&i| self.toks[i].kind)
+    }
+    pub fn peek_code_back(&self, pos: usize, back: usize) -> Option<TokKind> {
+        pos.checked_sub(back)
+            .and_then(|p| self.code.get(p))
+            .map(|&i| self.toks[i].kind)
+    }
+
+    /// The `SAFETY:` comment adjacent to `line`: on the same line, or
+    /// reachable by walking up through comment/attribute/blank lines.
+    pub fn adjacent_safety_comment(&self, line: u32) -> Option<String> {
+        let line = line as usize;
+        if let Some(Some(s)) = self.safety_text.get(line) {
+            return Some(s.clone());
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if let Some(Some(s)) = self.safety_text.get(l) {
+                return Some(s.clone());
+            }
+            if !self.passable_line.get(l).copied().unwrap_or(false) {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+/// Builds the context for one file: lex + all pre-passes.
+pub fn build_ctx<'a>(
+    src: &'a str,
+    file: &'a str,
+    toks: &'a [Tok],
+    config: &'a Config,
+) -> FileCtx<'a> {
+    let code: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect();
+    let mut flags = vec![0u8; toks.len()];
+
+    mark_attrs_and_tests(src, toks, &code, &mut flags);
+    mark_use_ranges(src, toks, &code, &mut flags);
+    let (passable_line, safety_text) = classify_lines(src, toks, &flags);
+
+    FileCtx {
+        src,
+        file,
+        toks,
+        code,
+        class: config.classify(file),
+        config,
+        flags,
+        passable_line,
+        safety_text,
+    }
+}
+
+/// Marks `#[...]` / `#![...]` attribute token ranges, and — when an
+/// attribute is `#[cfg(test)]` or `#[test]` — the following item's
+/// extent as a test region (next brace-block or `;`).
+fn mark_attrs_and_tests(src: &str, toks: &[Tok], code: &[usize], flags: &mut [u8]) {
+    let mut pos = 0usize;
+    while pos < code.len() {
+        let t = toks[code[pos]];
+        if t.kind != TokKind::Punct(b'#') {
+            pos += 1;
+            continue;
+        }
+        let mut open = pos + 1;
+        if open < code.len() && toks[code[open]].kind == TokKind::Punct(b'!') {
+            open += 1;
+        }
+        if open >= code.len() || toks[code[open]].kind != TokKind::Punct(b'[') {
+            pos += 1;
+            continue;
+        }
+        // match brackets to the attribute's close
+        let mut depth = 0i32;
+        let mut j = open;
+        let mut is_test_attr = false;
+        while j < code.len() {
+            let tj = toks[code[j]];
+            match tj.kind {
+                TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident => {
+                    let text = tj.text(src);
+                    // #[test], #[cfg(test)], #[cfg(any(test, ...))]
+                    if text == "test" {
+                        is_test_attr = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let close = j.min(code.len().saturating_sub(1));
+        for p in pos..=close {
+            flags[code[p]] |= F_ATTR;
+        }
+        let mut after = close + 1;
+        if is_test_attr {
+            // skip any further attributes on the same item
+            while after < code.len() && toks[code[after]].kind == TokKind::Punct(b'#') {
+                let mut k = after + 1;
+                if k < code.len() && toks[code[k]].kind == TokKind::Punct(b'!') {
+                    k += 1;
+                }
+                if k < code.len() && toks[code[k]].kind == TokKind::Punct(b'[') {
+                    let mut d = 0i32;
+                    while k < code.len() {
+                        match toks[code[k]].kind {
+                            TokKind::Punct(b'[') => d += 1,
+                            TokKind::Punct(b']') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    for p in after..=k.min(code.len() - 1) {
+                        flags[code[p]] |= F_ATTR;
+                    }
+                    after = k + 1;
+                } else {
+                    break;
+                }
+            }
+            // item extent: first `{`-matched block, or `;` before one
+            let mut k = after;
+            let mut brace = 0i32;
+            while k < code.len() {
+                match toks[code[k]].kind {
+                    TokKind::Punct(b'{') => {
+                        brace += 1;
+                    }
+                    TokKind::Punct(b'}') => {
+                        brace -= 1;
+                        if brace == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Punct(b';') if brace == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            for p in after..=k.min(code.len().saturating_sub(1)) {
+                flags[code[p]] |= F_TEST;
+            }
+            pos = close + 1; // rules still see the item; only flags differ
+            continue;
+        }
+        pos = close + 1;
+    }
+}
+
+/// Marks `use …;` statements so imports don't trip `hash-iter`.
+fn mark_use_ranges(src: &str, toks: &[Tok], code: &[usize], flags: &mut [u8]) {
+    let mut pos = 0usize;
+    while pos < code.len() {
+        let t = toks[code[pos]];
+        let starts_use = t.kind == TokKind::Ident
+            && t.text(src) == "use"
+            && (pos == 0
+                || matches!(
+                    toks[code[pos - 1]].kind,
+                    TokKind::Punct(b';')
+                        | TokKind::Punct(b'{')
+                        | TokKind::Punct(b'}')
+                        | TokKind::Punct(b']')
+                ));
+        if !starts_use {
+            pos += 1;
+            continue;
+        }
+        let mut j = pos;
+        while j < code.len() && toks[code[j]].kind != TokKind::Punct(b';') {
+            j += 1;
+        }
+        for p in pos..=j.min(code.len() - 1) {
+            flags[code[p]] |= F_USE;
+        }
+        pos = j + 1;
+    }
+}
+
+/// Per-line classification for SAFETY adjacency: a line is *passable*
+/// if blank or made only of comments/attributes; `safety_text[l]` holds
+/// the comment text when a comment containing `SAFETY:` spans line `l`.
+fn classify_lines(src: &str, toks: &[Tok], flags: &[u8]) -> (Vec<bool>, Vec<Option<String>>) {
+    let n_lines = src.lines().count() + 2;
+    let mut passable = vec![true; n_lines];
+    let mut safety: Vec<Option<String>> = vec![None; n_lines];
+
+    // any non-comment, non-attribute token makes its line(s) impassable
+    for (i, t) in toks.iter().enumerate() {
+        let is_soft = matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+            || flags[i] & F_ATTR != 0;
+        let span_lines = t.text(src).bytes().filter(|&b| b == b'\n').count() as u32;
+        if !is_soft {
+            for l in t.line..=t.line + span_lines {
+                if let Some(p) = passable.get_mut(l as usize) {
+                    *p = false;
+                }
+            }
+        }
+        if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            let text = t.text(src);
+            if let Some(idx) = text.find("SAFETY:") {
+                let snippet: String = text[idx + "SAFETY:".len()..]
+                    .trim()
+                    .lines()
+                    .map(|l| {
+                        l.trim()
+                            .trim_start_matches("//")
+                            .trim_start_matches('*')
+                            .trim()
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let snippet = if snippet.len() > 240 {
+                    let mut cut = 240;
+                    while !snippet.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    format!("{}…", &snippet[..cut])
+                } else {
+                    snippet
+                };
+                for l in t.line..=t.line + span_lines {
+                    if let Some(s) = safety.get_mut(l as usize) {
+                        *s = Some(snippet.clone());
+                    }
+                }
+            }
+        }
+    }
+    (passable, safety)
+}
+
+/// Lints a set of in-memory sources (path, contents). This is the pure
+/// core: `lint_root` feeds it from disk, tests feed it fixtures.
+pub fn lint_sources(sources: &[(String, String)], config: &Config) -> Report {
+    let mut report = Report::default();
+    let mut all_pairs: Vec<rules::locks::PairObs> = Vec::new();
+    // (file, waivers) kept alive until after global lock-order analysis
+    let mut pending_waivers: Vec<(String, Vec<Waiver>)> = Vec::new();
+
+    for (path, src) in sources {
+        report.files_scanned += 1;
+        let toks = lex(src);
+        let ctx = build_ctx(src, path, &toks, config);
+        let mut waivers = waiver::collect_waivers(src, &toks, path, config, &mut report.findings);
+        let mut raw: Vec<Finding> = Vec::new();
+
+        // unsafe-audit runs everywhere, including exempt files
+        let ua = rules::unsafe_audit::run(&ctx);
+        raw.extend(ua.findings);
+        report.unsafe_manifest.extend(ua.manifest);
+        report.ffi_decls.extend(ua.ffi);
+
+        if ctx.class == FileClass::Source {
+            raw.extend(rules::determinism::run(&ctx));
+            raw.extend(rules::panics::run(&ctx));
+            let lo = rules::locks::run(&ctx);
+            raw.extend(lo.findings);
+            all_pairs.extend(lo.pairs);
+        }
+
+        for f in raw {
+            if !waiver::try_waive(&mut waivers, f.rule, f.line) {
+                report.findings.push(f);
+            }
+        }
+        pending_waivers.push((path.clone(), waivers));
+    }
+
+    // global lock-order analysis, then waiver settlement
+    for f in rules::locks::inversion_findings(&all_pairs) {
+        let waived = pending_waivers
+            .iter_mut()
+            .find(|(p, _)| *p == f.file)
+            .map(|(_, ws)| waiver::try_waive(ws, f.rule, f.line))
+            .unwrap_or(false);
+        if !waived {
+            report.findings.push(f);
+        }
+    }
+    for (path, ws) in pending_waivers {
+        let records = waiver::finish_waivers(ws, &path, &mut report.findings);
+        report.waivers.extend(records);
+    }
+
+    report.finalize();
+    report
+}
+
+/// Directories never descended into. `vendor/` carries offline stand-ins
+/// for crates.io dependencies — third-party shape, not project code —
+/// and `fixtures/` holds the linter's own deliberately-broken inputs.
+const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", "fixtures", "node_modules"];
+
+/// Walks `root` for `.rs` files (sorted, deterministic) and lints them.
+pub fn lint_root(root: &Path, config: &Config) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(lint_sources(&files, config))
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(String, String)>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.filter_map(|e| e.ok()).collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = fs::read_to_string(&path)?;
+            out.push((rel, src));
+        }
+    }
+    Ok(())
+}

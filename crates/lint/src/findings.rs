@@ -1,0 +1,377 @@
+//! Findings, the aggregate report, and its two deterministic renders
+//! (human text and JSON). The JSON emitter is hand-rolled — the linter is
+//! std-only by design and its output schema is small and fixed.
+
+use crate::config::Severity;
+
+/// One rule violation at a location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// One `// fahana-lint: allow(...)` comment, after parsing.
+#[derive(Debug, Clone)]
+pub struct WaiverRecord {
+    pub file: String,
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub reason: String,
+    pub used: bool,
+}
+
+/// One `unsafe` site, documented or not — the audit trail the JSON
+/// report carries regardless of pass/fail.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// "block", "fn", or "impl/trait" — how the `unsafe` keyword is used.
+    pub kind: String,
+    /// The SAFETY comment text, if one was found adjacent.
+    pub safety: Option<String>,
+}
+
+/// One `extern` FFI declaration found in the workspace.
+#[derive(Debug, Clone)]
+pub struct FfiDecl {
+    pub file: String,
+    pub line: u32,
+    pub name: String,
+    pub allowlisted: bool,
+}
+
+/// Everything one run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+    pub waivers: Vec<WaiverRecord>,
+    pub unsafe_manifest: Vec<UnsafeSite>,
+    pub ffi_decls: Vec<FfiDecl>,
+}
+
+impl Report {
+    /// Sorts every section into its canonical order. Call once, after
+    /// all files are processed; both renders assume it.
+    pub fn finalize(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.waivers
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        self.unsafe_manifest
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        self.ffi_decls
+            .sort_by(|a, b| (&a.file, a.line, &a.name).cmp(&(&b.file, b.line, &b.name)));
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    pub fn waived_count(&self) -> usize {
+        self.waivers.iter().filter(|w| w.used).count()
+    }
+
+    /// Process exit code: 0 clean (warnings allowed), 1 errors, callers
+    /// use 2 for operational failures (unreadable tree etc.).
+    pub fn exit_code(&self) -> i32 {
+        if self.error_count() > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The deterministic human render.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let sev = match f.severity {
+                Severity::Error => "error",
+                Severity::Warn => "warn",
+            };
+            out.push_str(&format!(
+                "{sev}[{rule}] {file}:{line}: {msg}\n",
+                rule = f.rule,
+                file = f.file,
+                line = f.line,
+                msg = f.message
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "fahana-lint: {files} files, {errors} errors, {warnings} warnings, {waived} waived\n",
+            files = self.files_scanned,
+            errors = self.error_count(),
+            warnings = self.warning_count(),
+            waived = self.waived_count(),
+        ));
+        out
+    }
+
+    /// The deterministic JSON render (`fahana-lint/v1` schema).
+    pub fn render_json(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.open_obj();
+        j.str_field("schema", "fahana-lint/v1");
+        j.num_field("files_scanned", self.files_scanned as u64);
+
+        j.key("summary");
+        j.open_obj();
+        j.num_field("errors", self.error_count() as u64);
+        j.num_field("warnings", self.warning_count() as u64);
+        j.num_field("waived", self.waived_count() as u64);
+        j.close_obj();
+
+        j.key("findings");
+        j.open_arr();
+        for f in &self.findings {
+            j.open_obj();
+            j.str_field("rule", f.rule);
+            j.str_field(
+                "severity",
+                match f.severity {
+                    Severity::Error => "error",
+                    Severity::Warn => "warn",
+                },
+            );
+            j.str_field("file", &f.file);
+            j.num_field("line", f.line as u64);
+            j.str_field("message", &f.message);
+            j.close_obj();
+        }
+        j.close_arr();
+
+        j.key("waivers");
+        j.open_arr();
+        for w in &self.waivers {
+            j.open_obj();
+            j.str_field("file", &w.file);
+            j.num_field("line", w.line as u64);
+            j.key("rules");
+            j.open_arr();
+            for r in &w.rules {
+                j.arr_str(r);
+            }
+            j.close_arr();
+            j.str_field("reason", &w.reason);
+            j.bool_field("used", w.used);
+            j.close_obj();
+        }
+        j.close_arr();
+
+        j.key("unsafe_manifest");
+        j.open_arr();
+        for u in &self.unsafe_manifest {
+            j.open_obj();
+            j.str_field("file", &u.file);
+            j.num_field("line", u.line as u64);
+            j.str_field("kind", &u.kind);
+            match &u.safety {
+                Some(s) => j.str_field("safety", s),
+                None => j.null_field("safety"),
+            }
+            j.close_obj();
+        }
+        j.close_arr();
+
+        j.key("ffi_decls");
+        j.open_arr();
+        for d in &self.ffi_decls {
+            j.open_obj();
+            j.str_field("file", &d.file);
+            j.num_field("line", d.line as u64);
+            j.str_field("name", &d.name);
+            j.bool_field("allowlisted", d.allowlisted);
+            j.close_obj();
+        }
+        j.close_arr();
+
+        j.close_obj();
+        j.finish()
+    }
+}
+
+/// Minimal JSON writer: tracks whether a comma is needed at each nesting
+/// level; escapes strings per RFC 8259.
+struct JsonBuf {
+    out: String,
+    need_comma: Vec<bool>,
+}
+
+impl JsonBuf {
+    fn new() -> Self {
+        JsonBuf {
+            out: String::new(),
+            need_comma: vec![false],
+        }
+    }
+
+    fn comma(&mut self) {
+        if let Some(top) = self.need_comma.last_mut() {
+            if *top {
+                self.out.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    fn open_obj(&mut self) {
+        self.comma();
+        self.out.push('{');
+        self.need_comma.push(false);
+    }
+
+    fn close_obj(&mut self) {
+        self.out.push('}');
+        self.need_comma.pop();
+    }
+
+    fn open_arr(&mut self) {
+        self.comma();
+        self.out.push('[');
+        self.need_comma.push(false);
+    }
+
+    fn close_arr(&mut self) {
+        self.out.push(']');
+        self.need_comma.pop();
+    }
+
+    fn key(&mut self, k: &str) {
+        self.comma();
+        self.push_escaped(k);
+        self.out.push(':');
+        // the value that follows must not emit its own comma
+        if let Some(top) = self.need_comma.last_mut() {
+            *top = false;
+        }
+    }
+
+    fn str_field(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.comma(); // consumes the reset, emits nothing
+        self.push_escaped(v);
+    }
+
+    fn num_field(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.comma();
+        self.out.push_str(&v.to_string());
+    }
+
+    fn bool_field(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.comma();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    fn null_field(&mut self, k: &str) {
+        self.key(k);
+        self.comma();
+        self.out.push_str("null");
+    }
+
+    fn arr_str(&mut self, v: &str) {
+        self.comma();
+        self.push_escaped(v);
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Default::default()
+        };
+        r.findings.push(Finding {
+            rule: "panic",
+            severity: Severity::Error,
+            file: "b.rs".into(),
+            line: 3,
+            message: "said \"no\"\nand left".into(),
+        });
+        r.findings.push(Finding {
+            rule: "hash-iter",
+            severity: Severity::Warn,
+            file: "a.rs".into(),
+            line: 9,
+            message: "x".into(),
+        });
+        r.finalize();
+        let json = r.render_json();
+        assert!(json.starts_with("{\"schema\":\"fahana-lint/v1\""));
+        assert!(json.contains("\\\"no\\\"\\nand left"));
+        // sorted: a.rs before b.rs
+        let a_pos = json.find("a.rs").unwrap();
+        let b_pos = json.find("b.rs").unwrap();
+        assert!(a_pos < b_pos);
+        assert!(json.contains("\"errors\":1"));
+        assert!(json.contains("\"warnings\":1"));
+    }
+
+    #[test]
+    fn exit_code_follows_errors_not_warnings() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: "panic",
+            severity: Severity::Warn,
+            file: "a.rs".into(),
+            line: 1,
+            message: "m".into(),
+        });
+        assert_eq!(r.exit_code(), 0);
+        r.findings.push(Finding {
+            rule: "panic",
+            severity: Severity::Error,
+            file: "a.rs".into(),
+            line: 2,
+            message: "m".into(),
+        });
+        assert_eq!(r.exit_code(), 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! A lightweight Rust lexer — comment-, string-, and raw-string-aware.
+//!
+//! The offline build has no `syn` (see `vendor/README.md`), and the lint
+//! rules do not need a real parse tree: every invariant in the catalog is
+//! expressible over a token stream with line numbers. What *does* matter
+//! is never mistaking prose for code: `"SAFETY:"` inside a string literal
+//! must not satisfy the unsafe-audit rule, `unwrap()` inside a nested
+//! block comment must not trip panic-hygiene, and a raw string containing
+//! `*/` must not terminate anything. The lexer therefore handles, fully:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte/C strings, and raw strings with
+//!   any number of `#` guards (`r"…"`, `r#"…"#`, `br##"…"##`, `cr#"…"#`);
+//! * char literals vs lifetimes (`'a'` vs `'a`), including escaped chars;
+//! * identifiers, loosely-lexed numbers, and single-char punctuation.
+//!
+//! Everything else a real lexer distinguishes (multi-char operators,
+//! keywords vs identifiers) is irrelevant to the rules and deliberately
+//! not modeled.
+
+/// What a token is. `Punct` carries the single raw byte; multi-character
+/// operators arrive as consecutive `Punct` tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `HashMap`, …).
+    Ident,
+    /// `// …` to end of line (includes doc comments).
+    LineComment,
+    /// `/* … */`, possibly nested, possibly spanning lines.
+    BlockComment,
+    /// Any string literal: `"…"`, `b"…"`, `c"…"`, `r#"…"#`, ….
+    Str,
+    /// A char or byte-char literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime: `'a`, `'_`, `'static`.
+    Lifetime,
+    /// A number literal, loosely lexed (`0x1f`, `1_000`, `1e-3`, `2.5f32`).
+    Num,
+    /// One byte of punctuation.
+    Punct(u8),
+}
+
+/// One token: kind plus its byte range and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub lo: usize,
+    pub hi: usize,
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.lo..self.hi]
+    }
+}
+
+/// Lexes `src` into tokens. Never panics on malformed input: unterminated
+/// literals and comments simply extend to end of file.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let byte = self.src[self.pos];
+            match byte {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                byte if byte == b'_' || byte.is_ascii_alphabetic() || byte >= 0x80 => {
+                    self.ident_or_prefixed_literal()
+                }
+                byte => {
+                    self.push(TokKind::Punct(byte), self.pos, self.pos + 1, self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, lo: usize, hi: usize, line: u32) {
+        self.toks.push(Tok { kind, lo, hi, line });
+    }
+
+    fn line_comment(&mut self) {
+        let lo = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokKind::LineComment, lo, self.pos, self.line);
+    }
+
+    /// Nested block comments: `/* a /* b */ c */` is one token.
+    fn block_comment(&mut self) {
+        let lo = self.pos;
+        let start_line = self.line;
+        let mut depth = 0usize;
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.push(TokKind::BlockComment, lo, self.pos, start_line);
+    }
+
+    /// A plain (escaped) string literal starting at the current `"`.
+    /// `lo` is where the token began (before any `b`/`c` prefix).
+    fn string(&mut self, lo: usize) {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2, // skip the escaped byte, whatever it is
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::Str, lo, self.pos.min(self.src.len()), start_line);
+    }
+
+    /// A raw string starting at the current `#`-or-quote run. `lo` is the
+    /// token start (at the `r`/`br`/`cr` prefix).
+    fn raw_string(&mut self, lo: usize) {
+        let start_line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.src[self.pos] == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.src.get(self.pos + 1 + matched) == Some(&b'#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.pos += 1 + hashes;
+                    break;
+                }
+            }
+            self.pos += 1;
+        }
+        self.push(TokKind::Str, lo, self.pos.min(self.src.len()), start_line);
+    }
+
+    /// `'a'` vs `'a` vs `'\n'`: a quote followed by an escape is always a
+    /// char; a quote followed by an identifier char is a char only when
+    /// the very next byte closes it, otherwise a lifetime.
+    fn char_or_lifetime(&mut self) {
+        let lo = self.pos;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // escaped char literal: skip to the closing quote
+                self.pos += 2; // quote + backslash
+                self.pos += 1; // the escaped byte
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1; // covers \u{…} and \x7f forms
+                }
+                self.pos = (self.pos + 1).min(self.src.len());
+                self.push(TokKind::Char, lo, self.pos, self.line);
+            }
+            Some(byte) if byte == b'_' || byte.is_ascii_alphanumeric() => {
+                if self.peek(2) == Some(b'\'') {
+                    self.pos += 3;
+                    self.push(TokKind::Char, lo, self.pos, self.line);
+                } else {
+                    self.pos += 1;
+                    while self
+                        .peek(0)
+                        .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+                    {
+                        self.pos += 1;
+                    }
+                    self.push(TokKind::Lifetime, lo, self.pos, self.line);
+                }
+            }
+            Some(_) => {
+                // a non-identifier char literal: ' ', '(', multibyte, …
+                self.pos += 1;
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    if self.src[self.pos] == b'\n' {
+                        break; // a stray quote, not a literal; don't run away
+                    }
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.src.len());
+                self.push(TokKind::Char, lo, self.pos, self.line);
+            }
+            None => {
+                self.push(TokKind::Punct(b'\''), lo, lo + 1, self.line);
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let lo = self.pos;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            self.push(TokKind::Num, lo, self.pos, self.line);
+            return;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        // fractional part — but never swallow a `..` range operator
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+            {
+                self.pos += 1;
+            }
+        }
+        // exponent and/or type suffix (1e-3, 2.5f32, 10usize)
+        if matches!(self.peek(0), Some(b'e') | Some(b'E'))
+            && self
+                .peek(1)
+                .is_some_and(|b| b.is_ascii_digit() || b == b'+' || b == b'-')
+        {
+            self.pos += 2;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        self.push(TokKind::Num, lo, self.pos, self.line);
+    }
+
+    /// An identifier — unless it is one of the literal prefixes (`r`, `b`,
+    /// `c`, `br`, `cr`, `rb` is not real Rust) directly attached to a
+    /// quote or raw-string guard, in which case the whole literal is one
+    /// token.
+    fn ident_or_prefixed_literal(&mut self) {
+        let lo = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+        {
+            self.pos += 1;
+        }
+        let text = &self.src[lo..self.pos];
+        let raw_capable = matches!(text, b"r" | b"br" | b"cr");
+        let plain_capable = matches!(text, b"b" | b"c");
+        match self.peek(0) {
+            Some(b'"') if raw_capable || plain_capable => {
+                if raw_capable {
+                    self.raw_string(lo);
+                } else {
+                    self.string(lo);
+                }
+            }
+            Some(b'#') if raw_capable => self.raw_string(lo),
+            Some(b'\'') if text == b"b" => {
+                // byte-char literal b'x' / b'\n'
+                self.char_or_lifetime();
+                if let Some(last) = self.toks.last_mut() {
+                    last.lo = lo;
+                }
+            }
+            _ => self.push(TokKind::Ident, lo, self.pos, self.line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"let x = "unsafe // not a comment"; // SAFETY: real comment"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unsafe")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::LineComment && t.contains("SAFETY:")));
+        // "unsafe" never appears as an identifier
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_with_guards_are_one_token() {
+        let src = r####"let s = r#"contains "quotes" and */ and // slashes"#; let y = 1;"####;
+        let toks = kinds(src);
+        let strings: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strings.len(), 1);
+        assert!(strings[0].1.contains("*/"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "y"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still outer */ fn after() {}";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks[0].1.ends_with("outer */"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "fn"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\n'; }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let toks = lex(src);
+        let b_tok = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && t.text(src) == "b")
+            .unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "10"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| matches!(k, TokKind::Punct(b'.')))
+                .count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! `fahana-lint` CLI.
+//!
+//! ```text
+//! fahana-lint [ROOT] [--json] [--out PATH] [--quiet]
+//! ```
+//!
+//! Lints every `.rs` file under ROOT (default: current directory;
+//! `vendor/`, `target/`, fixtures and dot-dirs skipped), prints the
+//! deterministic human render (or the JSON report with `--json`), and
+//! exits 0 when clean, 1 on findings, 2 on operational failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fahana_lint::{lint_root, Config};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut quiet = false;
+    let mut out_path: Option<PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--out" => match argv.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("fahana-lint: --out requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: fahana-lint [ROOT] [--json] [--out PATH] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => {
+                eprintln!("fahana-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match lint_root(&root, &Config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fahana-lint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_human()
+    };
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("fahana-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if out_path.is_none() || !quiet {
+        print!("{rendered}");
+    }
+
+    ExitCode::from(report.exit_code() as u8)
+}

@@ -1,0 +1,354 @@
+//! Lock discipline.
+//!
+//! Acquisitions are `.lock()` / `.read()` / `.write()` with **empty**
+//! argument lists — the empty parens distinguish `Mutex::lock` and the
+//! `RwLock` pair from `io::Read::read(&mut buf)` / `io::Write::write`,
+//! which always take arguments.
+//!
+//! For each acquisition we reconstruct the receiver path (e.g.
+//! `self.shared.registrations.lock()` → `shared.registrations`) and
+//! model the guard's held span:
+//!
+//! * plain `let`-bound guards live until the enclosing block closes or
+//!   an explicit `drop(name)`;
+//! * `if let` / `while let` / `match` scrutinee guards live until the
+//!   conditional's block(s) close — including `else` chains — which
+//!   mirrors Rust 2021 temporary-scope rules;
+//! * statement temporaries live until the first `;` back at the
+//!   acquisition's brace depth.
+//!
+//! Two findings come out of the model:
+//!
+//! * `lock-order` — the ordered pair (A held, B acquired) exists
+//!   somewhere in the tree AND the reversed pair (B held, A acquired)
+//!   exists anywhere else (same or different file): a potential
+//!   inversion deadlock. Flagged at every participating site.
+//! * `lock-blocking` — a blocking call (`recv`, `read_to_end`,
+//!   `read_to_string`, `accept`, `sleep`) while any guard is held.
+//!   Condvar `wait` is deliberately not on the list (its contract *is*
+//!   to hold the lock), nor is `join` (`Vec::join(", ")` is string
+//!   formatting).
+
+use crate::config::{Severity, BLOCKING_CALLS};
+use crate::engine::FileCtx;
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+
+/// One observation: `second` acquired while `first` was held.
+#[derive(Debug, Clone)]
+pub struct PairObs {
+    pub first: String,
+    pub second: String,
+    pub file: String,
+    pub line: u32,
+}
+
+pub struct LockObs {
+    pub pairs: Vec<PairObs>,
+    /// `lock-blocking` findings (rule `lock-order` is emitted globally
+    /// by `inversion_findings` once every file has been scanned).
+    pub findings: Vec<Finding>,
+}
+
+#[derive(Debug)]
+enum HeldUntil {
+    /// Enclosing block closes (or `drop(var)`).
+    BlockEnd { var: Option<String> },
+    /// Conditional scrutinee: the `{}` body (and `else` chain) closes.
+    CondEnd { entered: bool },
+    /// Statement temporary: next `;` at acquisition depth.
+    Semi,
+}
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    depth: i32,
+    until: HeldUntil,
+}
+
+pub fn run(ctx: &FileCtx) -> LockObs {
+    let mut obs = LockObs {
+        pairs: Vec::new(),
+        findings: Vec::new(),
+    };
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+
+    let code = &ctx.code;
+    for (pos, &i) in code.iter().enumerate() {
+        let t = ctx.toks[i];
+
+        match t.kind {
+            TokKind::Punct(b'{') => {
+                depth += 1;
+                continue;
+            }
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                // end-of-block guard expiry
+                guards.retain_mut(|g| {
+                    if depth < g.depth {
+                        return false;
+                    }
+                    if depth == g.depth {
+                        if let HeldUntil::CondEnd { entered } = &mut g.until {
+                            if *entered {
+                                // keep only if an `else` continues the chain
+                                let else_next = ctx.next_code(pos).map(|n| {
+                                    let nt = ctx.toks[n];
+                                    nt.kind == TokKind::Ident && nt.text(ctx.src) == "else"
+                                });
+                                return else_next.unwrap_or(false);
+                            }
+                        }
+                    }
+                    true
+                });
+                continue;
+            }
+            TokKind::Punct(b';') => {
+                guards.retain(|g| !(matches!(g.until, HeldUntil::Semi) && depth == g.depth));
+                continue;
+            }
+            _ => {}
+        }
+
+        if t.kind != TokKind::Ident || ctx.in_attr(i) || ctx.in_test(i) {
+            continue;
+        }
+        let text = t.text(ctx.src);
+
+        // mark conditional guards whose body we've entered
+        for g in guards.iter_mut() {
+            if depth > g.depth {
+                if let HeldUntil::CondEnd { entered } = &mut g.until {
+                    *entered = true;
+                }
+            }
+        }
+
+        // explicit drop(var)
+        if text == "drop" && matches!(ctx.peek_code(pos, 1), Some(TokKind::Punct(b'('))) {
+            if let Some(arg) = ctx.next_code_n(pos, 2).map(|n| ctx.toks[n]) {
+                if arg.kind == TokKind::Ident {
+                    let arg_text = arg.text(ctx.src);
+                    guards.retain(|g| {
+                        !matches!(&g.until, HeldUntil::BlockEnd { var: Some(v) } if v == arg_text)
+                    });
+                }
+            }
+            continue;
+        }
+
+        // blocking call while a guard is held: `.recv(` / `::sleep(` …
+        if BLOCKING_CALLS.contains(&text)
+            && matches!(
+                ctx.peek_code_back(pos, 1),
+                Some(TokKind::Punct(b'.')) | Some(TokKind::Punct(b':'))
+            )
+            && matches!(ctx.peek_code(pos, 1), Some(TokKind::Punct(b'(')))
+            && !guards.is_empty()
+        {
+            let held: Vec<&str> = guards.iter().map(|g| g.name.as_str()).collect();
+            obs.findings.push(Finding {
+                rule: "lock-blocking",
+                severity: Severity::Error,
+                file: ctx.file.to_string(),
+                line: t.line,
+                message: format!(
+                    "blocking call `{text}` while holding lock(s) {}",
+                    held.join(", ")
+                ),
+            });
+            continue;
+        }
+
+        // acquisition: `.` lock|read|write `(` `)`
+        let is_acq = matches!(text, "lock" | "read" | "write")
+            && matches!(ctx.peek_code_back(pos, 1), Some(TokKind::Punct(b'.')))
+            && matches!(ctx.peek_code(pos, 1), Some(TokKind::Punct(b'(')))
+            && matches!(ctx.peek_code(pos, 2), Some(TokKind::Punct(b')')));
+        if !is_acq {
+            continue;
+        }
+
+        let name = receiver_path(ctx, pos - 1); // pos-1 is the `.`
+        let stmt = statement_shape(ctx, pos);
+
+        if let Some(name) = &name {
+            for g in &guards {
+                if g.name != *name {
+                    obs.pairs.push(PairObs {
+                        first: g.name.clone(),
+                        second: name.clone(),
+                        file: ctx.file.to_string(),
+                        line: t.line,
+                    });
+                }
+            }
+        }
+
+        let until = match stmt {
+            StmtShape::Let { var } => HeldUntil::BlockEnd { var },
+            StmtShape::Cond => HeldUntil::CondEnd { entered: false },
+            StmtShape::Plain => HeldUntil::Semi,
+        };
+        guards.push(Guard {
+            name: name.unwrap_or_else(|| format!("<anon:{}:{}>", ctx.file, t.line)),
+            depth,
+            until,
+        });
+    }
+
+    obs
+}
+
+enum StmtShape {
+    Let { var: Option<String> },
+    Cond,
+    Plain,
+}
+
+/// Classifies the statement an acquisition sits in by walking backward
+/// (bounded) to the statement start: `let`-bound, conditional scrutinee
+/// (`if let` / `while` / `match`), or a plain statement temporary.
+fn statement_shape(ctx: &FileCtx, acq_pos: usize) -> StmtShape {
+    let mut saw_let = false;
+    let mut saw_cond = false;
+    let mut last_ident_before_eq: Option<String> = None;
+    let mut seen_eq = false;
+    let mut j = acq_pos;
+    for _ in 0..24 {
+        if j == 0 {
+            break;
+        }
+        j -= 1;
+        let t = ctx.toks[ctx.code[j]];
+        match t.kind {
+            TokKind::Punct(b';') | TokKind::Punct(b'{') | TokKind::Punct(b'}') => break,
+            TokKind::Punct(b'=') => seen_eq = true,
+            TokKind::Ident => {
+                let text = t.text(ctx.src);
+                match text {
+                    "let" => saw_let = true,
+                    "if" | "while" | "match" => saw_cond = true,
+                    _ if !seen_eq => {} // right of `=`: part of the expression
+                    _ => {
+                        if last_ident_before_eq.is_none() && text != "mut" {
+                            last_ident_before_eq = Some(text.to_string());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if saw_cond {
+        StmtShape::Cond
+    } else if saw_let {
+        StmtShape::Let {
+            var: last_ident_before_eq,
+        }
+    } else {
+        StmtShape::Plain
+    }
+}
+
+/// Reconstructs the receiver path left of the `.` at code position
+/// `dot_pos`, e.g. `self.shared.registrations` → `shared.registrations`.
+/// Skips index groups `[…]` and call parens, treats `::` like `.`, and
+/// drops a leading `self`. Returns None for non-path receivers
+/// (`(expr).lock()`), which cannot meaningfully pair across sites.
+fn receiver_path(ctx: &FileCtx, dot_pos: usize) -> Option<String> {
+    let mut segments: Vec<String> = Vec::new();
+    let mut j = dot_pos; // code position of the `.`
+    loop {
+        if j == 0 {
+            break;
+        }
+        j -= 1;
+        let t = ctx.toks[ctx.code[j]];
+        match t.kind {
+            TokKind::Ident => {
+                segments.push(t.text(ctx.src).to_string());
+                // continue only across `.` or `::`
+                if j == 0 {
+                    break;
+                }
+                let prev = ctx.toks[ctx.code[j - 1]];
+                match prev.kind {
+                    TokKind::Punct(b'.') => {
+                        j -= 1; // consume the separator, loop to next segment
+                    }
+                    TokKind::Punct(b':') => {
+                        if j >= 2 && ctx.toks[ctx.code[j - 2]].kind == TokKind::Punct(b':') {
+                            j -= 2;
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            TokKind::Punct(b']') => {
+                let mut depth = 1i32;
+                while depth > 0 && j > 0 {
+                    j -= 1;
+                    match ctx.toks[ctx.code[j]].kind {
+                        TokKind::Punct(b']') => depth += 1,
+                        TokKind::Punct(b'[') => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            TokKind::Punct(b')') => {
+                let mut depth = 1i32;
+                while depth > 0 && j > 0 {
+                    j -= 1;
+                    match ctx.toks[ctx.code[j]].kind {
+                        TokKind::Punct(b')') => depth += 1,
+                        TokKind::Punct(b'(') => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    segments.reverse();
+    if segments.first().map(String::as_str) == Some("self") {
+        segments.remove(0);
+    }
+    if segments.is_empty() {
+        None
+    } else {
+        Some(segments.join("."))
+    }
+}
+
+/// Global inversion analysis over every pair observation in the tree.
+/// Emits one `lock-order` finding per site that participates in a
+/// both-orders pair, pointing at one witness of the opposite order.
+pub fn inversion_findings(all_pairs: &[PairObs]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for p in all_pairs {
+        if let Some(rev) = all_pairs
+            .iter()
+            .find(|q| q.first == p.second && q.second == p.first)
+        {
+            findings.push(Finding {
+                rule: "lock-order",
+                severity: Severity::Error,
+                file: p.file.clone(),
+                line: p.line,
+                message: format!(
+                    "lock `{}` acquired while `{}` is held, but the opposite order \
+                     exists at {}:{} — potential deadlock",
+                    p.second, p.first, rev.file, rev.line
+                ),
+            });
+        }
+    }
+    findings
+}

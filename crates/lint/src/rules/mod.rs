@@ -1,0 +1,7 @@
+//! The rule catalog. Each rule consumes the engine's `FileCtx` (tokens +
+//! pre-pass flags) and produces raw findings; the engine applies waivers.
+
+pub mod determinism;
+pub mod locks;
+pub mod panics;
+pub mod unsafe_audit;

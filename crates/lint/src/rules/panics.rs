@@ -1,0 +1,61 @@
+//! Panic hygiene, tiered by module.
+//!
+//! `unwrap()` / `expect(` / `panic!` / `unreachable!` / `todo!` /
+//! `unimplemented!` are error-severity on the request path (a panic
+//! there kills a connection or the reactor thread) and warn-severity in
+//! the rest of the production tree. Test regions and exempt files are
+//! untouched — tests asserting with `unwrap` is idiomatic.
+//!
+//! Matching is exact: `.unwrap(` requires the preceding `.` so that
+//! `unwrap_or`, `unwrap_or_else`, `unwrap_or_default` never match
+//! (different identifier), and a local function *named* `unwrap` called
+//! without a receiver does not match either.
+
+use crate::engine::FileCtx;
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn run(ctx: &FileCtx) -> Vec<Finding> {
+    let severity = ctx.config.panic_severity(ctx.file);
+    let mut findings = Vec::new();
+
+    for (pos, &i) in ctx.code.iter().enumerate() {
+        let t = ctx.toks[i];
+        if t.kind != TokKind::Ident || ctx.in_attr(i) || ctx.in_test(i) {
+            continue;
+        }
+        let text = t.text(ctx.src);
+
+        let dotted_call = |name: &str| -> bool {
+            text == name
+                && matches!(ctx.peek_code_back(pos, 1), Some(TokKind::Punct(b'.')))
+                && matches!(ctx.peek_code(pos, 1), Some(TokKind::Punct(b'(')))
+        };
+
+        if dotted_call("unwrap") || dotted_call("expect") {
+            findings.push(Finding {
+                rule: "panic",
+                severity,
+                file: ctx.file.to_string(),
+                line: t.line,
+                message: format!("`.{text}()` — handle the error or waive with a reason"),
+            });
+            continue;
+        }
+
+        if PANIC_MACROS.contains(&text)
+            && matches!(ctx.peek_code(pos, 1), Some(TokKind::Punct(b'!')))
+        {
+            findings.push(Finding {
+                rule: "panic",
+                severity,
+                file: ctx.file.to_string(),
+                line: t.line,
+                message: format!("`{text}!` — return an error instead, or waive with a reason"),
+            });
+        }
+    }
+    findings
+}

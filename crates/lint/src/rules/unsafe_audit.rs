@@ -1,0 +1,132 @@
+//! unsafe-audit: every `unsafe` block/fn needs an adjacent `// SAFETY:`
+//! comment, and extern "C" declarations must be on the FFI allowlist.
+//! Both sub-rules run in *every* file class — an undocumented `unsafe`
+//! is wrong in a test too — and both feed the JSON report's audit
+//! sections (`unsafe_manifest`, `ffi_decls`) even when they pass.
+
+use crate::config::{Severity, FFI_ALLOWLIST};
+use crate::engine::FileCtx;
+use crate::findings::{FfiDecl, Finding, UnsafeSite};
+use crate::lexer::TokKind;
+
+pub struct UnsafeOutput {
+    pub findings: Vec<Finding>,
+    pub manifest: Vec<UnsafeSite>,
+    pub ffi: Vec<FfiDecl>,
+}
+
+pub fn run(ctx: &FileCtx) -> UnsafeOutput {
+    let mut out = UnsafeOutput {
+        findings: Vec::new(),
+        manifest: Vec::new(),
+        ffi: Vec::new(),
+    };
+    audit_unsafe_sites(ctx, &mut out);
+    audit_extern_blocks(ctx, &mut out);
+    out
+}
+
+fn audit_unsafe_sites(ctx: &FileCtx, out: &mut UnsafeOutput) {
+    for (pos, &i) in ctx.code.iter().enumerate() {
+        let t = ctx.toks[i];
+        if t.kind != TokKind::Ident || t.text(ctx.src) != "unsafe" || ctx.in_attr(i) {
+            continue;
+        }
+        let kind = match ctx.next_code(pos).map(|n| ctx.toks[n]) {
+            Some(n) if n.kind == TokKind::Ident => match n.text(ctx.src) {
+                "fn" | "extern" => "fn",
+                "impl" | "trait" => "impl/trait",
+                _ => "block",
+            },
+            Some(n) if n.kind == TokKind::Punct(b'{') => "block",
+            _ => "block",
+        };
+        // `unsafe impl Send/Sync` and `unsafe trait` still require a
+        // SAFETY comment: they are promises about invariants.
+        let safety = ctx.adjacent_safety_comment(t.line);
+        if safety.is_none() {
+            out.findings.push(Finding {
+                rule: "unsafe-comment",
+                severity: Severity::Error,
+                file: ctx.file.to_string(),
+                line: t.line,
+                message: format!("`unsafe` {kind} without an adjacent `// SAFETY:` comment"),
+            });
+        }
+        out.manifest.push(UnsafeSite {
+            file: ctx.file.to_string(),
+            line: t.line,
+            kind: kind.to_string(),
+            safety,
+        });
+    }
+}
+
+/// Walks `extern "C" { ... }` blocks and records every declared symbol,
+/// checking it against the allowlist. `extern "C" fn` *definitions*
+/// (with bodies) are not declarations and are skipped.
+fn audit_extern_blocks(ctx: &FileCtx, out: &mut UnsafeOutput) {
+    let code = &ctx.code;
+    let mut pos = 0usize;
+    while pos < code.len() {
+        let t = ctx.toks[code[pos]];
+        let is_extern = t.kind == TokKind::Ident && t.text(ctx.src) == "extern";
+        if !is_extern {
+            pos += 1;
+            continue;
+        }
+        // extern [ "C" ] { ... }  — an ABI string then a brace block.
+        let mut look = pos + 1;
+        if look < code.len() && ctx.toks[code[look]].kind == TokKind::Str {
+            look += 1;
+        }
+        if look >= code.len() || ctx.toks[code[look]].kind != TokKind::Punct(b'{') {
+            pos += 1; // `extern "C" fn …` definition or `extern crate`
+            continue;
+        }
+        // scan the block body for `fn NAME`
+        let mut depth = 0i32;
+        let mut j = look;
+        while j < code.len() {
+            let tj = ctx.toks[code[j]];
+            match tj.kind {
+                TokKind::Punct(b'{') => depth += 1,
+                TokKind::Punct(b'}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident if tj.text(ctx.src) == "fn" => {
+                    if let Some(name_tok) = code.get(j + 1).map(|&k| ctx.toks[k]) {
+                        if name_tok.kind == TokKind::Ident {
+                            let name = name_tok.text(ctx.src).to_string();
+                            let allowlisted = FFI_ALLOWLIST.contains(&name.as_str());
+                            if !allowlisted {
+                                out.findings.push(Finding {
+                                    rule: "ffi-allowlist",
+                                    severity: Severity::Error,
+                                    file: ctx.file.to_string(),
+                                    line: name_tok.line,
+                                    message: format!(
+                                        "extern fn `{name}` is not on the FFI allowlist \
+                                         (see crates/lint/src/config.rs)"
+                                    ),
+                                });
+                            }
+                            out.ffi.push(FfiDecl {
+                                file: ctx.file.to_string(),
+                                line: name_tok.line,
+                                name,
+                                allowlisted,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        pos = j.max(pos + 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Inline waiver comments:
+//!
+//! ```text
+//! // fahana-lint: allow(rule-id[, rule-id...]) mandatory reason text
+//! ```
+//!
+//! A waiver covers findings of the named rules on its own line and on the
+//! immediately following line (so it can sit above the offending
+//! statement). A waiver that no finding consumes is itself an error
+//! (`stale-waiver`) — the waiver set can only shrink. A waiver with no
+//! reason, an empty rule list, or an unknown rule ID is a
+//! `waiver-syntax` error.
+
+use crate::config::Config;
+use crate::findings::{Finding, WaiverRecord};
+use crate::lexer::{Tok, TokKind};
+
+pub const WAIVER_PREFIX: &str = "fahana-lint:";
+
+/// A parsed waiver, pre-consumption.
+#[derive(Debug)]
+pub struct Waiver {
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub reason: String,
+    pub used: bool,
+}
+
+/// Extracts waivers from a file's comment tokens. Syntax problems are
+/// reported as findings immediately; well-formed waivers are returned
+/// for the engine to consult.
+pub fn collect_waivers(
+    src: &str,
+    toks: &[Tok],
+    file: &str,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let text = t.text(src);
+        // A waiver must BE the comment, not be mentioned inside one:
+        // plain `//` or `/*` (doc comments `///`, `//!`, `/**`, `/*!`
+        // are documentation and never waive anything), with the marker
+        // as the first word.
+        let body = if let Some(rest) = text.strip_prefix("//") {
+            if rest.starts_with('/') || rest.starts_with('!') {
+                continue;
+            }
+            rest
+        } else if let Some(rest) = text.strip_prefix("/*") {
+            if rest.starts_with('*') || rest.starts_with('!') {
+                continue;
+            }
+            rest
+        } else {
+            continue;
+        };
+        let Some(rest) = body.trim_start().strip_prefix(WAIVER_PREFIX) else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(after_allow) = rest.strip_prefix("allow") else {
+            findings.push(syntax_error(
+                file,
+                t.line,
+                "expected `allow(<rule>[, <rule>]) <reason>` after `fahana-lint:`",
+            ));
+            continue;
+        };
+        let after_allow = after_allow.trim_start();
+        let Some(open) = after_allow.strip_prefix('(') else {
+            findings.push(syntax_error(file, t.line, "missing `(` after `allow`"));
+            continue;
+        };
+        let Some(close) = open.find(')') else {
+            findings.push(syntax_error(file, t.line, "unclosed rule list"));
+            continue;
+        };
+        let rules: Vec<String> = open[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let mut reason = open[close + 1..].trim();
+        if let Some(stripped) = reason.strip_suffix("*/") {
+            reason = stripped.trim_end();
+        }
+        if rules.is_empty() {
+            findings.push(syntax_error(file, t.line, "empty rule list in waiver"));
+            continue;
+        }
+        if let Some(bad) = rules.iter().find(|r| !config.is_known_rule(r)) {
+            findings.push(syntax_error(
+                file,
+                t.line,
+                &format!("unknown rule `{bad}` in waiver"),
+            ));
+            continue;
+        }
+        if reason.is_empty() {
+            findings.push(syntax_error(
+                file,
+                t.line,
+                "waiver has no reason — every waiver must say why",
+            ));
+            continue;
+        }
+        out.push(Waiver {
+            line: t.line,
+            rules,
+            reason: reason.to_string(),
+            used: false,
+        });
+    }
+    out
+}
+
+/// True (and marks the waiver used) if `rule` at `line` is covered by a
+/// waiver on the same or the previous line.
+pub fn try_waive(waivers: &mut [Waiver], rule: &str, line: u32) -> bool {
+    for w in waivers.iter_mut() {
+        if (w.line == line || w.line + 1 == line) && w.rules.iter().any(|r| r == rule) {
+            w.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+/// Converts leftover state into findings (`stale-waiver`) and records.
+pub fn finish_waivers(
+    waivers: Vec<Waiver>,
+    file: &str,
+    findings: &mut Vec<Finding>,
+) -> Vec<WaiverRecord> {
+    let mut records = Vec::new();
+    for w in waivers {
+        if !w.used {
+            findings.push(Finding {
+                rule: "stale-waiver",
+                severity: crate::config::Severity::Error,
+                file: file.to_string(),
+                line: w.line,
+                message: format!(
+                    "waiver for {} no longer matches any finding — remove it",
+                    w.rules.join(", ")
+                ),
+            });
+        }
+        records.push(WaiverRecord {
+            file: file.to_string(),
+            line: w.line,
+            rules: w.rules,
+            reason: w.reason,
+            used: w.used,
+        });
+    }
+    records
+}
+
+fn syntax_error(file: &str, line: u32, msg: &str) -> Finding {
+    Finding {
+        rule: "waiver-syntax",
+        severity: crate::config::Severity::Error,
+        file: file.to_string(),
+        line,
+        message: msg.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Waiver>, Vec<Finding>) {
+        let toks = lex(src);
+        let mut findings = Vec::new();
+        let waivers = collect_waivers(src, &toks, "t.rs", &Config, &mut findings);
+        (waivers, findings)
+    }
+
+    #[test]
+    fn well_formed_waiver_parses() {
+        let (ws, fs) =
+            parse("// fahana-lint: allow(panic, hash-iter) startup only, cannot race\nlet x = 1;");
+        assert!(fs.is_empty());
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rules, vec!["panic", "hash-iter"]);
+        assert_eq!(ws[0].reason, "startup only, cannot race");
+    }
+
+    #[test]
+    fn missing_reason_is_syntax_error() {
+        let (ws, fs) = parse("// fahana-lint: allow(panic)\n");
+        assert!(ws.is_empty());
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "waiver-syntax");
+    }
+
+    #[test]
+    fn unknown_rule_is_syntax_error() {
+        let (ws, fs) = parse("// fahana-lint: allow(no-such-rule) because\n");
+        assert!(ws.is_empty());
+        assert_eq!(fs[0].rule, "waiver-syntax");
+        assert!(fs[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn waiver_inside_string_is_ignored() {
+        let (ws, fs) = parse("let s = \"// fahana-lint: allow(panic) nope\";");
+        assert!(ws.is_empty());
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn coverage_is_same_or_next_line() {
+        let (mut ws, _) = parse("// fahana-lint: allow(panic) reason here\nlet x = 1;\nlet y = 2;");
+        assert!(try_waive(&mut ws, "panic", 1));
+        assert!(try_waive(&mut ws, "panic", 2));
+        assert!(!try_waive(&mut ws, "panic", 3));
+        assert!(!try_waive(&mut ws, "hash-iter", 2));
+    }
+
+    #[test]
+    fn stale_waiver_becomes_error() {
+        let (ws, _) = parse("// fahana-lint: allow(panic) obsolete\n");
+        let mut findings = Vec::new();
+        let records = finish_waivers(ws, "t.rs", &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "stale-waiver");
+        assert!(!records[0].used);
+    }
+
+    #[test]
+    fn block_comment_waiver_strips_terminator() {
+        let (ws, fs) = parse("/* fahana-lint: allow(panic) block form */\nlet x = 1;");
+        assert!(fs.is_empty());
+        assert_eq!(ws[0].reason, "block form");
+    }
+}

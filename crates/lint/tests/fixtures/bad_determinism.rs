@@ -1,0 +1,18 @@
+// Known-bad determinism: hash containers in a render module and a
+// wall-clock read outside the allowed set. The `use` line must NOT be
+// flagged — only real occurrences.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn render(entries: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for (k, v) in entries {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn stamp() -> std::time::Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+// Known-bad: an extern decl that is not on the FFI allowlist.
+
+extern "C" {
+    // SAFETY: decl only; callers carry their own obligations
+    pub fn gettimeofday(tv: *mut u8, tz: *mut u8) -> i32;
+    // SAFETY: decl only
+    pub fn poll(fds: *mut u8, nfds: u64, timeout: i32) -> i32;
+}

@@ -1,0 +1,20 @@
+// Known-bad: a blocking channel receive while a mutex guard is held.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn drain(state: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
+    while let Ok(v) = rx.recv() {
+        guard.push(v);
+    }
+}
+
+pub fn fine(state: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    // guard dropped before blocking: no finding
+    {
+        let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
+        guard.push(0);
+    }
+    let _ = rx.recv();
+}

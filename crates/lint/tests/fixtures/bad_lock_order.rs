@@ -1,0 +1,23 @@
+// Known-bad: the same two mutexes acquired in both orders — the A→B /
+// B→A inversion the lock-order rule must fire on.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub alpha: Mutex<Vec<u32>>,
+    pub beta: Mutex<Vec<u32>>,
+}
+
+impl Shared {
+    pub fn forward(&self) -> usize {
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        a.len() + b.len()
+    }
+
+    pub fn backward(&self) -> usize {
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        a.len() + b.len()
+    }
+}

@@ -1,0 +1,33 @@
+// Known-bad panic hygiene — plus shapes that must NOT match.
+
+pub fn bad(input: Option<u32>) -> u32 {
+    let a = input.unwrap();
+    let b = input.expect("present");
+    if a + b > 100 {
+        panic!("overflow");
+    }
+    match a {
+        0 => unreachable!(),
+        n => n,
+    }
+}
+
+pub fn fine(input: Option<u32>) -> u32 {
+    // unwrap_or / unwrap_or_else / unwrap_or_default are different
+    // identifiers and must not match
+    input.unwrap_or(0) + input.unwrap_or_else(|| 1) + input.unwrap_or_default()
+}
+
+pub fn comments_and_strings_do_not_count() -> &'static str {
+    // a comment saying foo.unwrap() is not a call
+    "panic!(\"in a string\") and x.unwrap() too"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_idiomatic() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

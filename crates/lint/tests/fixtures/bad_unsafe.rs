@@ -1,0 +1,20 @@
+// Known-bad: undocumented unsafe, and "SAFETY:" text that must NOT
+// satisfy the rule because it lives in strings, not comments.
+
+pub fn raw_part(slice: &[u8]) -> u8 {
+    let msg = "SAFETY: this string is prose, not a comment";
+    let _ = msg;
+    unsafe { *slice.as_ptr() }
+}
+
+pub fn raw_string_decoy(slice: &[u8]) -> u8 {
+    let doc = r#"
+       // SAFETY: inside a raw string, still prose
+    "#;
+    let _ = doc;
+    unsafe { *slice.as_ptr() }
+}
+
+pub unsafe fn undocumented_fn(ptr: *const u8) -> u8 {
+    *ptr
+}

@@ -1,0 +1,45 @@
+// Known-good lock usage: consistent ordering, statement temporaries,
+// explicit drop before re-acquisition, condvar wait (whose contract IS
+// holding the lock), and io::Read::read (args — not a lock).
+
+use std::io::Read;
+use std::sync::{Condvar, Mutex};
+
+pub struct Queues {
+    pub first: Mutex<Vec<u32>>,
+    pub second: Mutex<Vec<u32>>,
+    pub cv: Condvar,
+}
+
+impl Queues {
+    pub fn consistent_a(&self) -> usize {
+        let f = self.first.lock().unwrap_or_else(|e| e.into_inner());
+        let s = self.second.lock().unwrap_or_else(|e| e.into_inner());
+        f.len() + s.len()
+    }
+
+    pub fn consistent_b(&self) -> usize {
+        let f = self.first.lock().unwrap_or_else(|e| e.into_inner());
+        let s = self.second.lock().unwrap_or_else(|e| e.into_inner());
+        f.len().max(s.len())
+    }
+
+    pub fn drop_between(&self) -> usize {
+        let f = self.first.lock().unwrap_or_else(|e| e.into_inner());
+        let n = f.len();
+        drop(f);
+        let s = self.second.lock().unwrap_or_else(|e| e.into_inner());
+        n + s.len()
+    }
+
+    pub fn condvar_wait(&self) {
+        let guard = self.first.lock().unwrap_or_else(|e| e.into_inner());
+        let _unused = self.cv.wait(guard);
+    }
+}
+
+pub fn io_read_is_not_a_lock(stream: &mut impl Read) -> Vec<u8> {
+    let mut buf = vec![0u8; 16];
+    let _ = stream.read(&mut buf);
+    buf
+}

@@ -1,0 +1,31 @@
+// Known-good: every unsafe site carries an adjacent SAFETY comment in
+// one of the accepted shapes.
+
+pub fn same_line(slice: &[u8]) -> u8 {
+    unsafe { *slice.as_ptr() } // SAFETY: caller guarantees non-empty slice
+}
+
+pub fn line_above(slice: &[u8]) -> u8 {
+    // SAFETY: slice is non-empty by contract, so the pointer is valid
+    unsafe { *slice.as_ptr() }
+}
+
+pub fn through_blank_and_attr(slice: &[u8]) -> u8 {
+    // SAFETY: reachable through a blank line and an attribute
+
+    #[allow(clippy::let_and_return)]
+    let v = unsafe { *slice.as_ptr() };
+    v
+}
+
+/* SAFETY: block comments count too, even /* nested */ ones */
+pub unsafe fn documented_fn(ptr: *const u8) -> u8 {
+    *ptr
+}
+
+pub fn decoy_then_real(slice: &[u8]) -> u8 {
+    let decoy = "unsafe { not code }";
+    let _ = decoy;
+    // SAFETY: the string above is data; this deref is bounds-guaranteed
+    unsafe { *slice.as_ptr() }
+}

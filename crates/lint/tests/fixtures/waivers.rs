@@ -1,0 +1,21 @@
+// Waiver mechanics: a consumed waiver, a stale one, and two syntax errors.
+
+pub fn waived(input: Option<u32>) -> u32 {
+    // fahana-lint: allow(panic) input is validated by the caller contract
+    input.unwrap()
+}
+
+// fahana-lint: allow(panic) nothing below panics anymore — this is stale
+pub fn clean() -> u32 {
+    7
+}
+
+// fahana-lint: allow(panic)
+pub fn missing_reason(input: Option<u32>) -> u32 {
+    input.unwrap_or(0)
+}
+
+// fahana-lint: allow(not-a-rule) the rule id is unknown
+pub fn unknown_rule() -> u32 {
+    9
+}

@@ -325,6 +325,7 @@ impl Scheduler<'_> {
             dir: attempt_dir,
             child,
             stderr,
+            // fahana-lint: allow(wall-clock) attempt age is used for stderr context only; merged artifacts stay byte-identical
             started: Instant::now(),
         })
     }
@@ -379,6 +380,7 @@ impl Scheduler<'_> {
         parts: &mut Vec<CampaignReport>,
         merged_snapshot: &mut CacheSnapshot,
     ) -> Result<Vec<Task>, String> {
+        // fahana-lint: allow(wall-clock) wave timing feeds the trace side channel; merged artifacts stay byte-identical
         let wave_started = Instant::now();
         let wave_tasks = tasks.len();
         let mut attempts_reaped = 0u64;

@@ -263,6 +263,7 @@ impl CampaignEngine {
             })
             .collect();
 
+        // fahana-lint: allow(wall-clock) wall_clock_ms is scheduling-dependent telemetry; canonical() zeroes it before artifact comparison
         let started = Instant::now();
         let campaign_config = self.config.clone();
         let pool = Arc::clone(&self.pool);
@@ -457,6 +458,7 @@ fn run_scenario(
     cache: Arc<EvalCache>,
     pool: Arc<ThreadPool>,
 ) -> Result<ScenarioOutcome> {
+    // fahana-lint: allow(wall-clock) scenario wall_clock_ms is telemetry; canonical() zeroes it before artifact comparison
     let started = Instant::now();
     let scenario_error = |err: fahana::FahanaError| RuntimeError::Scenario {
         name: scenario.name.clone(),

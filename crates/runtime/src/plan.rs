@@ -90,9 +90,9 @@ impl CampaignPlan {
     /// [`RuntimeError::InvalidConfig`] naming the first unknown or
     /// duplicated cell.
     pub fn subset(&self, names: &[String]) -> Result<Vec<Scenario>> {
-        let known: std::collections::HashSet<&str> =
+        let known: std::collections::BTreeSet<&str> =
             self.scenarios.iter().map(|s| s.name.as_str()).collect();
-        let mut wanted = std::collections::HashSet::with_capacity(names.len());
+        let mut wanted = std::collections::BTreeSet::new();
         for name in names {
             if !known.contains(name.as_str()) {
                 return Err(RuntimeError::InvalidConfig(format!(

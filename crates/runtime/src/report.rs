@@ -771,8 +771,8 @@ impl CampaignReport {
         parts: &[CampaignReport],
         order: &[String],
     ) -> Result<CampaignReport, ReportMergeError> {
-        let mut by_name: std::collections::HashMap<&str, &ScenarioReport> =
-            std::collections::HashMap::new();
+        let mut by_name: std::collections::BTreeMap<&str, &ScenarioReport> =
+            std::collections::BTreeMap::new();
         for part in parts {
             for scenario in &part.scenarios {
                 if by_name

@@ -68,6 +68,7 @@ struct CacheMap {
     /// starts at 0, so without this flag the very first lookup would not
     /// see a flush edge and nothing would trigger the initial prerender.
     primed: bool,
+    // fahana-lint: allow(hash-iter) never iterated for output: lookups are by exact key, eviction order comes from the FIFO deque
     entries: HashMap<String, Response>,
     /// Insertion order, oldest first, for FIFO eviction.
     order: VecDeque<String>,
@@ -122,7 +123,7 @@ impl ResponseCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return CacheLookup::Miss { flushed: false };
         }
-        let mut map = self.map.lock().expect("response cache poisoned");
+        let mut map = super::unpoison(self.map.lock());
         let mut flushed = false;
         if generation > map.generation {
             let stale = map.entries.len();
@@ -165,7 +166,7 @@ impl ResponseCache {
         if self.capacity == 0 {
             return;
         }
-        let mut map = self.map.lock().expect("response cache poisoned");
+        let mut map = super::unpoison(self.map.lock());
         if generation != map.generation {
             return;
         }
@@ -189,7 +190,7 @@ impl ResponseCache {
 
     /// A point-in-time statistics snapshot.
     pub fn stats(&self) -> CacheStatsSnapshot {
-        let map = self.map.lock().expect("response cache poisoned");
+        let map = super::unpoison(self.map.lock());
         CacheStatsSnapshot {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

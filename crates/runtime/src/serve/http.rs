@@ -208,16 +208,14 @@ impl RequestParser {
             self.scan_from = 0;
             self.pending = Some(head);
         }
-        let content_length = self
-            .pending
-            .as_ref()
-            .map(|head| head.content_length)
-            .unwrap_or_default();
-        if self.buffer.len() < content_length {
+        let Some(head) = self.pending.take() else {
+            return Ok(None);
+        };
+        if self.buffer.len() < head.content_length {
+            self.pending = Some(head);
             return Ok(None);
         }
-        let head = self.pending.take().expect("pending head checked above");
-        let body: Vec<u8> = self.buffer.drain(..content_length).collect();
+        let body: Vec<u8> = self.buffer.drain(..head.content_length).collect();
         Ok(Some(Request {
             method: head.method,
             path: head.path,

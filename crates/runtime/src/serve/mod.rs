@@ -50,6 +50,20 @@
 pub mod cache;
 pub mod http;
 pub mod obs;
+
+/// Recovers the guard from a poisoned lock instead of panicking.
+///
+/// Every mutex on the serve path protects a small invariant-complete
+/// critical section (queue push/drain, map insert, counter bump) — a
+/// panic elsewhere cannot leave the protected data half-updated, so the
+/// right response to poison is to keep serving, not to cascade the
+/// panic into the reactor or a pool worker and take the daemon down.
+pub(crate) fn unpoison<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    match result {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 #[cfg(unix)]
 pub(crate) mod reactor;
 pub mod router;

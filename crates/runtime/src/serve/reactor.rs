@@ -213,6 +213,9 @@ impl Backend {
 
     #[cfg(target_os = "linux")]
     fn epoll() -> io::Result<Backend> {
+        // SAFETY: epoll_create1 takes no pointers; any flag value is
+        // safe to pass and errors surface as a negative return checked
+        // below.
         let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
         if epfd < 0 {
             return Err(io::Error::last_os_error());
@@ -259,6 +262,10 @@ impl Backend {
             events: Backend::epoll_mask(interest),
             data: token,
         };
+        // SAFETY: `event` is a live, initialized EpollEvent on this
+        // stack frame for the duration of the call; the kernel copies it
+        // before returning. `epfd`/`fd`/`op` are plain ints validated by
+        // the kernel (errors surface as -1, checked below).
         if unsafe { sys::epoll_ctl(epfd, op, fd, &mut event) } < 0 {
             return Err(io::Error::last_os_error());
         }
@@ -318,6 +325,10 @@ impl Backend {
             #[cfg(target_os = "linux")]
             Backend::Epoll { epfd } => {
                 let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
+                // SAFETY: `buf` is a stack array of 256 initialized
+                // events and `maxevents` is exactly its length, so the
+                // kernel writes within bounds; only the first `n`
+                // entries are read, and only when `n >= 0`.
                 let n = unsafe {
                     sys::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
                 };
@@ -358,6 +369,9 @@ impl Backend {
                         }
                     })
                     .collect();
+                // SAFETY: `fds` is a live Vec of initialized PollFds
+                // and `nfds` is exactly its length; the kernel only
+                // rewrites the `revents` field of each entry in bounds.
                 let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as sys::NfdsT, timeout_ms) };
                 if n < 0 {
                     let err = io::Error::last_os_error();
@@ -392,6 +406,9 @@ impl Drop for Backend {
     fn drop(&mut self) {
         #[cfg(target_os = "linux")]
         if let Backend::Epoll { epfd } = self {
+            // SAFETY: `epfd` was returned by epoll_create1, is owned
+            // exclusively by this Backend, and Drop runs once — no
+            // double close, and nothing uses the fd afterwards.
             unsafe { sys::close(*epfd) };
         }
     }
@@ -399,10 +416,14 @@ impl Drop for Backend {
 
 /// Marks an fd nonblocking via `fcntl`.
 fn set_nonblocking_fd(fd: RawFd) -> io::Result<()> {
+    // SAFETY: F_GETFL takes no pointer argument; `fd` is a plain int
+    // and an invalid one comes back as -1, checked below.
     let flags = unsafe { sys::fcntl(fd, sys::F_GETFL, 0) };
     if flags < 0 {
         return Err(io::Error::last_os_error());
     }
+    // SAFETY: F_SETFL takes an int argument, not a pointer; `flags` came
+    // from F_GETFL on the same fd so only O_NONBLOCK is being added.
     if unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) } < 0 {
         return Err(io::Error::last_os_error());
     }
@@ -414,6 +435,9 @@ fn set_nonblocking_fd(fd: RawFd) -> io::Result<()> {
 /// hits under genuine backpressure.
 pub(crate) fn set_sndbuf(stream: &TcpStream, bytes: usize) -> io::Result<()> {
     let value = bytes as std::os::raw::c_int;
+    // SAFETY: `value` is a live c_int on this stack frame and `optlen`
+    // is exactly size_of::<c_int>(), so the kernel reads in bounds; the
+    // fd is borrowed from a live TcpStream for the duration of the call.
     let rc = unsafe {
         sys::setsockopt(
             stream.as_raw_fd(),
@@ -548,6 +572,10 @@ impl ReactorShared {
     /// already guarantees a pending wake, so errors are ignored.
     fn wake(&self) {
         let byte = 1u8;
+        // SAFETY: `byte` is a live local and the count is 1, its exact
+        // size; `wake_writer` stays open for the life of ReactorShared
+        // (closed only in Drop). Short or failed writes are fine: a full
+        // pipe already guarantees a pending wake.
         unsafe {
             sys::write(
                 self.wake_writer,
@@ -558,18 +586,12 @@ impl ReactorShared {
     }
 
     fn register(&self, stream: TcpStream) {
-        self.registrations
-            .lock()
-            .expect("reactor registration queue poisoned")
-            .push(stream);
+        super::unpoison(self.registrations.lock()).push(stream);
         self.wake();
     }
 
     fn complete(&self, completion: Completion) {
-        self.completions
-            .lock()
-            .expect("reactor completion queue poisoned")
-            .push(completion);
+        super::unpoison(self.completions.lock()).push(completion);
         self.wake();
     }
 
@@ -581,6 +603,9 @@ impl ReactorShared {
 
 impl Drop for ReactorShared {
     fn drop(&mut self) {
+        // SAFETY: `wake_writer` came from pipe(2) and is owned solely by
+        // this ReactorShared; Drop runs once, after every `wake()` call
+        // is over (they all borrow `self`), so no use-after-close.
         unsafe { sys::close(self.wake_writer) };
     }
 }
@@ -610,7 +635,12 @@ impl ReactorHandle {
     pub(crate) fn shutdown_and_join(&mut self) {
         self.shared.request_shutdown();
         if let Some(thread) = self.thread.take() {
-            thread.join().expect("reactor thread panicked");
+            // A panicked reactor thread must not cascade: this runs from
+            // Drop, where a second panic aborts the process. The daemon
+            // is shutting down either way; surface the fact and move on.
+            if thread.join().is_err() {
+                eprintln!("fahana-serve: reactor thread panicked during shutdown");
+            }
         }
     }
 }
@@ -632,6 +662,8 @@ pub(crate) fn spawn_reactor(
 ) -> io::Result<ReactorHandle> {
     let mut backend = Backend::new(config.backend)?;
     let mut pipe_fds = [0; 2];
+    // SAFETY: pipe(2) writes exactly two ints into `pipe_fds`, a live
+    // stack array of two ints; the fds are only used when it returns 0.
     if unsafe { sys::pipe(pipe_fds.as_mut_ptr()) } < 0 {
         return Err(io::Error::last_os_error());
     }
@@ -640,6 +672,10 @@ pub(crate) fn spawn_reactor(
         .and_then(|()| set_nonblocking_fd(wake_writer))
         .and_then(|()| backend.add(wake_reader, WAKE_TOKEN, INTEREST_READ));
     if let Err(err) = wired {
+        // SAFETY: both fds were just created by pipe(2) above, nothing
+        // else has taken ownership yet (ReactorShared is not built on
+        // this error path), and we return immediately after — each fd is
+        // closed exactly once.
         unsafe {
             sys::close(wake_reader);
             sys::close(wake_writer);
@@ -784,6 +820,9 @@ impl Reactor {
             self.close(token);
         }
         self.backend.remove(self.wake_reader).ok();
+        // SAFETY: `wake_reader` came from pipe(2), is owned solely by
+        // the reactor loop, and this shutdown path runs once right
+        // before the loop returns — nothing reads the fd afterwards.
         unsafe { sys::close(self.wake_reader) };
     }
 
@@ -809,6 +848,10 @@ impl Reactor {
     fn drain_wake_pipe(&mut self) {
         let mut buf = [0u8; 64];
         loop {
+            // SAFETY: `buf` is a live 64-byte stack array and the count
+            // is exactly its length, so the kernel writes in bounds; `n`
+            // bytes are never read back (the pipe is drain-only) and the
+            // nonblocking fd makes the loop terminate on WOULDBLOCK.
             let n = unsafe {
                 sys::read(
                     self.wake_reader,
@@ -1130,11 +1173,7 @@ impl Reactor {
 
     fn adopt_registrations(&mut self) {
         let streams: Vec<TcpStream> = {
-            let mut queue = self
-                .shared
-                .registrations
-                .lock()
-                .expect("reactor registration queue poisoned");
+            let mut queue = super::unpoison(self.shared.registrations.lock());
             queue.drain(..).collect()
         };
         let now = Instant::now();
@@ -1172,11 +1211,7 @@ impl Reactor {
 
     fn apply_completions(&mut self) {
         let completions: Vec<Completion> = {
-            let mut queue = self
-                .shared
-                .completions
-                .lock()
-                .expect("reactor completion queue poisoned");
+            let mut queue = super::unpoison(self.shared.completions.lock());
             queue.drain(..).collect()
         };
         for completion in completions {

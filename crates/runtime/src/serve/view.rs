@@ -51,7 +51,7 @@ impl StoreView {
     /// How many times the view has been successfully reloaded since it
     /// was opened.
     pub fn generation(&self) -> u64 {
-        self.state.read().expect("store view poisoned").0
+        super::unpoison(self.state.read()).0
     }
 
     /// The underlying store.
@@ -63,14 +63,14 @@ impl StoreView {
     /// snapshot alive for as long as the request needs it, even if an
     /// ingest swaps the view underneath.
     pub fn campaigns(&self) -> Arc<Vec<StoredCampaign>> {
-        Arc::clone(&self.state.read().expect("store view poisoned").1)
+        Arc::clone(&super::unpoison(self.state.read()).1)
     }
 
     /// The current `(generation, campaigns)` pair, read under one lock so
     /// the two can never disagree — the anchor the response cache hangs
     /// its "never serve stale-generation bytes" guarantee on.
     pub fn snapshot(&self) -> (u64, Arc<Vec<StoredCampaign>>) {
-        let state = self.state.read().expect("store view poisoned");
+        let state = super::unpoison(self.state.read());
         (state.0, Arc::clone(&state.1))
     }
 
@@ -84,7 +84,7 @@ impl StoreView {
     pub fn reload(&self) -> Result<usize, StoreError> {
         let fresh = Arc::new(self.store.campaigns()?);
         let count = fresh.len();
-        let mut state = self.state.write().expect("store view poisoned");
+        let mut state = super::unpoison(self.state.write());
         state.0 += 1;
         state.1 = fresh;
         Ok(count)

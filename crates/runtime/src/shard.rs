@@ -124,7 +124,7 @@ impl CellAssignment {
     ///
     /// [`RuntimeError::InvalidConfig`] when a name appears twice.
     pub fn new(cells: Vec<String>) -> crate::Result<Self> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for cell in &cells {
             if !seen.insert(cell.as_str()) {
                 return Err(RuntimeError::InvalidConfig(format!(

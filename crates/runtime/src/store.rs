@@ -311,7 +311,7 @@ pub fn answer_query(campaigns: &[StoredCampaign], query: &StoreQuery) -> QueryAn
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.record.name.cmp(&b.record.name))
     });
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     candidates.retain(|c| seen.insert(c.record.name.clone()));
 
     QueryAnswer {
